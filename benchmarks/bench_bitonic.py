@@ -1,0 +1,82 @@
+"""E10 — the [13] bitonic-sort cross-check (Section IV-A).
+
+Published: hypermesh 12.3x faster than the 2D mesh and 6.47x faster than the
+hypercube for a 4K-key bitonic sort.  The hypercube ratio is pure
+normalization and reproduces (6.5x); the mesh ratio depends on [13]'s mesh
+mapping, which this paper does not specify — with the row-major shift mapping
+used here the model gives ~19.8x (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core.complexity import NetworkKind
+from repro.models import bitonic_comparison, bitonic_steps
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.sort import parallel_bitonic_sort
+from repro.viz import format_table, format_time
+
+
+def test_bitonic_4k_model(benchmark):
+    cmp_ = benchmark(bitonic_comparison)
+    rows = [
+        [
+            k.value,
+            f"{cmp_.times[k].steps:g}",
+            format_time(cmp_.times[k].step_time),
+            format_time(cmp_.times[k].total),
+        ]
+        for k in (NetworkKind.MESH_2D, NetworkKind.HYPERCUBE, NetworkKind.HYPERMESH_2D)
+    ]
+    emit(
+        "Bitonic sort, 4K keys on 4K PEs (model)",
+        format_table(["network", "steps", "per step", "total"], rows)
+        + f"\nspeedups: {cmp_.speedup_vs_mesh:.1f}x vs mesh "
+        "(paper quotes [13]: 12.3x — mapping-dependent, see EXPERIMENTS.md), "
+        f"{cmp_.speedup_vs_hypercube:.2f}x vs hypercube (paper: 6.47x)",
+    )
+    assert cmp_.speedup_vs_hypercube == pytest.approx(6.47, abs=0.1)
+    assert 10 < cmp_.speedup_vs_mesh < 30
+
+
+def test_bitonic_pass_counts(benchmark):
+    counts = benchmark(
+        lambda: {
+            k: bitonic_steps(k, 4096)
+            for k in (
+                NetworkKind.MESH_2D,
+                NetworkKind.HYPERCUBE,
+                NetworkKind.HYPERMESH_2D,
+            )
+        }
+    )
+    emit(
+        "Bitonic data-transfer steps at N = 4096",
+        "\n".join(f"{k.value}: {v:g}" for k, v in counts.items()),
+    )
+    assert counts[NetworkKind.HYPERCUBE] == 78  # log N (log N + 1) / 2
+    assert counts[NetworkKind.HYPERMESH_2D] == 78
+    assert counts[NetworkKind.MESH_2D] == 618
+
+
+def test_bitonic_executed_256_keys(benchmark, rng):
+    """Execute the sort end to end on all three networks at N = 256 and
+    confirm the measured step ordering."""
+
+    def run():
+        keys = rng.normal(size=256)
+        out = {}
+        for topo in (Mesh2D(16), Hypercube(8), Hypermesh2D(16)):
+            result = parallel_bitonic_sort(topo, keys)
+            assert np.array_equal(result.keys, np.sort(keys))
+            out[type(topo).__name__] = result.data_transfer_steps
+        return out
+
+    steps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Executed bitonic sort at N = 256 (steps)",
+        "\n".join(f"{k}: {v}" for k, v in steps.items()),
+    )
+    assert steps["Hypermesh2D"] == steps["Hypercube"] == 36
+    assert steps["Mesh2D"] == bitonic_steps(NetworkKind.MESH_2D, 256)

@@ -1,0 +1,103 @@
+"""E15 — extension: blocked FFT (N samples on P < N PEs).
+
+The paper sizes N = P; this bench extends the comparison to realistic
+block sizes and shows the paper's ordering (hypermesh < hypercube < mesh in
+steps) survives blocking, with the hypermesh's bit-reversal bound scaling as
+3m for block size m.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.fft import blocked_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.viz import format_table
+
+
+def test_blocked_fft_4096_samples_256_pes(benchmark, rng):
+    def run():
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        expected = np.fft.fft(x)
+        out = {}
+        for topo in (Mesh2D(16), Hypercube(8), Hypermesh2D(16)):
+            result = blocked_fft(topo, x)
+            assert np.allclose(result.spectrum, expected)
+            out[type(topo).__name__] = result
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            r.block_size,
+            r.remote_stages,
+            r.local_stages,
+            r.butterfly_steps,
+            r.bitrev_steps,
+            r.total_steps,
+        ]
+        for name, r in results.items()
+    ]
+    emit(
+        "4096-point FFT on 256 PEs (block size 16)",
+        format_table(
+            ["network", "m", "remote", "local", "butterfly", "bitrev", "total"],
+            rows,
+        ),
+    )
+    totals = {name: r.total_steps for name, r in results.items()}
+    assert totals["Hypermesh2D"] < totals["Hypercube"] < totals["Mesh2D"]
+
+
+def test_direct_h_relation_vs_round_plan(benchmark, rng):
+    """Executing the blocked bit-reversal m-relation directly through the
+    engine pipelines across rounds: measured steps undercut the 3m
+    round-by-round plan."""
+    import numpy as np
+
+    from repro.networks.addressing import bit_reversal_permutation
+    from repro.sim import route_demands
+
+    def run():
+        side, m = 8, 16
+        p = side * side
+        n = p * m
+        perm = bit_reversal_permutation(n)
+        idx = np.arange(n)
+        demands = [
+            (int(s), int(d))
+            for s, d in zip(idx // m, perm // m)
+            if s != d
+        ]
+        hm = Hypermesh2D(side)
+        direct = route_demands(hm, demands)
+        planned = blocked_fft(hm, np.zeros(n)).bitrev_steps
+        return direct.stats.steps, planned, 3 * m
+
+    direct, planned, bound = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Blocked bit reversal (m = 16 on 64 PEs): direct vs round plan",
+        f"direct engine routing: {direct} steps\n"
+        f"round-by-round Clos plan: {planned} steps (bound 3m = {bound})",
+    )
+    assert direct <= planned
+
+
+def test_block_size_sweep_hypermesh(benchmark, rng):
+    def run():
+        out = []
+        for m in (1, 4, 16, 64):
+            n = 64 * m
+            x = rng.normal(size=n)
+            result = blocked_fft(Hypermesh2D(8), x)
+            assert np.allclose(result.spectrum, np.fft.fft(x))
+            out.append((m, result.butterfly_steps, result.bitrev_steps, 3 * m))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Hypermesh (64 PEs): block-size sweep",
+        format_table(["m", "butterfly steps", "bitrev steps", "3m bound"], rows),
+    )
+    for m, _, bitrev, bound in rows:
+        assert bitrev <= bound

@@ -1,0 +1,110 @@
+"""E18 — collectives and the bisection argument, executed.
+
+Two probes of Section V's bandwidth story beyond the FFT:
+
+* **total exchange** — the all-to-all demand puts ``N^2/2`` packets across
+  any bisector; measured plans respect the per-network bisection lower
+  bounds (``Omega(N^{3/2})`` mesh, ``O(N)`` hypermesh/hypercube);
+* **FFT traffic analysis** — per-stage bisector crossings of the executed
+  FFT schedules: the top-bit butterfly crosses with 100% of its moves on
+  every network, which is exactly why bisection bandwidth decides the race.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.algos import total_exchange_lower_bound, total_exchange_plan
+from repro.core import map_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.sim import bisection_crossings, traffic_summary
+from repro.viz import format_table
+
+
+def test_total_exchange_plans(benchmark):
+    def run():
+        rows = []
+        for topo in (Mesh2D(4), Hypercube(4), Hypermesh2D(4)):
+            plan = total_exchange_plan(topo)
+            bound = total_exchange_lower_bound(topo)
+            rows.append(
+                [type(topo).__name__, plan.rounds, plan.total_steps, f"{bound:.1f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Total exchange on 16 PEs: scheduled steps vs bisection lower bound",
+        format_table(["network", "rounds", "steps", "bisection bound"], rows),
+    )
+    by_net = {r[0]: r for r in rows}
+    assert by_net["Hypermesh2D"][2] < by_net["Mesh2D"][2]
+
+
+def test_total_exchange_scaling(benchmark):
+    def run():
+        out = []
+        for side in (2, 4, 8):
+            n = side * side
+            mesh = total_exchange_plan(Mesh2D(side)).total_steps
+            hm = total_exchange_plan(Hypermesh2D(side)).total_steps
+            out.append((n, mesh, hm))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Total-exchange steps vs N",
+        format_table(["N", "2D mesh", "2D hypermesh"], rows),
+    )
+    # Mesh grows ~N^{3/2}, hypermesh ~N (x3 for the Clos rounds).
+    (_, mesh_16, hm_16), (_, mesh_64, hm_64) = rows[1], rows[2]
+    assert mesh_64 / mesh_16 > hm_64 / hm_16
+
+
+def test_fft_bisection_traffic(benchmark):
+    def run():
+        per_stage = {}
+        for topo in (Hypercube(6), Hypermesh2D(8)):
+            mapping = map_fft(topo)
+            per_stage[type(topo).__name__] = [
+                traffic_summary(s).crossing_fraction for s in mapping.stage_schedules
+            ]
+        return per_stage
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Per-stage bisector crossing fraction of the executed 64-point FFT",
+        "\n".join(
+            f"{name}: " + " ".join(f"{f:.2f}" for f in fs)
+            for name, fs in fractions.items()
+        ),
+    )
+    for fs in fractions.values():
+        assert fs[0] == 1.0  # "every Butterfly permutation causes transfers
+        assert fs[-1] == 0.0  # over a network bisector" — for the top bits.
+
+
+def test_bitrev_crossing_load(benchmark):
+    def run():
+        from repro.core import bit_reversal_schedule
+
+        out = {}
+        for topo in (Hypercube(6), Hypermesh2D(8), Mesh2D(8)):
+            sched = bit_reversal_schedule(topo)
+            out[type(topo).__name__] = (
+                sched.num_steps,
+                sum(bisection_crossings(sched)),
+            )
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Bit reversal (N = 64): steps and total bisector crossings",
+        "\n".join(
+            f"{name}: steps={steps} crossings={crossings}"
+            for name, (steps, crossings) in data.items()
+        ),
+    )
+    # Every network must push ~half the packets across; only the step
+    # budget differs.
+    for steps, crossings in data.values():
+        assert crossings >= 24

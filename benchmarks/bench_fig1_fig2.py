@@ -1,0 +1,53 @@
+"""E8 — Figures 1 and 2: the 2D hypermesh and its PE-node.
+
+The figures are structural; the benchmark regenerates the ASCII renderings
+and asserts the structural invariants they depict (net membership, net
+count, PE-node port count, absence of the n x n crossbar in the cost model).
+"""
+
+from conftest import emit
+
+from repro.networks import Hypermesh2D
+from repro.viz import render_hypermesh_2d, render_pe_node
+
+
+def test_fig1_hypermesh_rendering(benchmark):
+    art = benchmark(render_hypermesh_2d, 4)
+    emit("Fig. 1: 2D hypermesh (4x4 shown; paper draws the same structure)", art)
+    hm = Hypermesh2D(4)
+    assert hm.num_nets() == 8
+    # Bold lines = nets: every row and every column is one net.
+    nets = hm.nets()
+    assert sorted(nets[hm.row_net(0)]) == [0, 1, 2, 3]
+    assert sorted(nets[hm.col_net(0)]) == [0, 4, 8, 12]
+    assert "row net" in art
+
+
+def test_fig2_pe_node_rendering(benchmark):
+    art = benchmark(render_pe_node, 2)
+    emit("Fig. 2: PE-node of a 2D hypermesh SIMD machine", art)
+    # Section II: the PE-node has one port per dimension and no n x n
+    # crossbar; the cost model therefore charges nets only.
+    hm = Hypermesh2D(8)
+    assert hm.node_degree == 2 + 1  # two net ports + the PE itself
+    assert hm.num_crossbars == hm.num_nets()
+    assert "no n x n crossbar" in art
+
+
+def test_fig1_net_structure_scales(benchmark):
+    def verify(side=16):
+        hm = Hypermesh2D(side)
+        nets = hm.nets()
+        for node in range(hm.num_nodes):
+            row, col = hm.row_col(node)
+            owned = hm.nets_of(node)
+            assert len(owned) == 2
+            members = set(nets[owned[0]]) | set(nets[owned[1]])
+            # Fig 1's point: one hop reaches the full row and column.
+            assert members == {
+                row * side + c for c in range(side)
+            } | {r * side + col for r in range(side)}
+        return hm.num_nets()
+
+    num_nets = benchmark(verify)
+    assert num_nets == 32

@@ -1,0 +1,50 @@
+"""E9 — Figure 3: the Cooley–Tukey FFT data-flow graph.
+
+Regenerates the flow graph (SW-banyan + bit reversal) and asserts the
+structural facts the paper's step counting uses: log N butterfly ranks, one
+cross edge per vertex per rank, the final bit-reversal wiring, and agreement
+between the graph's stage bits and the FFT mapping's exchange schedule.
+"""
+
+from conftest import emit
+
+from repro.core import map_fft
+from repro.fft import butterfly_flow_graph
+from repro.networks import Hypercube
+from repro.viz import render_butterfly_graph
+
+
+def test_fig3_rendering(benchmark):
+    art = benchmark(render_butterfly_graph, 16)
+    emit("Fig. 3: FFT data-flow graph (N = 16)", art)
+    assert "bit-reversal" in art
+
+
+def test_fig3_structure(benchmark):
+    graph = benchmark(butterfly_flow_graph, 64)
+    assert graph.num_stages == 6
+    # Each butterfly rank contributes N straight + N cross edges.
+    for s in range(6):
+        edges = graph.stage_edges(s)
+        assert len(edges) == 2 * 64
+        crosses = [e for e in edges if e.kind == "cross"]
+        bit = graph.cross_bit(s)
+        assert all(e.target == e.source ^ (1 << bit) for e in crosses)
+    # The closing rank is the bit-reversal permutation.
+    assert all(e.kind == "bitrev" for e in graph.stage_edges(6))
+
+
+def test_fig3_drives_the_mapping(benchmark):
+    """The mapped FFT must exchange exactly the graph's cross bits, in
+    order — Fig. 3 is the specification the schedules implement."""
+
+    def check():
+        graph = butterfly_flow_graph(64)
+        mapping = map_fft(Hypercube(6))
+        stage_bits = [
+            int(s.logical[0]).bit_length() - 1 for s in mapping.stage_schedules
+        ]
+        return graph, stage_bits
+
+    graph, stage_bits = benchmark(check)
+    assert stage_bits == [graph.cross_bit(s) for s in range(graph.num_stages)]

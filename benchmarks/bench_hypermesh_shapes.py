@@ -1,0 +1,79 @@
+"""E19 — the paper's hypermesh shape choice, quantified.
+
+Section IV: "A number of choices exist for the hypermesh; a 8^4, 16^3 and
+64^2 hypermesh can all interconnect 4K Processors. Consider a 2D 64^2
+hypermesh..."  This bench runs the full 4K-point FFT on all three shapes
+and shows why the 2D shape was the right call: fewer dimensions mean wider
+normalized links (KL/n) *and* a cheaper bit reversal (3-step
+rearrangeability vs greedy multi-dimension routing).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.fft import parallel_fft
+from repro.hardware import GAAS_1992, link_bandwidth
+from repro.networks import Hypermesh, Hypermesh2D
+from repro.viz import format_table, format_time
+
+
+def test_4k_shape_comparison(benchmark, rng):
+    def run():
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        expected = np.fft.fft(x)
+        rows = []
+        for base, dims in ((8, 4), (16, 3), (64, 2)):
+            hm = Hypermesh2D(64) if dims == 2 else Hypermesh(base, dims)
+            result = parallel_fft(hm, x)
+            assert np.allclose(result.spectrum, expected)
+            bw = link_bandwidth(hm, GAAS_1992)
+            step = GAAS_1992.packet_bits / bw
+            rows.append(
+                (
+                    f"{base}^{dims}",
+                    result.mapping.butterfly_steps,
+                    result.mapping.bitrev_steps,
+                    result.data_transfer_steps,
+                    step,
+                    result.data_transfer_steps * step,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "4K-point FFT on the three 4K hypermesh shapes",
+        format_table(
+            ["shape", "butterfly", "bitrev", "total steps", "per step", "comm time"],
+            [
+                [s, bf, br, tot, format_time(step), format_time(t)]
+                for s, bf, br, tot, step, t in rows
+            ],
+        ),
+    )
+    times = {s: t for s, _, _, _, _, t in rows}
+    # The paper's 64^2 choice wins, and reproduces equation (4) exactly.
+    assert times["64^2"] < times["16^3"] < times["8^4"]
+    assert abs(times["64^2"] - 300e-9) < 1e-12
+
+
+def test_butterfly_steps_shape_invariant(benchmark):
+    """Every power-of-two-base shape runs the butterfly part in exactly
+    log N one-net-step exchanges — only the bit reversal differs."""
+
+    def run():
+        from repro.core import map_fft
+
+        out = {}
+        for base, dims in ((4, 3), (8, 2), (2, 6)):
+            hm = Hypermesh2D(8) if (base, dims) == (8, 2) else Hypermesh(base, dims)
+            mapping = map_fft(hm, include_bit_reversal=False)
+            out[f"{base}^{dims}"] = mapping.butterfly_steps
+        return out
+
+    steps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "64-point FFT butterfly steps across hypermesh shapes",
+        "\n".join(f"{shape}: {s}" for shape, s in steps.items()),
+    )
+    assert set(steps.values()) == {6}

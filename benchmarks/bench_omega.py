@@ -1,0 +1,78 @@
+"""E14 — Section I's multistage-network contrast, made executable.
+
+"The hypermesh can realize all Omega, Omega Inverse, DESCEND and ASCEND
+permutations in one pass and in minimum logical distance."  This bench routes
+the FFT's permutations through a real Omega network and through the 2D
+hypermesh: the butterfly exchanges pass both in one step, but the closing
+bit reversal blocks the Omega network (multiple passes) while the hypermesh
+needs at most 3.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.networks import OmegaNetwork
+from repro.routing import (
+    Permutation,
+    bit_reversal,
+    butterfly_exchange,
+    route_permutation_3step,
+)
+from repro.viz import format_table
+
+
+def test_butterfly_permutations_one_pass(benchmark):
+    def check(n=64):
+        om = OmegaNetwork(n)
+        return [om.is_admissible(butterfly_exchange(n, b)) for b in range(6)]
+
+    results = benchmark(check)
+    emit(
+        "Omega network: FFT butterfly exchanges, one-pass admissibility",
+        "\n".join(f"bit {b}: {'PASS' if ok else 'BLOCK'}" for b, ok in enumerate(results)),
+    )
+    assert all(results)
+
+
+def test_bit_reversal_blocks_omega(benchmark):
+    def check():
+        rows = []
+        for n in (16, 64, 256):
+            om = OmegaNetwork(n)
+            om_passes = om.passes_required(bit_reversal(n))
+            hm_steps = route_permutation_3step(bit_reversal(n)).num_steps
+            rows.append((n, om_passes, hm_steps))
+        return rows
+
+    rows = benchmark(check)
+    emit(
+        "Bit reversal: Omega passes vs hypermesh steps",
+        format_table(["N", "Omega passes", "hypermesh steps"], rows),
+    )
+    for n, om_passes, hm_steps in rows:
+        assert om_passes > 1  # blocks
+        assert hm_steps <= 3  # rearrangeable
+
+
+def test_random_permutations(benchmark):
+    def check(n=64, trials=10):
+        rng = np.random.default_rng(0)
+        om = OmegaNetwork(n)
+        om_passes = []
+        hm_steps = []
+        for _ in range(trials):
+            perm = Permutation.random(n, rng)
+            om_passes.append(om.passes_required(perm))
+            hm_steps.append(route_permutation_3step(perm).num_steps)
+        return om_passes, hm_steps
+
+    om_passes, hm_steps = benchmark(check)
+    emit(
+        "Random permutations (N = 64, 10 trials)",
+        f"Omega passes:    min={min(om_passes)} mean={np.mean(om_passes):.1f} "
+        f"max={max(om_passes)}\n"
+        f"hypermesh steps: min={min(hm_steps)} mean={np.mean(hm_steps):.1f} "
+        f"max={max(hm_steps)}",
+    )
+    assert max(hm_steps) <= 3
+    assert np.mean(om_passes) > 2

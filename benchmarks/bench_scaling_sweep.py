@@ -1,0 +1,64 @@
+"""E11 — the headline asymptotics: hypermesh speedup vs machine size.
+
+Abstract / Section VI: "the 2D hypermesh is faster than the 2D mesh and the
+binary hypercube by factors of O(sqrt(N)/log N) and O(log N) respectively,
+for practical network sizes."  This sweep regenerates the speedup-vs-N series
+(a figure the paper states in prose) and fits the claimed growth shapes.
+"""
+
+import math
+
+import pytest
+from conftest import emit
+
+from repro.models import speedup_sweep
+from repro.viz import ascii_chart, format_table
+
+
+SIZES = [4**k for k in range(2, 11)]  # 16 .. ~1M PEs
+
+
+def test_speedup_sweep(benchmark):
+    rows = benchmark(speedup_sweep, SIZES)
+    emit(
+        "Hypermesh FFT speedup vs machine size",
+        format_table(
+            ["N", "vs 2D mesh", "vs hypercube"],
+            [[n, f"{m:.2f}", f"{h:.2f}"] for n, m, h in rows],
+        )
+        + "\n"
+        + ascii_chart(
+            [float(n) for n, _, _ in rows],
+            {
+                "mesh": [m for _, m, _ in rows],
+                "cube": [h for _, _, h in rows],
+            },
+            log_y=True,
+            title="speedup (log y) across N = 4^k",
+        ),
+    )
+    # Monotone growth, containing the published 4K point.
+    mesh_s = [m for _, m, _ in rows]
+    cube_s = [h for _, _, h in rows]
+    assert mesh_s == sorted(mesh_s)
+    assert cube_s == sorted(cube_s)
+    at_4k = dict((n, (m, h)) for n, m, h in rows)[4096]
+    assert at_4k[0] == pytest.approx(26.6, abs=0.1)
+    assert at_4k[1] == pytest.approx(10.4, abs=0.1)
+
+
+def test_growth_shapes(benchmark):
+    rows = benchmark(speedup_sweep, SIZES)
+    shaped_mesh = [m / (math.sqrt(n) / math.log2(n)) for n, m, _ in rows]
+    shaped_cube = [h / math.log2(n) for n, _, h in rows]
+    emit(
+        "Shape fit: speedup normalized by the claimed asymptotic form",
+        "\n".join(
+            f"N={n:8d}: mesh/(sqrt N/log N)={sm:5.2f}  cube/log N={sc:5.2f}"
+            for (n, _, _), sm, sc in zip(rows, shaped_mesh, shaped_cube)
+        ),
+    )
+    # The normalized series must flatten (bounded constants), confirming
+    # O(sqrt(N)/log N) and O(log N).
+    assert max(shaped_mesh[2:]) / min(shaped_mesh[2:]) < 1.35
+    assert max(shaped_cube[2:]) / min(shaped_cube[2:]) < 1.35

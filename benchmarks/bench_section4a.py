@@ -1,0 +1,54 @@
+"""E5 — Section IV-A: the 4K-PE worked comparison (equations 2-4).
+
+Published figures: mesh 8 us, hypercube 3.12 us, hypermesh 0.3 us;
+hypermesh speedups 26.6x / 10.4x (26.6x / 6.5x without the bit-reversal).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.complexity import NetworkKind
+from repro.models import section4_comparison
+from repro.viz import format_table, format_time
+
+NETWORKS = (NetworkKind.MESH_2D, NetworkKind.HYPERCUBE, NetworkKind.HYPERMESH_2D)
+
+
+def _rows(cmp_):
+    return [
+        [
+            k.value,
+            f"{cmp_.times[k].steps:g}",
+            format_time(cmp_.times[k].step_time),
+            format_time(cmp_.times[k].total),
+        ]
+        for k in NETWORKS
+    ]
+
+
+def test_section4a_with_bitrev(benchmark):
+    cmp_ = benchmark(section4_comparison)
+    emit(
+        "Section IV-A (eqs 2-4): 4K FFT, negligible propagation",
+        format_table(["network", "steps", "per step", "total"], _rows(cmp_))
+        + f"\nspeedups: {cmp_.speedup_vs_mesh:.1f}x vs mesh, "
+        f"{cmp_.speedup_vs_hypercube:.1f}x vs hypercube "
+        "(paper: 26.6x / 10.4x)",
+    )
+    assert cmp_.total(NetworkKind.MESH_2D) == pytest.approx(8e-6)
+    assert cmp_.total(NetworkKind.HYPERCUBE) == pytest.approx(3.12e-6, rel=1e-2)
+    assert cmp_.total(NetworkKind.HYPERMESH_2D) == pytest.approx(0.3e-6)
+    assert cmp_.speedup_vs_mesh == pytest.approx(26.6, abs=0.1)
+    assert cmp_.speedup_vs_hypercube == pytest.approx(10.4, abs=0.1)
+
+
+def test_section4a_without_bitrev(benchmark):
+    cmp_ = benchmark(section4_comparison, include_bitrev=False)
+    emit(
+        "Section IV-A variant: bit-reversal not needed",
+        format_table(["network", "steps", "per step", "total"], _rows(cmp_))
+        + f"\nspeedups: {cmp_.speedup_vs_mesh:.1f}x / "
+        f"{cmp_.speedup_vs_hypercube:.1f}x (paper: 26.6x / 6.5x)",
+    )
+    assert cmp_.speedup_vs_mesh == pytest.approx(26.6, abs=0.1)
+    assert cmp_.speedup_vs_hypercube == pytest.approx(6.5, abs=0.05)

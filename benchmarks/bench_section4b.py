@@ -1,0 +1,60 @@
+"""E6 — Section IV-B: 20 ns propagation delay on the long-line networks.
+
+Published figures: hypermesh speedups drop to 13.3x (mesh) and 6x
+(hypercube); the hypermesh's per-hop time doubles to 40 ns but it still wins.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.complexity import NetworkKind
+from repro.models import section4_comparison
+from repro.viz import format_table, format_time
+
+
+def test_section4b_with_propagation(benchmark):
+    cmp_ = benchmark(section4_comparison, propagation_delay=20e-9)
+    rows = [
+        [
+            k.value,
+            f"{cmp_.times[k].steps:g}",
+            format_time(cmp_.times[k].step_time),
+            format_time(cmp_.times[k].total),
+        ]
+        for k in (NetworkKind.MESH_2D, NetworkKind.HYPERCUBE, NetworkKind.HYPERMESH_2D)
+    ]
+    emit(
+        "Section IV-B: 20 ns propagation on hypercube & hypermesh",
+        format_table(["network", "steps", "per step", "total"], rows)
+        + f"\nspeedups: {cmp_.speedup_vs_mesh:.1f}x / "
+        f"{cmp_.speedup_vs_hypercube:.1f}x (paper: 13.3x / 6x)",
+    )
+    assert cmp_.speedup_vs_mesh == pytest.approx(13.3, abs=0.05)
+    assert cmp_.speedup_vs_hypercube == pytest.approx(6.0, abs=0.05)
+    # The mesh is unchanged: nearest-neighbour lines ride free.
+    assert cmp_.total(NetworkKind.MESH_2D) == pytest.approx(8e-6)
+
+
+def test_propagation_delay_sensitivity(benchmark):
+    """Sweep the line delay 0-100 ns: the hypermesh keeps winning."""
+
+    def sweep():
+        return [
+            (d, section4_comparison(propagation_delay=d * 1e-9))
+            for d in (0, 10, 20, 50, 100)
+        ]
+
+    data = benchmark(sweep)
+    emit(
+        "Propagation-delay sweep (ns -> speedups vs mesh / vs hypercube)",
+        "\n".join(
+            f"{d:4d} ns: {c.speedup_vs_mesh:6.2f}x  {c.speedup_vs_hypercube:5.2f}x"
+            for d, c in data
+        ),
+    )
+    for _, c in data:
+        assert c.speedup_vs_mesh > 1
+        assert c.speedup_vs_hypercube > 1
+    # Speedup vs mesh decays monotonically with line delay.
+    speeds = [c.speedup_vs_mesh for _, c in data]
+    assert speeds == sorted(speeds, reverse=True)

@@ -1,0 +1,85 @@
+"""E7 — Section V: bisection bandwidth.
+
+Published: mesh sqrt(N)*KL/5, hypercube (N/2)*KL/log N, hypermesh N*KL/2;
+ratios O(sqrt N) and O(log N).  The formulas are also recomputed by counting
+crossing channels on concrete instances.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.complexity import NetworkKind
+from repro.hardware import GAAS_1992
+from repro.models import (
+    bisection_bandwidth_formula,
+    bisection_ratios,
+    computed_bisection_bandwidth,
+)
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.viz import format_bandwidth, format_table
+
+KL = GAAS_1992.aggregate_crossbar_bandwidth
+
+
+def test_section5_formulas(benchmark):
+    def compute():
+        return {
+            k: bisection_bandwidth_formula(k, 4096, GAAS_1992, paper_convention=True)
+            for k in (
+                NetworkKind.MESH_2D,
+                NetworkKind.HYPERCUBE,
+                NetworkKind.HYPERMESH_2D,
+            )
+        }
+
+    results = benchmark(compute)
+    rows = [
+        [k.value, f"{bb.channels:g}", format_bandwidth(bb.per_channel), format_bandwidth(bb.total)]
+        for k, bb in results.items()
+    ]
+    r_mesh, r_hc = bisection_ratios(4096, GAAS_1992)
+    emit(
+        "Section V: bisection bandwidth (paper convention, N = 4096)",
+        format_table(["network", "channels", "per channel", "total"], rows)
+        + f"\nratios: hypermesh/mesh = {r_mesh:g} (2.5 sqrt N), "
+        f"hypermesh/hypercube = {r_hc:g} (log N)",
+    )
+    assert results[NetworkKind.MESH_2D].total == pytest.approx(64 * KL / 5)
+    assert results[NetworkKind.HYPERCUBE].total == pytest.approx(2048 * KL / 12)
+    assert results[NetworkKind.HYPERMESH_2D].total == pytest.approx(4096 * KL / 2)
+
+
+def test_section5_computed_on_instances(benchmark):
+    def compute():
+        return {
+            "2D mesh": computed_bisection_bandwidth(Mesh2D(8), GAAS_1992),
+            "hypercube": computed_bisection_bandwidth(Hypercube(6), GAAS_1992),
+            "2D hypermesh": computed_bisection_bandwidth(Hypermesh2D(8), GAAS_1992),
+        }
+
+    results = benchmark(compute)
+    emit(
+        "Section V cross-check: crossing-channel count on 64-PE instances",
+        "\n".join(f"{k}: {format_bandwidth(v)}" for k, v in results.items()),
+    )
+    assert results["2D hypermesh"] > results["hypercube"] > results["2D mesh"]
+
+
+def test_section5_ratio_scaling(benchmark):
+    import math
+
+    def sweep():
+        return [(4**k, bisection_ratios(4**k, GAAS_1992)) for k in range(2, 9)]
+
+    data = benchmark(sweep)
+    emit(
+        "Section V ratios vs N",
+        "\n".join(
+            f"N={n:6d}: vs mesh {rm:9.1f} (2.5 sqrt N = {2.5 * math.sqrt(n):9.1f}), "
+            f"vs cube {rh:5.1f} (log N = {math.log2(n):4.1f})"
+            for n, (rm, rh) in data
+        ),
+    )
+    for n, (rm, rh) in data:
+        assert rm == pytest.approx(2.5 * math.sqrt(n))
+        assert rh == pytest.approx(math.log2(n))

@@ -1,0 +1,97 @@
+"""E13 — simulator-versus-model cross-validation.
+
+Runs the *numerical* parallel FFT (data moved, twiddles applied, result
+checked against numpy) on every network across sizes, and confirms that the
+executed data-transfer step counts match the Table 2A closed forms.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core.complexity import NetworkKind
+from repro.fft import parallel_fft
+from repro.models import StepConvention, fft_steps
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.viz import format_table
+
+
+def _run(topo, rng):
+    x = rng.normal(size=topo.num_nodes) + 1j * rng.normal(size=topo.num_nodes)
+    result = parallel_fft(topo, x)
+    assert np.allclose(result.spectrum, np.fft.fft(x))
+    return result.data_transfer_steps
+
+
+def test_hypercube_sim_equals_model(benchmark, rng):
+    def run():
+        return {
+            1 << d: _run(Hypercube(d), rng) for d in (2, 4, 6, 8, 10)
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    model = {
+        n: fft_steps(NetworkKind.HYPERCUBE, n, convention=StepConvention.CONSTRUCTIVE)
+        for n in measured
+    }
+    emit(
+        "Hypercube: executed FFT steps vs model",
+        format_table(
+            ["N", "measured", "model"],
+            [[n, measured[n], f"{model[n]:g}"] for n in measured],
+        ),
+    )
+    assert all(measured[n] == model[n] for n in measured)
+
+
+def test_hypermesh_sim_within_model_bound(benchmark, rng):
+    def run():
+        return {s * s: _run(Hypermesh2D(s), rng) for s in (2, 4, 8, 16, 32)}
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = {n: fft_steps(NetworkKind.HYPERMESH_2D, n) for n in measured}
+    emit(
+        "Hypermesh: executed FFT steps vs <= log N + 3 bound",
+        format_table(
+            ["N", "measured", "bound"],
+            [[n, measured[n], f"{bound[n]:g}"] for n in measured],
+        ),
+    )
+    assert all(measured[n] <= bound[n] for n in measured)
+    # At practical sizes the bound is tight.
+    assert measured[1024] == 13
+
+
+def test_mesh_sim_meets_lower_bounds(benchmark, rng):
+    def run():
+        return {s * s: _run(Mesh2D(s), rng) for s in (2, 4, 8, 16)}
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Mesh: executed FFT steps vs >= 2(sqrt N - 1) + bit-reversal bound",
+        format_table(
+            ["N", "measured", "butterfly bound", "no-wrap bitrev bound"],
+            [
+                [n, measured[n], 2 * (int(n**0.5) - 1), 2 * (int(n**0.5) - 1)]
+                for n in measured
+            ],
+        ),
+    )
+    for n, steps in measured.items():
+        side = int(round(n**0.5))
+        assert steps >= 4 * (side - 1)
+
+
+def test_fft_numerics_4096_hypermesh(benchmark, rng):
+    """The paper's headline machine: 4K-point FFT on the 64x64 hypermesh,
+    executed with real data and validated schedules."""
+
+    def run():
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        result = parallel_fft(Hypermesh2D(64), x, validate=True)
+        assert np.allclose(result.spectrum, np.fft.fft(x))
+        return result.data_transfer_steps
+
+    steps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("4K-point FFT on the 64x64 hypermesh", f"data-transfer steps = {steps}")
+    assert steps == 15  # log N + 3, exactly equation (4)'s step count

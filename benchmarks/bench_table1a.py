@@ -1,0 +1,52 @@
+"""E1 — Table 1A: hardware complexity before normalization.
+
+Regenerates the (# crossbars, degree, diameter) rows for the 2D mesh, 2D
+hypermesh, binary hypercube and degree-log hypermesh, and cross-checks each
+closed-form diameter against BFS on a smaller instance.
+"""
+
+from conftest import emit
+
+from repro.models import table_1a
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.networks.properties import computed_diameter
+from repro.viz import format_rows
+
+COLUMNS = [
+    "network",
+    "crossbars",
+    "crossbars_formula",
+    "degree",
+    "degree_formula",
+    "diameter",
+    "diameter_formula",
+]
+
+
+def test_table_1a_rows(benchmark):
+    rows = benchmark(table_1a, 4096)
+    emit("Table 1A (N = 4096)", format_rows(rows, COLUMNS))
+    by_net = {r["network"]: r for r in rows}
+    assert by_net["2D mesh"] == dict(
+        by_net["2D mesh"], crossbars=4096, degree=4, diameter=126
+    )
+    assert by_net["2D hypermesh"]["crossbars"] == 128
+    assert by_net["2D hypermesh"]["diameter"] == 2
+    assert by_net["hypercube"]["degree"] == 12
+    assert by_net["hypercube"]["diameter"] == 12
+
+
+def test_diameters_against_bfs(benchmark):
+    def verify():
+        results = {}
+        for topo in (Mesh2D(8), Hypercube(6), Hypermesh2D(8)):
+            results[type(topo).__name__] = (topo.diameter, computed_diameter(topo))
+        return results
+
+    results = benchmark(verify)
+    emit(
+        "Table 1A cross-check: closed form vs BFS (64-PE instances)",
+        "\n".join(f"{k}: formula={a} bfs={b}" for k, (a, b) in results.items()),
+    )
+    for formula, bfs in results.values():
+        assert formula == bfs

@@ -1,0 +1,53 @@
+"""E2 — Table 1B: link bandwidth, diameter and D/BW after normalization."""
+
+import pytest
+from conftest import emit
+
+from repro.hardware import GAAS_1992
+from repro.models import table_1b
+from repro.viz import format_bandwidth, format_rows
+
+
+def test_table_1b_rows(benchmark):
+    rows = benchmark(table_1b, 4096, GAAS_1992)
+    printable = [dict(r, link_bw=format_bandwidth(r["link_bw"])) for r in rows]
+    emit(
+        "Table 1B (N = 4096, K = 64, L = 200 Mbit/s)",
+        format_rows(
+            printable,
+            ["network", "link_bw", "link_bw_formula", "diameter", "d_over_bw"],
+        ),
+    )
+    by_net = {r["network"]: r for r in rows}
+    assert by_net["2D mesh"]["link_bw"] == pytest.approx(2.56e9)
+    assert by_net["2D hypermesh"]["link_bw"] == pytest.approx(6.4e9)
+    assert by_net["hypercube"]["link_bw"] == pytest.approx(0.985e9, rel=1e-3)
+    # Diameter-over-bandwidth ordering: hypermesh lowest, mesh highest.
+    d_over_bw = {
+        name: row["diameter"] / row["link_bw"] for name, row in by_net.items()
+    }
+    assert (
+        d_over_bw["2D hypermesh"] < d_over_bw["hypercube"] < d_over_bw["2D mesh"]
+    )
+
+
+def test_kl_normalization_scaling(benchmark):
+    """Equation (1): hypermesh link bandwidth is KL/2 at every square size."""
+    from repro.hardware import link_bandwidth
+    from repro.networks import Hypermesh2D
+
+    def sweep():
+        return {
+            side: link_bandwidth(Hypermesh2D(side), GAAS_1992)
+            for side in (4, 8, 16, 32, 64)
+        }
+
+    results = benchmark(sweep)
+    emit(
+        "Equation (1) check: hypermesh link bandwidth = KL/2 at every size",
+        "\n".join(
+            f"side={s:3d}: {format_bandwidth(bw)}" for s, bw in results.items()
+        ),
+    )
+    expected = GAAS_1992.aggregate_crossbar_bandwidth / 2
+    assert all(bw == pytest.approx(expected) for bw in results.values())

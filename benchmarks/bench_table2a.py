@@ -1,0 +1,78 @@
+"""E3 — Table 2A: FFT step counts, analytical AND measured.
+
+The analytical rows come from the closed forms; the measured rows come from
+*executing* the FFT communication schedules through the hardware validator at
+the paper's full 4K scale.
+"""
+
+from conftest import emit
+
+from repro.core import map_fft
+from repro.models import table_2a
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.viz import format_rows, format_table
+
+
+def test_table_2a_analytical(benchmark):
+    rows = benchmark(table_2a, 4096)
+    emit(
+        "Table 2A, analytical (N = 4096)",
+        format_rows(
+            rows,
+            ["network", "bitrev_steps", "bitrev_formula", "dt_steps", "total_steps"],
+        ),
+    )
+    by_net = {r["network"]: r for r in rows}
+    assert by_net["hypercube"]["total_steps"] == 24
+    assert by_net["2D hypermesh"]["total_steps"] == 15
+
+
+def test_table_2a_measured_hypermesh(benchmark):
+    mapping = benchmark(map_fft, Hypermesh2D(64))
+    mapping.validate()
+    emit(
+        "Table 2A, measured on the 64x64 hypermesh",
+        f"butterfly={mapping.butterfly_steps} bitrev={mapping.bitrev_steps} "
+        f"total={mapping.total_steps} (paper bound: <= log N + 3 = 15)",
+    )
+    assert mapping.total_steps <= 15
+
+
+def test_table_2a_measured_hypercube(benchmark):
+    mapping = benchmark(map_fft, Hypercube(12))
+    mapping.validate()
+    emit(
+        "Table 2A, measured on the 4096-node hypercube",
+        f"butterfly={mapping.butterfly_steps} bitrev={mapping.bitrev_steps} "
+        f"total={mapping.total_steps} (paper: 2 log N = 24)",
+    )
+    assert mapping.total_steps == 24
+
+
+def test_table_2a_measured_mesh(benchmark):
+    mapping = benchmark.pedantic(map_fft, args=(Mesh2D(64),), rounds=2, iterations=1)
+    emit(
+        "Table 2A, measured on the 64x64 mesh (greedy XY bit-reversal)",
+        f"butterfly={mapping.butterfly_steps} bitrev={mapping.bitrev_steps} "
+        f"total={mapping.total_steps} (paper bounds: butterfly 2(sqrt N - 1) "
+        f"= 126, bitrev >= 126 without wrap-around)",
+    )
+    assert mapping.butterfly_steps == 126
+    assert mapping.bitrev_steps >= 126
+
+
+def test_table_2a_side_by_side(benchmark):
+    def collect():
+        return [
+            ("2D mesh", map_fft(Mesh2D(16)).total_steps),
+            ("hypercube", map_fft(Hypercube(8)).total_steps),
+            ("2D hypermesh", map_fft(Hypermesh2D(16)).total_steps),
+        ]
+
+    rows = benchmark(collect)
+    emit(
+        "Measured totals at N = 256",
+        format_table(["network", "measured total steps"], rows),
+    )
+    measured = dict(rows)
+    assert measured["2D hypermesh"] < measured["hypercube"] < measured["2D mesh"]

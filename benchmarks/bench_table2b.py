@@ -1,0 +1,58 @@
+"""E4 — Table 2B: FFT execution time after normalization."""
+
+import pytest
+from conftest import emit
+
+from repro.hardware import GAAS_1992
+from repro.models import table_2b
+from repro.viz import format_rows, format_time
+
+
+def test_table_2b_rows(benchmark):
+    rows = benchmark(table_2b, 4096, GAAS_1992)
+    printable = [
+        dict(r, step_time=format_time(r["step_time"]), comm_time=format_time(r["comm_time"]))
+        for r in rows
+    ]
+    emit(
+        "Table 2B (N = 4096)",
+        format_rows(
+            printable,
+            ["network", "dt_steps", "steps_formula", "step_time", "comm_time", "time_formula"],
+        ),
+    )
+    by_net = {r["network"]: r for r in rows}
+    assert by_net["2D mesh"]["comm_time"] == pytest.approx(8e-6)
+    assert by_net["hypercube"]["comm_time"] == pytest.approx(3.12e-6, rel=1e-2)
+    assert by_net["2D hypermesh"]["comm_time"] == pytest.approx(0.3e-6)
+
+
+def test_table_2b_scales(benchmark):
+    """T_comm asymptotics: O(sqrt N), O(log^2 N), O(log N) over KL."""
+    import math
+
+    def sweep():
+        out = []
+        for k in range(2, 7):
+            n = 4**k
+            rows = {r["network"]: r["comm_time"] for r in table_2b(n, GAAS_1992)}
+            out.append((n, rows))
+        return out
+
+    data = benchmark(sweep)
+    emit(
+        "Table 2B sweep: comm time vs N",
+        "\n".join(
+            f"N={n:6d}: mesh={format_time(r['2D mesh'])} "
+            f"cube={format_time(r['hypercube'])} "
+            f"hm={format_time(r['2D hypermesh'])}"
+            for n, r in data
+        ),
+    )
+    # Shape check: normalized against the asymptotic form, the series must
+    # stay within a small constant band.
+    mesh_shape = [r["2D mesh"] / math.sqrt(n) for n, r in data]
+    hm_shape = [r["2D hypermesh"] / math.log2(n) for n, r in data]
+    cube_shape = [r["hypercube"] / math.log2(n) ** 2 for n, r in data]
+    for series in (mesh_shape, hm_shape, cube_shape):
+        assert max(series) / min(series) < 2.0

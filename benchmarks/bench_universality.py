@@ -1,0 +1,75 @@
+"""E16 — the Section I motivation: universality slowdowns.
+
+Valiant: the hypercube simulates any bounded-degree network with O(log N)
+slowdown.  [13]: the degree-log hypermesh does it in O(log N / loglog N) —
+"faster than the hypercubes by a factor of O(loglog N)".  This bench charts
+the closed forms and backs the trend with measured random-permutation
+routing, plus the wormhole aside of Section III-E.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.hardware import GAAS_1992, link_bandwidth
+from repro.models import (
+    dense_exchange_time,
+    empirical_random_routing_steps,
+    lone_packet_time,
+    slowdown_table,
+)
+from repro.networks import Mesh2D
+from repro.viz import format_table
+
+
+def test_slowdown_table(benchmark):
+    rows = benchmark(slowdown_table, [2**k for k in (6, 8, 10, 12, 16, 20)])
+    emit(
+        "Universal-simulation slowdowns (unit constants)",
+        format_table(
+            ["N", "hypercube O(log N)", "hypermesh O(log/loglog)", "advantage"],
+            [
+                [r.num_pes, f"{r.hypercube:.1f}", f"{r.hypermesh:.2f}", f"{r.advantage:.2f}"]
+                for r in rows
+            ],
+        ),
+    )
+    advantages = [r.advantage for r in rows]
+    assert advantages == sorted(advantages)  # O(loglog N) growth
+
+
+def test_empirical_random_routing(benchmark):
+    results = benchmark.pedantic(
+        empirical_random_routing_steps, args=(256,), kwargs={"trials": 5}, rounds=1
+    )
+    emit(
+        "Measured: random permutations on 256-PE networks (5 trials)",
+        f"hypercube ({int(results['hypercube_dims'])} dims): "
+        f"{results['hypercube_mean_steps']:.1f} steps mean\n"
+        f"degree-log hypermesh ({int(results['hypermesh_dims'])} dims): "
+        f"{results['hypermesh_mean_steps']:.1f} steps mean",
+    )
+    assert results["hypermesh_mean_steps"] < results["hypercube_mean_steps"]
+
+
+def test_wormhole_aside(benchmark):
+    """Section III-E: wormhole helps a lone packet, not the FFT's dense
+    exchanges."""
+    bw = link_bandwidth(Mesh2D(64), GAAS_1992)
+
+    def compute():
+        return (
+            lone_packet_time(32, bw, GAAS_1992),
+            dense_exchange_time(32, bw, GAAS_1992),
+        )
+
+    lone, dense = benchmark(compute)
+    emit(
+        "Wormhole vs store-and-forward on a 32-hop mesh path",
+        f"lone packet:    SF {lone.store_and_forward * 1e9:7.1f} ns   "
+        f"WH {lone.wormhole * 1e9:7.1f} ns   (speedup {lone.wormhole_speedup:.1f}x)\n"
+        f"dense exchange: SF {dense.store_and_forward * 1e9:7.1f} ns   "
+        f"WH {dense.wormhole * 1e9:7.1f} ns   (speedup {dense.wormhole_speedup:.2f}x)",
+    )
+    assert lone.wormhole_speedup > 5
+    assert dense.wormhole_speedup <= 1.0
+    assert dense.store_and_forward == pytest.approx(32 * 50e-9)

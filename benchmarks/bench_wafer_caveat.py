@@ -1,0 +1,54 @@
+"""E21 — the wafer-scale caveat, made computable.
+
+Abstract: "these conclusions may not hold when the network is implemented
+entirely on a single wafer".  This bench prices the same FFT step counts
+under Dally's wafer assumptions (equal bisection wiring, wire-length
+propagation) and shows the verdict flipping — then dials the assumptions
+back to the discrete-component regime and recovers the paper's 10.7x
+step-ratio win.
+"""
+
+from conftest import emit
+
+from repro.models.wafer import crossover_size, wafer_fft_comparison
+from repro.viz import format_table
+
+
+def test_wafer_regime_flips_the_verdict(benchmark):
+    def run():
+        return [
+            (4**k, wafer_fft_comparison(4**k).hypermesh_speedup)
+            for k in range(2, 9)
+        ]
+
+    rows = benchmark(run)
+    emit(
+        "Wafer model (equal bisection wiring, wire-length propagation)",
+        format_table(
+            ["N", "hypermesh speedup"],
+            [[n, f"{s:.2f}"] for n, s in rows],
+        )
+        + f"\ncrossover size: {crossover_size()} (mesh wins from the start)",
+    )
+    assert all(s < 1.0 for _, s in rows)
+
+
+def test_discrete_regime_recovers_the_paper(benchmark):
+    def run():
+        free = wafer_fft_comparison(
+            4096, propagation_per_unit=0.0, equal_bisection_wiring=False
+        )
+        mild = wafer_fft_comparison(
+            4096, propagation_per_unit=0.01, equal_bisection_wiring=False
+        )
+        return free.hypermesh_speedup, mild.hypermesh_speedup
+
+    free, mild = benchmark(run)
+    emit(
+        "Same model, discrete-component assumptions (N = 4096)",
+        f"full-width wires, no propagation: {free:.2f}x "
+        f"(= the 160/15 step ratio)\n"
+        f"with mild (1%/unit) line delay:   {mild:.2f}x",
+    )
+    assert free > 10
+    assert 1 < mild < free

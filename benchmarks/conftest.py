@@ -1,0 +1,27 @@
+"""Benchmark-harness configuration.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` shows the regenerated rows next to the timings; every benchmark
+also asserts the reproduced values so the harness doubles as a check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2026)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated artifact under a clear banner."""
+    print()
+    print(f"---- {title} ----")
+    print(body)

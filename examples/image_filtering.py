@@ -1,0 +1,81 @@
+"""2D FFT image filtering on the parallel machines.
+
+A 16x16 "image" (a smooth scene plus high-frequency speckle), one pixel per
+PE, is transformed with the row-column parallel 2D FFT, low-pass filtered in
+the frequency plane, and transformed back — the classic matrix-algorithm
+workload of Section I.  On the hypermesh the whole 2D transform costs
+``log N + 8`` data-transfer steps: the row stages ride the row nets and the
+two transposes ride the 3-step rearrangeability.
+
+    python examples/image_filtering.py
+"""
+
+import numpy as np
+
+from repro import GAAS_1992, Hypercube, Hypermesh2D, Mesh2D
+from repro.fft import parallel_fft_2d
+from repro.hardware import step_time
+from repro.viz import format_table, format_time
+
+
+def make_image(side: int, rng: np.random.Generator):
+    r, c = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    scene = np.sin(2 * np.pi * r / side) + np.cos(2 * np.pi * 2 * c / side)
+    speckle = 0.8 * rng.normal(size=(side, side))
+    return scene, scene + speckle
+
+
+def lowpass_2d(topo, image: np.ndarray, keep: int):
+    side = image.shape[0]
+    forward = parallel_fft_2d(topo, image)
+    spectrum = forward.spectrum.copy()
+    # Keep only the lowest `keep` frequencies in each axis (with symmetry).
+    mask = np.zeros((side, side), dtype=bool)
+    idx = np.r_[0 : keep + 1, side - keep : side]
+    mask[np.ix_(idx, idx)] = True
+    spectrum[~mask] = 0.0
+    backward = parallel_fft_2d(topo, np.conj(spectrum))
+    filtered = np.conj(backward.spectrum) / (side * side)
+    steps = forward.data_transfer_steps + backward.data_transfer_steps
+    return filtered.real, steps
+
+
+def main() -> None:
+    side = 16
+    rng = np.random.default_rng(5)
+    scene, noisy = make_image(side, rng)
+
+    print(f"Low-pass filtering a {side}x{side} image (keep 3 bins per axis)\n")
+    rows = []
+    reference = None
+    for topo in (Mesh2D(side), Hypercube(8), Hypermesh2D(side)):
+        filtered, steps = lowpass_2d(topo, noisy, keep=3)
+        if reference is None:
+            reference = filtered
+        else:
+            assert np.allclose(filtered, reference)
+        err_before = float(np.sqrt(np.mean((noisy - scene) ** 2)))
+        err_after = float(np.sqrt(np.mean((filtered - scene) ** 2)))
+        per_step = step_time(topo, GAAS_1992)
+        rows.append(
+            [
+                type(topo).__name__,
+                f"{err_before:.3f} -> {err_after:.3f}",
+                steps,
+                format_time(steps * per_step),
+            ]
+        )
+    print(
+        format_table(
+            ["network", "RMS error (before -> after)", "transfer steps", "comm time"],
+            rows,
+        )
+    )
+    print(
+        "\nBoth 2D transforms ride the hypermesh's row nets and 3-step "
+        "transposes: log N + 8 steps per transform."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Matched filtering (radar-style pulse detection) on the parallel machine.
+
+A noisy received trace hides two echoes of a known chirp pulse.  The
+matched filter — circular cross-correlation with the template, computed as
+three mapped parallel FFTs — finds both, and the word-level step bill shows
+what the detection costs on each interconnect.
+
+    python examples/matched_filter.py
+"""
+
+import numpy as np
+
+from repro import GAAS_1992, Hypercube, Hypermesh2D, Mesh2D
+from repro.fft import parallel_correlate
+from repro.hardware import step_time
+from repro.viz import format_table, format_time
+
+
+def chirp(length: int) -> np.ndarray:
+    t = np.arange(length)
+    return np.sin(2 * np.pi * (0.05 + 0.002 * t) * t)
+
+
+def main() -> None:
+    n = 256
+    rng = np.random.default_rng(21)
+
+    pulse = np.zeros(n)
+    pulse[:32] = chirp(32)
+
+    received = 0.35 * rng.normal(size=n)
+    echo_positions = (40, 170)
+    for pos, gain in zip(echo_positions, (1.0, 0.6)):
+        received += gain * np.roll(pulse, pos)
+
+    print(f"Matched filter over {n} samples; true echoes at {echo_positions}\n")
+    rows = []
+    detected = None
+    for topo in (Mesh2D(16), Hypercube(8), Hypermesh2D(16)):
+        result = parallel_correlate(topo, received, pulse)
+        score = result.values.real
+        # Two strongest, well-separated peaks.
+        order = np.argsort(score)[::-1]
+        peaks = []
+        for idx in order:
+            if all(abs(int(idx) - p) > 8 for p in peaks):
+                peaks.append(int(idx))
+            if len(peaks) == 2:
+                break
+        if detected is None:
+            detected = sorted(peaks)
+        else:
+            assert sorted(peaks) == detected
+        per_step = step_time(topo, GAAS_1992)
+        rows.append(
+            [
+                type(topo).__name__,
+                result.data_transfer_steps,
+                format_time(result.data_transfer_steps * per_step),
+            ]
+        )
+
+    print(format_table(["network", "transfer steps (3 FFTs)", "comm time"], rows))
+    print(f"\ndetected echoes at {detected} (true: {sorted(echo_positions)})")
+    assert detected == sorted(echo_positions), "detection failed!"
+    print("both echoes recovered identically on every network")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""A machine architect's design study — the paper's Section IV as a tool.
+
+Given a crossbar technology (ports, pin bandwidth) and a target FFT size,
+sweep the three network choices across machine sizes and report which
+interconnect delivers the best communication time, with and without long-line
+propagation delays.  This regenerates the paper's engineering conclusion:
+"the hypermesh is the preferred interconnection scheme in discrete component
+constructions of parallel supercomputers."
+
+    python examples/network_design_study.py
+"""
+
+from repro.core.complexity import NetworkKind
+from repro.hardware import Technology
+from repro.models import section4_comparison
+from repro.viz import format_table, format_time
+
+NETWORKS = (NetworkKind.MESH_2D, NetworkKind.HYPERCUBE, NetworkKind.HYPERMESH_2D)
+
+
+def study(technology: Technology, propagation_delay: float) -> list[list[str]]:
+    rows = []
+    for k in (3, 4, 5, 6):
+        n = 4**k
+        cmp_ = section4_comparison(
+            n, technology, propagation_delay=propagation_delay
+        )
+        times = {net: cmp_.times[net].total for net in NETWORKS}
+        winner = min(times, key=times.get)  # type: ignore[arg-type]
+        rows.append(
+            [
+                n,
+                *(format_time(times[net]) for net in NETWORKS),
+                winner.value,
+                f"{cmp_.speedup_vs_mesh:.1f}x / {cmp_.speedup_vs_hypercube:.1f}x",
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    gaas = Technology()  # the paper's 64x64, 200 Mbit/s GaAs part
+    header = [
+        "N (PEs)",
+        "2D mesh",
+        "hypercube",
+        "2D hypermesh",
+        "winner",
+        "hm speedup (mesh/cube)",
+    ]
+
+    print("FFT communication time by interconnect, GaAs crossbars, no line delay\n")
+    print(format_table(header, study(gaas, 0.0)))
+
+    print("\nSame study with 20 ns of transmission line on the long-wire networks\n")
+    print(format_table(header, study(gaas, 20e-9)))
+
+    print(
+        "\nConclusion (matches Section VI): at every practical size the 2D "
+        "hypermesh wins, by a margin that grows as O(sqrt(N)/log N) over the "
+        "mesh and O(log N) over the hypercube; long lines shrink but do not "
+        "erase the gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Inside the hypermesh's 3-step rearrangeability (property [6] of [12]).
+
+Takes the FFT's bit-reversal permutation (and a random permutation) on an
+8x8 hypermesh and shows the Slepian–Duguid decomposition at work: the demand
+multigraph between source rows and destination rows is edge-colored with
+sqrt(N) colors, each color becomes an intermediate column, and the result is
+three conflict-free net phases — replayed here through the hardware
+validator.  For contrast, the same permutations are routed on the 2D mesh
+with greedy XY routing and the step counts compared.
+
+    python examples/permutation_routing_demo.py
+"""
+
+import numpy as np
+
+from repro import Hypermesh2D, Mesh2D, Permutation, bit_reversal, route_permutation_3step
+from repro.routing import is_col_internal, is_row_internal
+from repro.sim import route_permutation
+from repro.sim.schedule import schedule_from_phases
+from repro.viz import format_table
+
+
+def describe_phase(phase: Permutation, side: int) -> str:
+    kinds = []
+    if is_row_internal(phase, side):
+        kinds.append("row-internal")
+    if is_col_internal(phase, side):
+        kinds.append("column-internal")
+    moved = phase.n - phase.fixed_points().size
+    return f"{' & '.join(kinds)}, {moved}/{phase.n} packets move"
+
+
+def main() -> None:
+    side = 8
+    n = side * side
+    hm = Hypermesh2D(side)
+    mesh = Mesh2D(side)
+    rng = np.random.default_rng(3)
+
+    cases = {
+        "bit-reversal (FFT closing permutation)": bit_reversal(n),
+        "uniform random permutation": Permutation.random(n, rng),
+    }
+
+    rows = []
+    for name, perm in cases.items():
+        route = route_permutation_3step(perm, hm)
+        print(f"== {name} on the {side}x{side} hypermesh ==")
+        for i, phase in enumerate(route.phases, start=1):
+            print(f"  phase {i}: {describe_phase(phase, side)}")
+        # Replay through the hardware validator: every net carries at most
+        # one permutation per step.
+        sched = schedule_from_phases(hm, route.phases)
+        sched.validate()
+        assert route.composed() == perm
+        print(f"  -> {route.num_steps} data-transfer steps, hardware-validated\n")
+
+        mesh_steps = route_permutation(mesh, perm).stats.steps
+        rows.append([name, route.num_steps, mesh_steps])
+
+    print(
+        format_table(
+            ["permutation", "hypermesh steps (<= 3)", "2D mesh steps (greedy XY)"],
+            rows,
+        )
+    )
+    print(
+        "\nAny permutation costs the hypermesh at most 3 steps; the mesh pays "
+        "O(sqrt N). This single property is worth log N - 3 steps to the FFT."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Spectral filtering on a simulated SIMD machine.
+
+The workload the paper's introduction motivates: signal processing on a
+parallel supercomputer.  A noisy multi-tone signal is distributed one sample
+per PE, transformed with the mapped parallel FFT, low-pass filtered in the
+frequency domain, and transformed back — all data movement passing through
+the word-level network simulator.  The same pipeline is priced on all three
+networks.
+
+    python examples/spectral_filtering.py
+"""
+
+import numpy as np
+
+from repro import GAAS_1992, Hypercube, Hypermesh2D, Mesh2D, parallel_fft
+from repro.hardware import step_time
+from repro.viz import format_table, format_time
+
+
+def noisy_signal(n: int, rng: np.random.Generator) -> np.ndarray:
+    t = np.arange(n)
+    clean = 1.5 * np.sin(2 * np.pi * 3 * t / n) + 0.8 * np.sin(2 * np.pi * 7 * t / n)
+    noise = 0.6 * rng.normal(size=n)
+    return clean, clean + noise
+
+
+def lowpass_on_machine(topo, samples: np.ndarray, cutoff: int):
+    """Forward FFT -> brick-wall low-pass -> inverse FFT, on one machine.
+
+    The inverse transform reuses the forward machine via conjugation, so
+    both directions pay the mapped communication cost.
+    """
+    n = samples.size
+    forward = parallel_fft(topo, samples)
+    spectrum = forward.spectrum.copy()
+    # Zero all bins above the cutoff (keeping conjugate symmetry).
+    spectrum[cutoff + 1 : n - cutoff] = 0.0
+    backward = parallel_fft(topo, np.conj(spectrum))
+    filtered = np.conj(backward.spectrum) / n
+    steps = forward.data_transfer_steps + backward.data_transfer_steps
+    return filtered.real, steps
+
+
+def main() -> None:
+    side = 16
+    n = side * side
+    rng = np.random.default_rng(7)
+    clean, noisy = noisy_signal(n, rng)
+
+    print(f"Low-pass filtering a noisy {n}-sample signal (cutoff bin 10)\n")
+    rows = []
+    reference = None
+    for topo in (Mesh2D(side), Hypercube(n.bit_length() - 1), Hypermesh2D(side)):
+        filtered, steps = lowpass_on_machine(topo, noisy, cutoff=10)
+        if reference is None:
+            reference = filtered
+        else:
+            assert np.allclose(filtered, reference), "networks disagree!"
+        noise_before = float(np.sqrt(np.mean((noisy - clean) ** 2)))
+        noise_after = float(np.sqrt(np.mean((filtered - clean) ** 2)))
+        per_step = step_time(topo, GAAS_1992)
+        rows.append(
+            [
+                type(topo).__name__,
+                f"{noise_before:.3f} -> {noise_after:.3f}",
+                steps,
+                format_time(steps * per_step),
+            ]
+        )
+
+    print(
+        format_table(
+            ["network", "RMS error (before -> after)", "transfer steps", "comm time"],
+            rows,
+        )
+    )
+    print(
+        "\nIdentical numerics on every network — only the communication bill "
+        "differs. The filter removed most of the injected noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — reproduction of Szymanski, "The Complexity of FFT and Related
+Butterfly Algorithms on Meshes and Hypermeshes" (ICPP 1992).
+
+The package provides, from scratch in Python + NumPy:
+
+* the compared interconnection networks (2D mesh, torus, binary hypercube,
+  base-b hypermesh) with closed-form and brute-force structural properties
+  (:mod:`repro.networks`);
+* the pin-limited crossbar hardware model and the equal-aggregate-bandwidth
+  normalization of Section III-D (:mod:`repro.hardware`);
+* permutation machinery including the hypermesh 3-step Clos routing
+  (:mod:`repro.routing`);
+* a word-level synchronous network simulator and SIMD machine
+  (:mod:`repro.sim`);
+* FFT flow graphs, mappings and numerically verified parallel execution
+  (:mod:`repro.core`, :mod:`repro.fft`), plus bitonic sort
+  (:mod:`repro.sort`);
+* the analytical models regenerating every table and figure
+  (:mod:`repro.models`, :mod:`repro.viz`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Hypermesh2D, parallel_fft
+
+    hm = Hypermesh2D(side=8)                  # 64 PEs
+    x = np.random.default_rng(0).normal(size=64)
+    result = parallel_fft(hm, x, validate=True)
+    assert np.allclose(result.spectrum, np.fft.fft(x))
+    print(result.data_transfer_steps)          # log2(64) + 3 = 9
+"""
+
+from .algos import (
+    parallel_allreduce,
+    parallel_broadcast,
+    parallel_prefix_sum,
+    transpose_schedule,
+)
+from .core import (
+    BoundKind,
+    FftMapping,
+    FftStepCounts,
+    NetworkKind,
+    bit_reversal_schedule,
+    fft_step_counts,
+    map_fft,
+)
+from .fft import (
+    blocked_fft,
+    butterfly_flow_graph,
+    dft_direct,
+    fft_dif,
+    ifft_dif,
+    parallel_fft,
+)
+from .hardware import GAAS_1992, NormalizedNetwork, Technology, normalize
+from .networks import (
+    Hypercube,
+    Hypermesh,
+    Hypermesh2D,
+    Mesh,
+    Mesh2D,
+    OmegaNetwork,
+    Torus,
+    Torus2D,
+)
+from .routing import Permutation, bit_reversal, route_permutation_3step
+from .sim import SimdMachine, route_permutation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # networks
+    "Mesh",
+    "Mesh2D",
+    "Torus",
+    "Torus2D",
+    "Hypercube",
+    "Hypermesh",
+    "Hypermesh2D",
+    # hardware
+    "Technology",
+    "GAAS_1992",
+    "normalize",
+    "NormalizedNetwork",
+    # routing
+    "Permutation",
+    "bit_reversal",
+    "route_permutation_3step",
+    # simulation
+    "SimdMachine",
+    "route_permutation",
+    # core / fft
+    "NetworkKind",
+    "BoundKind",
+    "FftStepCounts",
+    "fft_step_counts",
+    "FftMapping",
+    "map_fft",
+    "bit_reversal_schedule",
+    "fft_dif",
+    "ifft_dif",
+    "dft_direct",
+    "butterfly_flow_graph",
+    "parallel_fft",
+    "blocked_fft",
+    "OmegaNetwork",
+    "parallel_prefix_sum",
+    "parallel_allreduce",
+    "parallel_broadcast",
+    "transpose_schedule",
+]

@@ -1,0 +1,29 @@
+"""The broader ASCEND/DESCEND algorithm family of Section I: generic
+runner, prefix sums, all-reduce/broadcast, and matrix transpose."""
+
+from .alltoall import (
+    TotalExchangePlan,
+    total_exchange_demand,
+    total_exchange_lower_bound,
+    total_exchange_plan,
+)
+from .ascend_descend import AscendDescendResult, run_ascend, run_descend
+from .reduce import ReduceResult, parallel_allreduce, parallel_broadcast
+from .scan import ScanResult, parallel_prefix_sum
+from .transpose import transpose_schedule
+
+__all__ = [
+    "AscendDescendResult",
+    "run_ascend",
+    "run_descend",
+    "ScanResult",
+    "parallel_prefix_sum",
+    "ReduceResult",
+    "parallel_allreduce",
+    "parallel_broadcast",
+    "transpose_schedule",
+    "TotalExchangePlan",
+    "total_exchange_plan",
+    "total_exchange_lower_bound",
+    "total_exchange_demand",
+]

@@ -1,0 +1,107 @@
+"""Total exchange (all-to-all personalized communication).
+
+The heaviest collective there is: every PE holds one distinct packet for
+every other PE — an ``(N-1)``-relation that saturates any bisector, which
+makes it the sharpest probe of Section V's bandwidth argument:
+
+* the demand crossing the halving bisector is ``N^2 / 2`` packets;
+* the 2D hypermesh's bisector passes ``N/2`` packets per step (one-way port
+  count), so total exchange needs at least ``N`` steps there — and the
+  Clos-decomposed schedule below achieves ``O(N)``;
+* the 2D mesh bisector passes ``sqrt(N)`` packets per step, forcing
+  ``Omega(N^(3/2))`` steps;
+* the hypercube's passes ``N/2``, allowing ``O(N)`` as well but each step
+  is ``log N / 2`` times slower after normalization.
+
+The schedule is built from :func:`repro.routing.hrelation.decompose_h_relation`:
+``N-1`` permutation rounds, each routed with the network's own machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.base import Topology
+from ..networks.hypermesh import Hypermesh2D
+from ..routing.clos import route_permutation_3step
+from ..routing.hrelation import HRelation
+from ..routing.permutation import Permutation
+from ..sim.engine import route_permutation
+
+__all__ = [
+    "TotalExchangePlan",
+    "total_exchange_plan",
+    "total_exchange_lower_bound",
+    "total_exchange_demand",
+]
+
+
+@dataclass(frozen=True)
+class TotalExchangePlan:
+    """Cost plan for an all-to-all personalized exchange."""
+
+    num_pes: int
+    rounds: int
+    total_steps: int
+    steps_per_round: tuple[int, ...]
+
+
+def total_exchange_plan(topology: Topology) -> TotalExchangePlan:
+    """Schedule the full ``N x (N-1)``-packet total exchange on ``topology``.
+
+    Decomposes the demand into ``N - 1`` permutation rounds (the classical
+    "rotation" schedule: round ``r`` sends PE ``i``'s packet to
+    ``(i + r) mod N``, a cyclic shift, which is trivially a permutation) and
+    routes each round.
+    """
+    n = topology.num_nodes
+    steps_per_round = []
+    for r in range(1, n):
+        shift = Permutation([(i + r) % n for i in range(n)])
+        if isinstance(topology, Hypermesh2D):
+            steps = route_permutation_3step(shift, topology).num_steps
+        else:
+            steps = route_permutation(topology, shift).stats.steps
+        steps_per_round.append(steps)
+    return TotalExchangePlan(
+        num_pes=n,
+        rounds=n - 1,
+        total_steps=sum(steps_per_round),
+        steps_per_round=tuple(steps_per_round),
+    )
+
+
+def total_exchange_lower_bound(topology: Topology) -> float:
+    """Bisection lower bound on total-exchange steps.
+
+    ``(packets crossing the halving cut) / (cut capacity per step)``: the
+    demand is ``2 * (N/2)^2`` directed packets (each side sends one to every
+    node of the other); capacity per step is the cut's channel count.
+    """
+    from ..networks.base import HypergraphTopology, PointToPointTopology
+    from ..networks.properties import halving_cut_links, net_crossing_ports
+
+    n = topology.num_nodes
+    demand = 2 * (n // 2) ** 2
+    if isinstance(topology, PointToPointTopology):
+        capacity = 2 * halving_cut_links(topology)  # both directions
+    elif isinstance(topology, HypergraphTopology):
+        capacity = 2 * net_crossing_ports(topology)
+    else:  # pragma: no cover
+        raise TypeError(f"unsupported topology {type(topology).__name__}")
+    return demand / capacity
+
+
+def total_exchange_demand(relation_size: int) -> HRelation:
+    """The canonical all-to-all demand as an :class:`HRelation`.
+
+    Its König decomposition (:func:`decompose_h_relation`) has exactly
+    ``relation_size - 1`` rounds — the degree of the demand graph.
+    """
+    demands = tuple(
+        (src, dst)
+        for src in range(relation_size)
+        for dst in range(relation_size)
+        if src != dst
+    )
+    return HRelation(relation_size, demands)

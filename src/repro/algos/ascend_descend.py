@@ -1,0 +1,112 @@
+"""The generic ASCEND/DESCEND algorithm framework.
+
+Section I: "The majority of parallel algorithms, such as the Bitonic sort,
+the FFT, and matrix algorithms, use these permutations" — ASCEND visits
+address bits 0, 1, …, log N−1, DESCEND visits them in reverse, and at every
+stage each PE combines its value with its bit-``b`` partner's.
+
+This module turns that pattern into a reusable runner: supply a *stage
+operator* (vectorized over PEs) and a topology, and get back the executed
+values plus the word-level step bill.  The FFT (:mod:`repro.fft.parallel`)
+and bitonic sort (:mod:`repro.sort.bitonic`) are hand-fused instances of
+the same pattern; the algorithms in :mod:`repro.algos.scan` and
+:mod:`repro.algos.reduce` are written directly against this runner.
+
+A stage operator has signature::
+
+    fn(stage, bit, values, received, pe_indices) -> new_values
+
+where ``values``/``received``/``new_values`` are arrays with one leading
+entry per PE (extra trailing axes allowed — e.g. (prefix, total) pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..core.lowering import butterfly_exchange_schedule
+from ..networks.addressing import ilog2
+from ..networks.base import Topology
+from ..sim.machine import Compute, Exchange, ProgramOp, SimdMachine
+from ..sim.schedule import CommSchedule
+
+__all__ = ["StageOperator", "AscendDescendResult", "run_ascend", "run_descend"]
+
+
+class StageOperator(Protocol):
+    """Per-stage combiner for ASCEND/DESCEND algorithms."""
+
+    def __call__(
+        self,
+        stage: int,
+        bit: int,
+        values: np.ndarray,
+        received: np.ndarray,
+        pe_indices: np.ndarray,
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class AscendDescendResult:
+    """Outcome of one ASCEND/DESCEND run."""
+
+    values: np.ndarray
+    data_transfer_steps: int
+    computation_steps: int
+    schedules: tuple[CommSchedule, ...]
+
+
+def _run(
+    topology: Topology,
+    values: np.ndarray,
+    operator: StageOperator,
+    bits: list[int],
+    validate: bool,
+) -> AscendDescendResult:
+    schedules = tuple(butterfly_exchange_schedule(topology, b) for b in bits)
+    program: list[ProgramOp] = []
+    for stage, (bit, sched) in enumerate(zip(bits, schedules)):
+
+        def make_fn(stage=stage, bit=bit):
+            def fn(vals, received, idx):
+                return operator(stage, bit, vals, received, idx)
+
+            return fn
+
+        program.append(Exchange(schedule=sched, label=f"exchange bit {bit}"))
+        program.append(Compute(fn=make_fn(), label=f"stage {stage} bit {bit}"))
+    machine = SimdMachine(topology, validate=validate)
+    result = machine.run(program, np.asarray(values))
+    return AscendDescendResult(
+        values=result.values,
+        data_transfer_steps=result.data_transfer_steps,
+        computation_steps=result.computation_steps,
+        schedules=schedules,
+    )
+
+
+def run_ascend(
+    topology: Topology,
+    values: np.ndarray,
+    operator: StageOperator,
+    *,
+    validate: bool = False,
+) -> AscendDescendResult:
+    """Run an ASCEND algorithm: stages visit bits ``0 .. log N - 1``."""
+    width = ilog2(topology.num_nodes)
+    return _run(topology, values, operator, list(range(width)), validate)
+
+
+def run_descend(
+    topology: Topology,
+    values: np.ndarray,
+    operator: StageOperator,
+    *,
+    validate: bool = False,
+) -> AscendDescendResult:
+    """Run a DESCEND algorithm: stages visit bits ``log N - 1 .. 0``."""
+    width = ilog2(topology.num_nodes)
+    return _run(topology, values, operator, list(reversed(range(width))), validate)

@@ -1,0 +1,101 @@
+"""All-reduce and broadcast via butterfly exchanges (ASCEND algorithms).
+
+The butterfly all-reduce: at each stage partners exchange and combine, so
+after ``log N`` exchanges every PE holds the reduction of all ``N`` values —
+no separate reduce-then-broadcast tree needed.  Broadcast is the degenerate
+case (combine = take the root's value, tracked with a validity flag).
+
+Both cost exactly the FFT's butterfly communication: ``log N`` steps on
+hypercube/hypermesh, ``2(sqrt(N)-1)`` on the mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..networks.base import Topology
+from .ascend_descend import run_ascend
+
+__all__ = ["ReduceResult", "parallel_allreduce", "parallel_broadcast"]
+
+
+@dataclass(frozen=True)
+class ReduceResult:
+    """Outcome of an all-reduce or broadcast."""
+
+    values: np.ndarray
+    data_transfer_steps: int
+    computation_steps: int
+
+
+def parallel_allreduce(
+    topology: Topology,
+    values: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    *,
+    validate: bool = False,
+) -> ReduceResult:
+    """Combine one value per PE with ``op``; every PE gets the result.
+
+    ``op`` must be associative and commutative (np.add, np.maximum, ...).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] != topology.num_nodes:
+        raise ValueError(
+            f"{values.shape[0]} values need {values.shape[0]} PEs, topology "
+            f"has {topology.num_nodes}"
+        )
+
+    def operator(stage, bit, vals, received, idx):
+        return op(vals, received)
+
+    result = run_ascend(topology, values, operator, validate=validate)
+    return ReduceResult(
+        values=result.values,
+        data_transfer_steps=result.data_transfer_steps,
+        computation_steps=result.computation_steps,
+    )
+
+
+def parallel_broadcast(
+    topology: Topology,
+    values: np.ndarray,
+    root: int = 0,
+    *,
+    validate: bool = False,
+) -> ReduceResult:
+    """Deliver the root PE's value to every PE via butterfly exchanges.
+
+    Tracks a per-PE validity flag: at each stage a PE without the value yet
+    adopts its partner's if the partner has it — after ``log N`` stages
+    everyone does.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("expected a 1D value vector")
+    n = topology.num_nodes
+    if values.size != n:
+        raise ValueError(f"{values.size} values need {values.size} PEs, topology has {n}")
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range [0, {n})")
+
+    state = np.zeros((n, 2))
+    state[:, 0] = values
+    state[root, 1] = 1.0  # validity flag
+
+    def operator(stage, bit, vals, received, idx):
+        out = vals.copy()
+        take = (vals[:, 1] == 0) & (received[:, 1] == 1)
+        out[:, 0] = np.where(take, received[:, 0], vals[:, 0])
+        out[:, 1] = np.maximum(vals[:, 1], received[:, 1])
+        return out
+
+    result = run_ascend(topology, state, operator, validate=validate)
+    return ReduceResult(
+        values=result.values[:, 0],
+        data_transfer_steps=result.data_transfer_steps,
+        computation_steps=result.computation_steps,
+    )

@@ -1,0 +1,73 @@
+"""Parallel prefix sums (scan) — a classic ASCEND algorithm.
+
+The hypercube scan of Blelloch: every PE carries a ``(prefix, total)`` pair;
+at stage ``b`` partners exchange their block totals, a PE whose address bit
+``b`` is set adds the received total into its prefix, and both add it into
+their running total.  After ``log N`` stages ``prefix`` holds the exclusive
+prefix sum and ``total`` the grand total — in ``log N`` butterfly exchanges,
+i.e. ``log N`` data-transfer steps on hypercube/hypermesh and
+``2(sqrt(N)-1)`` on the mesh, exactly the FFT's butterfly bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..networks.base import Topology
+from .ascend_descend import run_ascend
+
+__all__ = ["ScanResult", "parallel_prefix_sum"]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of a parallel scan."""
+
+    exclusive: np.ndarray
+    inclusive: np.ndarray
+    total: float
+    data_transfer_steps: int
+    computation_steps: int
+
+
+def parallel_prefix_sum(
+    topology: Topology, values: np.ndarray, *, validate: bool = False
+) -> ScanResult:
+    """Exclusive + inclusive prefix sums of one value per PE.
+
+    Raises
+    ------
+    ValueError
+        If the value count does not match the (power-of-two) PE count.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("expected a 1D value vector")
+    if values.size != topology.num_nodes:
+        raise ValueError(
+            f"{values.size} values need {values.size} PEs, topology has "
+            f"{topology.num_nodes}"
+        )
+
+    state = np.zeros((values.size, 2))
+    state[:, 1] = values  # (prefix, total)
+
+    def operator(stage, bit, vals, received, idx):
+        out = vals.copy()
+        received_total = received[:, 1]
+        upper = (idx & (1 << bit)) != 0
+        out[:, 0] = np.where(upper, vals[:, 0] + received_total, vals[:, 0])
+        out[:, 1] = vals[:, 1] + received_total
+        return out
+
+    result = run_ascend(topology, state, operator, validate=validate)
+    exclusive = result.values[:, 0]
+    return ScanResult(
+        exclusive=exclusive,
+        inclusive=exclusive + values,
+        total=float(result.values[0, 1]),
+        data_transfer_steps=result.data_transfer_steps,
+        computation_steps=result.computation_steps,
+    )

@@ -1,0 +1,81 @@
+"""Matrix transpose — the "matrix algorithms" permutation of Section I.
+
+With a ``sqrt(N) x sqrt(N)`` matrix stored one element per PE in row-major
+order, transposition is the address permutation that swaps the row and
+column bit fields.  Per network:
+
+* **hypercube** — ``log N / 2`` bit-pair swaps ``(k, k + log N / 2)``, each
+  a 2-step conflict-free exchange: ``log N`` steps total (constructive);
+* **2D hypermesh** — the generic Clos decomposition: at most 3 net steps
+  (and transpose genuinely needs 3: the destination row of a packet is its
+  source *column*, so every row's packets must reach ``sqrt(N)`` distinct
+  rows, which no single row- or column-phase pair can arrange);
+* **2D mesh / torus** — measured by greedy XY routing; the diagonal-corner
+  pairs put a ``2(sqrt(N)-1)``-ish floor under it (element ``(0, s-1)``
+  must travel to ``(s-1, 0)``).
+"""
+
+from __future__ import annotations
+
+from ..networks.addressing import ilog2
+from ..networks.base import Topology
+from ..networks.hypercube import Hypercube
+from ..networks.hypermesh import Hypermesh2D
+from ..networks.mesh import Mesh2D
+from ..networks.torus import Torus2D
+from ..routing.clos import route_permutation_3step
+from ..routing.families import matrix_transpose
+from ..sim.engine import route_permutation
+from ..sim.schedule import CommSchedule, schedule_from_phases
+
+__all__ = ["transpose_schedule"]
+
+
+def _hypercube_transpose(hypercube: Hypercube) -> CommSchedule:
+    width = hypercube.dimension
+    if width % 2:
+        raise ValueError("transpose needs an even number of address bits")
+    half = width // 2
+    n = hypercube.num_nodes
+    side = 1 << half
+    position = list(range(n))
+    steps: list[dict[int, int]] = []
+    for k in range(half):
+        i, j = k, k + half
+        step1: dict[int, int] = {}
+        step2: dict[int, int] = {}
+        for pid in range(n):
+            pos = position[pid]
+            if ((pos >> i) & 1) != ((pos >> j) & 1):
+                step1[pid] = pos ^ (1 << i)
+                step2[pid] = pos ^ (1 << i) ^ (1 << j)
+                position[pid] = step2[pid]
+        steps.append(step1)
+        steps.append(step2)
+    return CommSchedule(
+        topology=hypercube,
+        logical=matrix_transpose(side, side),
+        steps=tuple(steps),
+    )
+
+
+def transpose_schedule(topology: Topology) -> CommSchedule:
+    """Lower the row-major matrix transpose onto ``topology``.
+
+    Returns a validated-shape :class:`CommSchedule` whose logical permutation
+    is :func:`repro.routing.families.matrix_transpose` of the square side.
+    """
+    n = topology.num_nodes
+    width = ilog2(n)
+    if width % 2:
+        raise ValueError(f"{n} PEs do not form a square power-of-two layout")
+    side = 1 << (width // 2)
+
+    if isinstance(topology, Hypercube):
+        return _hypercube_transpose(topology)
+    if isinstance(topology, Hypermesh2D):
+        route = route_permutation_3step(matrix_transpose(side, side), topology)
+        return schedule_from_phases(topology, route.phases)
+    if isinstance(topology, (Mesh2D, Torus2D)):
+        return route_permutation(topology, matrix_transpose(side, side)).schedule
+    raise TypeError(f"no transpose lowering for {type(topology).__name__}")

@@ -1,0 +1,408 @@
+"""Command-line interface: regenerate every table and figure of the paper.
+
+Usage (installed as ``repro``, or ``python -m repro``)::
+
+    repro tables            # Tables 1A, 1B, 2A, 2B at N=4096
+    repro section4          # the 4K-PE worked comparison (eqs 2-4, IV-B)
+    repro bisection         # Section V bisection bandwidths
+    repro sweep             # speedup vs machine size (headline asymptotics)
+    repro figures           # ASCII Figs 1-3
+    repro fft --side 8      # run a verified parallel FFT on all networks
+    repro sort --side 4     # run a verified parallel bitonic sort
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from .core.complexity import NetworkKind
+from .hardware.technology import GAAS_1992
+from .models.bisection import bisection_bandwidth_formula, bisection_ratios
+from .models.speedup import bitonic_comparison, section4_comparison, speedup_sweep
+from .models.tables import table_1a, table_1b, table_2a, table_2b
+from .viz.diagrams import (
+    render_butterfly_graph,
+    render_hypermesh_2d,
+    render_pe_node,
+)
+from .viz.series import ascii_chart, format_bandwidth, format_rows, format_table, format_time
+
+__all__ = ["main"]
+
+_NETWORKS = (NetworkKind.MESH_2D, NetworkKind.HYPERCUBE, NetworkKind.HYPERMESH_2D)
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    n = args.num_pes
+    print(f"== Table 1A: hardware complexity before normalization (N={n}) ==")
+    print(
+        format_rows(
+            table_1a(n),
+            ["network", "crossbars", "crossbars_formula", "degree", "diameter", "diameter_formula"],
+        )
+    )
+    print(f"\n== Table 1B: after normalization (N={n}) ==")
+    rows = table_1b(n)
+    for row in rows:
+        row["link_bw"] = format_bandwidth(row["link_bw"])
+    print(format_rows(rows, ["network", "link_bw", "link_bw_formula", "diameter", "d_over_bw"]))
+    print(f"\n== Table 2A: N-FFT step counts (N={n}) ==")
+    print(
+        format_rows(
+            table_2a(n),
+            ["network", "bitrev_steps", "bitrev_formula", "dt_steps", "total_steps", "total_formula"],
+        )
+    )
+    print(f"\n== Table 2B: FFT execution time after normalization (N={n}) ==")
+    rows = table_2b(n)
+    for row in rows:
+        row["step_time"] = format_time(row["step_time"])
+        row["comm_time"] = format_time(row["comm_time"])
+    print(
+        format_rows(
+            rows,
+            ["network", "dt_steps", "steps_formula", "step_time", "comm_time", "time_formula"],
+        )
+    )
+
+
+def _print_comparison(title: str, cmp_) -> None:
+    print(f"== {title} ==")
+    rows = []
+    for kind in _NETWORKS:
+        t = cmp_.times[kind]
+        rows.append(
+            [kind.value, f"{t.steps:g}", format_time(t.step_time), format_time(t.total)]
+        )
+    print(format_table(["network", "steps", "per step", "total comm time"], rows))
+    print(
+        f"hypermesh speedup: {cmp_.speedup_vs_mesh:.1f}x vs mesh, "
+        f"{cmp_.speedup_vs_hypercube:.1f}x vs hypercube"
+    )
+
+
+def _cmd_section4(args: argparse.Namespace) -> None:
+    n = args.num_pes
+    _print_comparison(
+        f"Section IV-A: {n}-point FFT on {n} PEs, negligible propagation delay",
+        section4_comparison(n),
+    )
+    print()
+    _print_comparison(
+        "Section IV-A variant: bit-reversal not needed",
+        section4_comparison(n, include_bitrev=False),
+    )
+    print()
+    _print_comparison(
+        "Section IV-B: 20 ns propagation delay on long-line networks",
+        section4_comparison(n, propagation_delay=20e-9),
+    )
+    print()
+    _print_comparison(
+        "Section IV-A cross-check: bitonic sort ([13] quotes 12.3x / 6.47x)",
+        bitonic_comparison(n),
+    )
+
+
+def _cmd_bisection(args: argparse.Namespace) -> None:
+    n = args.num_pes
+    print(f"== Section V: bisection bandwidth (N={n}, paper convention) ==")
+    rows = []
+    for kind in _NETWORKS:
+        bb = bisection_bandwidth_formula(kind, n, GAAS_1992, paper_convention=True)
+        rows.append([kind.value, f"{bb.channels:g}", format_bandwidth(bb.per_channel),
+                     format_bandwidth(bb.total)])
+    print(format_table(["network", "crossing channels", "per channel", "bisection BW"], rows))
+    r_mesh, r_hc = bisection_ratios(n, GAAS_1992)
+    print(f"hypermesh / mesh   = {r_mesh:g}  (O(sqrt N): 2.5*sqrt(N) = {2.5 * n**0.5:g})")
+    print(f"hypermesh / h-cube = {r_hc:g}  (O(log N): log2(N) = {n.bit_length() - 1})")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    sizes = [4**k for k in range(2, args.max_exponent + 1)]
+    rows = speedup_sweep(sizes)
+    print("== Hypermesh FFT speedup vs machine size (paper step convention) ==")
+    print(
+        format_table(
+            ["N", "vs 2D mesh", "vs hypercube"],
+            [[n, f"{m:.2f}", f"{h:.2f}"] for n, m, h in rows],
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            [float(n) for n, _, _ in rows],
+            {
+                "mesh speedup ~ sqrt(N)/log N": [m for _, m, _ in rows],
+                "cube speedup ~ log N": [h for _, _, h in rows],
+            },
+            log_y=True,
+            title="speedup growth (log y; x = machine sizes 4^k)",
+        )
+    )
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    print("== Fig. 1: 2D hypermesh ==")
+    print(render_hypermesh_2d(args.side))
+    print("\n== Fig. 2: PE-node ==")
+    print(render_pe_node(2))
+    print("\n== Fig. 3: FFT data-flow graph ==")
+    # Largest power of two <= side^2, capped at 16 rows of output.
+    points = 1 << min(4, (args.side * args.side).bit_length() - 1)
+    print(render_butterfly_graph(points))
+
+
+def _cmd_fft(args: argparse.Namespace) -> None:
+    from .fft.parallel import parallel_fft
+    from .networks import Hypercube, Hypermesh2D, Mesh2D
+    from .networks.addressing import ilog2
+
+    side = args.side
+    n = side * side
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    expected = np.fft.fft(x)
+    print(f"== {n}-point parallel FFT, one sample per PE ==")
+    for topo in (Mesh2D(side), Hypercube(ilog2(n)), Hypermesh2D(side)):
+        result = parallel_fft(topo, x, validate=True)
+        ok = np.allclose(result.spectrum, expected)
+        print(
+            f"{type(topo).__name__:12s}: numpy-agreement={ok}  "
+            f"transfer steps={result.data_transfer_steps}  "
+            f"compute steps={result.computation_steps}"
+        )
+
+
+def _cmd_sort(args: argparse.Namespace) -> None:
+    from .networks import Hypercube, Hypermesh2D, Mesh2D
+    from .networks.addressing import ilog2
+    from .sort.bitonic import parallel_bitonic_sort
+
+    side = args.side
+    n = side * side
+    rng = np.random.default_rng(args.seed)
+    keys = rng.normal(size=n)
+    print(f"== {n}-key parallel bitonic sort, one key per PE ==")
+    for topo in (Mesh2D(side), Hypercube(ilog2(n)), Hypermesh2D(side)):
+        result = parallel_bitonic_sort(topo, keys, validate=True)
+        ok = bool(np.all(np.diff(result.keys) >= 0))
+        print(
+            f"{type(topo).__name__:12s}: sorted={ok}  "
+            f"transfer steps={result.data_transfer_steps}  "
+            f"passes={result.computation_steps}"
+        )
+
+
+def _cmd_omega(args: argparse.Namespace) -> None:
+    from .networks import OmegaNetwork
+    from .routing import (
+        Permutation,
+        bit_reversal,
+        butterfly_exchange,
+        route_permutation_3step,
+    )
+
+    n = args.num_ports
+    om = OmegaNetwork(n)
+    width = n.bit_length() - 1
+    print(f"== Omega network vs 2D hypermesh, N = {n} ==")
+    admissible = [om.is_admissible(butterfly_exchange(n, b)) for b in range(width)]
+    print(f"FFT butterfly exchanges admissible in one pass: {all(admissible)}")
+    rev = bit_reversal(n)
+    print(
+        f"bit reversal: Omega needs {om.passes_required(rev)} passes, "
+        f"hypermesh {route_permutation_3step(rev).num_steps} steps"
+    )
+    rng = np.random.default_rng(args.seed)
+    passes = [
+        om.passes_required(Permutation.random(n, rng)) for _ in range(5)
+    ]
+    print(f"5 random permutations: Omega passes {passes}, hypermesh <= 3 each")
+
+
+def _cmd_universality(args: argparse.Namespace) -> None:
+    from .models import empirical_random_routing_steps, slowdown_table
+
+    rows = slowdown_table([2**k for k in (6, 8, 10, 12, 16, 20)])
+    print("== Universal-simulation slowdowns (Section I; [15] vs [13]) ==")
+    print(
+        format_table(
+            ["N", "hypercube O(log N)", "hypermesh O(log/loglog)", "advantage"],
+            [
+                [r.num_pes, f"{r.hypercube:.1f}", f"{r.hypermesh:.2f}", f"{r.advantage:.2f}"]
+                for r in rows
+            ],
+        )
+    )
+    measured = empirical_random_routing_steps(args.num_pes, trials=3)
+    print(
+        f"\nmeasured random-permutation routing at N = {args.num_pes}: "
+        f"hypercube {measured['hypercube_mean_steps']:.1f} steps, "
+        f"degree-log hypermesh {measured['hypermesh_mean_steps']:.1f} steps"
+    )
+
+
+def _cmd_shapes(args: argparse.Namespace) -> None:
+    from .core import map_fft
+    from .hardware import link_bandwidth
+    from .networks import Hypermesh, Hypermesh2D
+
+    print("== 4K-PE hypermesh shapes (Section IV: '8^4, 16^3 and 64^2 ...') ==")
+    rows = []
+    for base, dims in ((8, 4), (16, 3), (64, 2)):
+        hm = Hypermesh2D(64) if dims == 2 else Hypermesh(base, dims)
+        mapping = map_fft(hm)
+        bw = link_bandwidth(hm, GAAS_1992)
+        step = GAAS_1992.packet_bits / bw
+        rows.append(
+            [
+                f"{base}^{dims}",
+                mapping.butterfly_steps,
+                mapping.bitrev_steps,
+                mapping.total_steps,
+                format_time(step),
+                format_time(mapping.total_steps * step),
+            ]
+        )
+    print(
+        format_table(
+            ["shape", "butterfly", "bitrev", "total steps", "per step", "comm time"],
+            rows,
+        )
+    )
+    print("the 2D shape the paper picked is fastest (wide links + 3-step bitrev)")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> None:
+    from .experiments import list_experiments, run_experiment
+
+    if args.experiment_id.lower() == "all":
+        failures = 0
+        for eid, title in list_experiments():
+            result = run_experiment(eid)
+            status = "REPRODUCED" if result.reproduced else "FAILED"
+            print(f"{eid:4s} {status:10s} {title}")
+            failures += 0 if result.reproduced else 1
+        if failures:
+            raise SystemExit(f"{failures} experiments failed to reproduce")
+        return
+    result = run_experiment(args.experiment_id)
+    print(f"{result.experiment_id}: {result.title}")
+    print(f"reproduced: {result.reproduced}")
+    for key, value in result.details.items():
+        print(f"  {key}: {value}")
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    """Write every regenerated artifact into a results directory."""
+    import contextlib
+    import io
+    from pathlib import Path
+
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    sections = {
+        "tables.txt": (_cmd_tables, argparse.Namespace(num_pes=args.num_pes)),
+        "section4.txt": (_cmd_section4, argparse.Namespace(num_pes=args.num_pes)),
+        "bisection.txt": (_cmd_bisection, argparse.Namespace(num_pes=args.num_pes)),
+        "sweep.txt": (_cmd_sweep, argparse.Namespace(max_exponent=10)),
+        "figures.txt": (_cmd_figures, argparse.Namespace(side=4)),
+        "omega.txt": (_cmd_omega, argparse.Namespace(num_ports=64, seed=0)),
+        "universality.txt": (
+            _cmd_universality,
+            argparse.Namespace(num_pes=256),
+        ),
+        "shapes.txt": (_cmd_shapes, argparse.Namespace()),
+    }
+    for filename, (fn, ns) in sections.items():
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            fn(ns)
+        (outdir / filename).write_text(buffer.getvalue())
+        print(f"wrote {outdir / filename}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of Szymanski (ICPP 1992).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="Tables 1A/1B/2A/2B")
+    p.add_argument("--num-pes", type=int, default=4096)
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("section4", help="the 4K-PE worked comparison")
+    p.add_argument("--num-pes", type=int, default=4096)
+    p.set_defaults(func=_cmd_section4)
+
+    p = sub.add_parser("bisection", help="Section V bisection bandwidths")
+    p.add_argument("--num-pes", type=int, default=4096)
+    p.set_defaults(func=_cmd_bisection)
+
+    p = sub.add_parser("sweep", help="speedup vs machine size")
+    p.add_argument("--max-exponent", type=int, default=10, help="largest 4^k size")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("figures", help="ASCII Figs 1-3")
+    p.add_argument("--side", type=int, default=4)
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("fft", help="run a verified parallel FFT")
+    p.add_argument("--side", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fft)
+
+    p = sub.add_parser("sort", help="run a verified parallel bitonic sort")
+    p.add_argument("--side", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_sort)
+
+    p = sub.add_parser("omega", help="Omega network vs hypermesh (Section I)")
+    p.add_argument("--num-ports", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_omega)
+
+    p = sub.add_parser(
+        "universality", help="simulation slowdowns (Section I; [15] vs [13])"
+    )
+    p.add_argument("--num-pes", type=int, default=256)
+    p.set_defaults(func=_cmd_universality)
+
+    p = sub.add_parser(
+        "report", help="write all regenerated artifacts into a directory"
+    )
+    p.add_argument("--output", default="results")
+    p.add_argument("--num-pes", type=int, default=4096)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "experiment", help="run one registered experiment by ID (or 'all')"
+    )
+    p.add_argument("experiment_id", help="e.g. E5, or 'all'")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "shapes", help="compare the 8^4 / 16^3 / 64^2 hypermesh shapes"
+    )
+    p.set_defaults(func=_cmd_shapes)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

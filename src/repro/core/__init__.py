@@ -1,0 +1,38 @@
+"""The paper's contribution: FFT mappings, bit-reversal schedules, and
+closed-form step counts for meshes, hypercubes and hypermeshes."""
+
+from .bpc import hypercube_bpc_schedule
+from .bitrev import (
+    bit_reversal_schedule,
+    hypercube_bit_reversal_schedule,
+    hypermesh_bit_reversal_schedule,
+    mesh_bit_reversal_schedule,
+)
+from .complexity import BoundKind, FftStepCounts, NetworkKind, fft_step_counts
+from .fftmap import FftMapping, map_fft
+from .lowering import (
+    butterfly_exchange_schedule,
+    hypercube_bit_swap_schedule,
+    hypercube_exchange_schedule,
+    hypermesh_exchange_schedule,
+    mesh_exchange_schedule,
+)
+
+__all__ = [
+    "NetworkKind",
+    "BoundKind",
+    "FftStepCounts",
+    "fft_step_counts",
+    "FftMapping",
+    "map_fft",
+    "bit_reversal_schedule",
+    "hypercube_bit_reversal_schedule",
+    "hypermesh_bit_reversal_schedule",
+    "mesh_bit_reversal_schedule",
+    "butterfly_exchange_schedule",
+    "hypercube_exchange_schedule",
+    "hypercube_bit_swap_schedule",
+    "hypermesh_exchange_schedule",
+    "mesh_exchange_schedule",
+    "hypercube_bpc_schedule",
+]

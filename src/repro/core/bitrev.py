@@ -1,0 +1,113 @@
+"""Bit-reversal permutation schedules for each network (Section III).
+
+The FFT flow graph ends with the bit-reversal permutation; how many
+data-transfer steps it costs is where the three networks part ways:
+
+* **hypercube** — the node at address ``01...1`` must reach ``1...10``, so
+  no routing can beat ``log N`` steps; a constructive schedule of
+  ``2 * floor(log N / 2) <= log N`` steps is built from conflict-free
+  bit-pair swaps (Section III-A);
+* **2D mesh** — the diagonally opposite corner packets must interchange:
+  at least ``2(sqrt(N)-1)`` steps without wrap-around, and not less than
+  ``sqrt(N)/2`` with wrap-around (Section III-B); here the schedule is
+  *measured* by routing the permutation with greedy dimension-order
+  routing;
+* **2D hypermesh** — at most 3 steps by rearrangeability (Section III-C),
+  realized constructively with the Clos/Slepian–Duguid decomposition.
+"""
+
+from __future__ import annotations
+
+from ..networks.addressing import ilog2
+from ..networks.base import Topology
+from ..networks.hypercube import Hypercube
+from ..networks.hypermesh import Hypermesh, Hypermesh2D
+from ..networks.mesh import Mesh2D
+from ..networks.torus import Torus2D
+from ..routing.clos import route_permutation_3step
+from ..routing.families import bit_reversal
+from ..sim.engine import route_permutation
+from ..sim.schedule import CommSchedule, schedule_from_phases
+
+__all__ = [
+    "hypercube_bit_reversal_schedule",
+    "hypermesh_bit_reversal_schedule",
+    "mesh_bit_reversal_schedule",
+    "bit_reversal_schedule",
+]
+
+
+def hypercube_bit_reversal_schedule(hypercube: Hypercube) -> CommSchedule:
+    """Constructive bit reversal in ``2 * floor(log N / 2)`` steps.
+
+    Reversing ``n`` bits is the product of the ``floor(n/2)`` transpositions
+    ``(bit i, bit n-1-i)``; each transposition is a 2-step conflict-free
+    exchange (:func:`repro.core.lowering.hypercube_bit_swap_schedule`).
+    Equals ``log N`` steps for even ``log N`` (every power-of-4 machine,
+    including the paper's 4K = 2^12), matching the paper's lower bound
+    exactly.
+    """
+    n = hypercube.num_nodes
+    width = hypercube.dimension
+    position = list(range(n))
+    steps: list[dict[int, int]] = []
+    for i in range(width // 2):
+        j = width - 1 - i
+        step1: dict[int, int] = {}
+        step2: dict[int, int] = {}
+        for pid in range(n):
+            pos = position[pid]
+            if ((pos >> i) & 1) != ((pos >> j) & 1):
+                step1[pid] = pos ^ (1 << i)
+                step2[pid] = pos ^ (1 << i) ^ (1 << j)
+                position[pid] = step2[pid]
+        steps.append(step1)
+        steps.append(step2)
+    return CommSchedule(
+        topology=hypercube, logical=bit_reversal(n), steps=tuple(steps)
+    )
+
+
+def hypermesh_bit_reversal_schedule(hypermesh: Hypermesh2D) -> CommSchedule:
+    """Bit reversal in at most 3 net steps via Clos decomposition.
+
+    In row-major coordinates, reversing the index bits maps
+    ``(r, c) -> (reverse(c), reverse(r))`` — rows and columns trade places —
+    so the generic 3-step rearrangeability bound applies (and is what this
+    schedule achieves; the row/column structure does not admit fewer steps
+    in general because the destination row depends on the source column).
+    """
+    side = hypermesh.side
+    ilog2(side)  # row-major split requires a power-of-two side
+    perm = bit_reversal(hypermesh.num_nodes)
+    route = route_permutation_3step(perm, hypermesh)
+    return schedule_from_phases(hypermesh, route.phases)
+
+
+def mesh_bit_reversal_schedule(mesh: Mesh2D | Torus2D) -> CommSchedule:
+    """Measured bit reversal on the mesh/torus via greedy XY routing.
+
+    There is no clever constant-step trick available: the paper's argument
+    is a distance bound (opposite corners must swap), so the honest
+    reproduction routes the permutation with the canonical dimension-order
+    router and reports what the network actually took.
+    """
+    ilog2(mesh.side)
+    perm = bit_reversal(mesh.num_nodes)
+    routed = route_permutation(mesh, perm)
+    return routed.schedule
+
+
+def bit_reversal_schedule(topology: Topology) -> CommSchedule:
+    """Dispatch the bit-reversal lowering on the topology type."""
+    if isinstance(topology, Hypercube):
+        return hypercube_bit_reversal_schedule(topology)
+    if isinstance(topology, Hypermesh2D):
+        return hypermesh_bit_reversal_schedule(topology)
+    if isinstance(topology, (Mesh2D, Torus2D)):
+        return mesh_bit_reversal_schedule(topology)
+    if isinstance(topology, Hypermesh):
+        # General hypermeshes: greedy digit-correction routing (adaptive).
+        perm = bit_reversal(topology.num_nodes)
+        return route_permutation(topology, perm).schedule
+    raise TypeError(f"no bit-reversal lowering for {type(topology).__name__}")

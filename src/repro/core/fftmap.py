@@ -1,0 +1,96 @@
+"""Mapping the FFT flow graph onto a target network (Section III).
+
+:func:`map_fft` produces, for any supported topology, the complete
+communication plan of an ``N``-point radix-2 FFT on ``N`` PEs:
+
+* one butterfly-exchange schedule per stage, in decimation-in-frequency
+  order (address bit ``log N - 1`` down to ``0``), and
+* the closing bit-reversal schedule (optional — "not needed in many
+  applications", as the paper notes when quoting the 26.6x/6.5x variant).
+
+The result carries executable :class:`~repro.sim.schedule.CommSchedule`
+objects, so its step counts are *measured properties of validated
+schedules*, directly comparable against the closed forms in
+:mod:`repro.core.complexity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.addressing import ilog2
+from ..networks.base import Topology
+from ..sim.schedule import CommSchedule
+from .bitrev import bit_reversal_schedule
+from .lowering import butterfly_exchange_schedule
+
+__all__ = ["FftMapping", "map_fft"]
+
+
+@dataclass(frozen=True)
+class FftMapping:
+    """A lowered FFT communication plan for one topology.
+
+    Attributes
+    ----------
+    topology:
+        Target network (must have a power-of-two number of PEs).
+    stage_schedules:
+        One exchange schedule per butterfly stage, DIF order.
+    bitrev_schedule:
+        Closing permutation schedule, or None when skipped.
+    """
+
+    topology: Topology
+    stage_schedules: tuple[CommSchedule, ...]
+    bitrev_schedule: CommSchedule | None
+
+    @property
+    def num_stages(self) -> int:
+        """Butterfly stages = ``log2 N`` = computation steps."""
+        return len(self.stage_schedules)
+
+    @property
+    def butterfly_steps(self) -> int:
+        """Data-transfer steps spent in butterfly exchanges."""
+        return sum(s.num_steps for s in self.stage_schedules)
+
+    @property
+    def bitrev_steps(self) -> int:
+        """Data-transfer steps spent in the closing bit reversal."""
+        return 0 if self.bitrev_schedule is None else self.bitrev_schedule.num_steps
+
+    @property
+    def total_steps(self) -> int:
+        """All data-transfer steps of the mapped FFT."""
+        return self.butterfly_steps + self.bitrev_steps
+
+    def validate(self) -> None:
+        """Replay every schedule against the word-level hardware model."""
+        for schedule in self.stage_schedules:
+            schedule.validate()
+        if self.bitrev_schedule is not None:
+            self.bitrev_schedule.validate()
+
+
+def map_fft(topology: Topology, *, include_bit_reversal: bool = True) -> FftMapping:
+    """Lower the ``N``-point FFT flow graph onto ``topology``.
+
+    Raises
+    ------
+    ValueError
+        If the PE count is not a power of two (no radix-2 flow graph), or a
+        2D layout is requested on a non-square, non-power-of-two side.
+    TypeError
+        If no lowering exists for the topology type.
+    """
+    n = topology.num_nodes
+    width = ilog2(n)
+    stages = tuple(
+        butterfly_exchange_schedule(topology, bit)
+        for bit in reversed(range(width))
+    )
+    bitrev = bit_reversal_schedule(topology) if include_bit_reversal else None
+    return FftMapping(
+        topology=topology, stage_schedules=stages, bitrev_schedule=bitrev
+    )

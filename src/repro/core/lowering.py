@@ -1,0 +1,189 @@
+"""Lowering logical permutations to per-topology communication schedules.
+
+The FFT flow graph asks for two kinds of communication:
+
+* **butterfly exchanges** — packet ``i`` pairs with ``i ^ 2**bit`` (one per
+  stage), and
+* the closing **bit-reversal permutation**.
+
+Each target network realizes these differently, and the *how* is exactly the
+content of the paper's Section III:
+
+==============  =======================================  ====================
+network         butterfly exchange on ``bit``            steps
+==============  =======================================  ====================
+hypercube       neighbour swap along dimension ``bit``   1
+2D hypermesh    one net permutation (row or column)      1
+2D mesh         lock-step shift of distance ``2**k``     ``2**k`` (k = bit
+                within the row / column                  position inside the
+                                                         row/column field)
+==============  =======================================  ====================
+
+All builders return a :class:`~repro.sim.schedule.CommSchedule`, so the same
+validator certifies every count the tables quote.
+"""
+
+from __future__ import annotations
+
+from ..networks.addressing import ilog2
+from ..networks.base import Topology
+from ..networks.hypercube import Hypercube
+from ..networks.hypermesh import Hypermesh, Hypermesh2D
+from ..networks.mesh import Mesh2D
+from ..networks.torus import Torus2D
+from ..routing.families import butterfly_exchange
+from ..sim.schedule import CommSchedule
+
+__all__ = [
+    "hypercube_exchange_schedule",
+    "hypercube_bit_swap_schedule",
+    "hypermesh_exchange_schedule",
+    "general_hypermesh_exchange_schedule",
+    "mesh_exchange_schedule",
+    "butterfly_exchange_schedule",
+    "require_square_power_of_two",
+]
+
+
+def require_square_power_of_two(side: int) -> int:
+    """Bits per row/column coordinate for a power-of-two ``side``.
+
+    The row-major FFT embedding needs the node index to split into a row
+    field and a column field, i.e. ``side = 2**half``.
+    """
+    return ilog2(side)
+
+
+def hypercube_exchange_schedule(hypercube: Hypercube, bit: int) -> CommSchedule:
+    """One-step butterfly exchange: every packet crosses dimension ``bit``.
+
+    Conflict-free by construction: each node sends exactly one packet on its
+    dimension-``bit`` link and receives exactly one.
+    """
+    n = hypercube.num_nodes
+    perm = butterfly_exchange(n, bit)
+    moves = {pid: pid ^ (1 << bit) for pid in range(n)}
+    return CommSchedule(topology=hypercube, logical=perm, steps=(moves,))
+
+
+def hypercube_bit_swap_schedule(hypercube: Hypercube, i: int, j: int) -> CommSchedule:
+    """Exchange address bits ``i`` and ``j`` across all packets in 2 steps.
+
+    Packets whose bits ``i`` and ``j`` agree stay put; the rest are at
+    Hamming distance 2 from their destinations and route dimension ``i``
+    then dimension ``j``.  Both steps are link-conflict-free (each node sends
+    at most one packet per dimension per step) at the cost of buffering two
+    packets at the intermediate node — allowed by the word model.
+
+    This is the constructive realization of the paper's "bit-reversal needs
+    exactly ``log N`` steps on the hypercube": ``floor(log N / 2)`` bit swaps
+    of 2 steps each.
+    """
+    if i == j:
+        raise ValueError("bit swap needs two distinct bits")
+    n = hypercube.num_nodes
+    width = hypercube.dimension
+    if not (0 <= i < width and 0 <= j < width):
+        raise ValueError(f"bits ({i}, {j}) out of range [0, {width})")
+    movers = [
+        pid for pid in range(n) if ((pid >> i) & 1) != ((pid >> j) & 1)
+    ]
+    step1 = {pid: pid ^ (1 << i) for pid in movers}
+    step2 = {pid: pid ^ (1 << i) ^ (1 << j) for pid in movers}
+    dest = [pid if pid not in step2 else step2[pid] for pid in range(n)]
+    from ..routing.permutation import Permutation
+
+    perm = Permutation(dest)
+    return CommSchedule(topology=hypercube, logical=perm, steps=(step1, step2))
+
+
+def hypermesh_exchange_schedule(hypermesh: Hypermesh2D, bit: int) -> CommSchedule:
+    """One-step butterfly exchange on the 2D hypermesh.
+
+    With ``side = 2**half``, bit positions ``< half`` live in the column
+    digit and positions ``>= half`` in the row digit, so every partner pair
+    shares a row net or a column net respectively; each net absorbs the whole
+    exchange as a single permutation of its members.
+    """
+    side = hypermesh.side
+    half = require_square_power_of_two(side)
+    n = hypermesh.num_nodes
+    if not 0 <= bit < 2 * half:
+        raise ValueError(f"bit {bit} out of range [0, {2 * half})")
+    perm = butterfly_exchange(n, bit)
+    moves = {pid: pid ^ (1 << bit) for pid in range(n)}
+    return CommSchedule(topology=hypermesh, logical=perm, steps=(moves,))
+
+
+def general_hypermesh_exchange_schedule(
+    hypermesh: Hypermesh, bit: int
+) -> CommSchedule:
+    """One-step butterfly exchange on any power-of-two-base hypermesh.
+
+    With base ``b = 2**k``, address bit ``bit`` lives inside digit
+    ``dims - 1 - bit // k`` (MSD-first digits), so every partner pair shares
+    the net of that dimension and the exchange is a single net permutation —
+    the generalization behind the paper's remark that "a 8^4, 16^3 and 64^2
+    hypermesh can all interconnect 4K Processors".
+    """
+    k = ilog2(hypermesh.base)  # bits per digit; raises for non-2^k bases
+    n = hypermesh.num_nodes
+    width = k * hypermesh.dims
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range [0, {width})")
+    perm = butterfly_exchange(n, bit)
+    moves = {pid: pid ^ (1 << bit) for pid in range(n)}
+    return CommSchedule(topology=hypermesh, logical=perm, steps=(moves,))
+
+
+def mesh_exchange_schedule(mesh: Mesh2D | Torus2D, bit: int) -> CommSchedule:
+    """Butterfly exchange on the row-major 2D mesh (or torus).
+
+    The exchange on bit ``k`` of the column field is a lock-step horizontal
+    shift of distance ``2**k`` (both directions at once); row-field bits
+    shift vertically.  Every packet advances one hop per step, so the
+    schedule takes exactly ``2**k`` steps and every directed link carries at
+    most one packet per step.  (Wrap-around links, when present, are not
+    needed: partners always lie within the same row/column segment.)
+    """
+    side = mesh.side
+    half = require_square_power_of_two(side)
+    n = mesh.num_nodes
+    if not 0 <= bit < 2 * half:
+        raise ValueError(f"bit {bit} out of range [0, {2 * half})")
+    perm = butterfly_exchange(n, bit)
+
+    if bit < half:
+        axis_col = True
+        distance = 1 << bit
+    else:
+        axis_col = False
+        distance = 1 << (bit - half)
+
+    steps = []
+    for t in range(1, distance + 1):
+        moves: dict[int, int] = {}
+        for pid in range(n):
+            row, col = pid // side, pid % side
+            if axis_col:
+                sign = 1 if ((col >> (bit % half)) & 1) == 0 else -1
+                moves[pid] = row * side + col + sign * t
+            else:
+                k = bit - half
+                sign = 1 if ((row >> k) & 1) == 0 else -1
+                moves[pid] = (row + sign * t) * side + col
+        steps.append(moves)
+    return CommSchedule(topology=mesh, logical=perm, steps=tuple(steps))
+
+
+def butterfly_exchange_schedule(topology: Topology, bit: int) -> CommSchedule:
+    """Dispatch the butterfly-exchange lowering on the topology type."""
+    if isinstance(topology, Hypercube):
+        return hypercube_exchange_schedule(topology, bit)
+    if isinstance(topology, Hypermesh2D):
+        return hypermesh_exchange_schedule(topology, bit)
+    if isinstance(topology, Hypermesh):
+        return general_hypermesh_exchange_schedule(topology, bit)
+    if isinstance(topology, (Mesh2D, Torus2D)):
+        return mesh_exchange_schedule(topology, bit)
+    raise TypeError(f"no butterfly lowering for {type(topology).__name__}")

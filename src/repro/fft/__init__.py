@@ -1,0 +1,33 @@
+"""FFT algorithms: flow graph, sequential reference, twiddles, and the
+parallel execution on simulated machines."""
+
+from .blocked import BlockedFftResult, blocked_fft, blocked_fft_step_model
+from .butterfly import ButterflyFlowGraph, FlowEdge, butterfly_flow_graph
+from .convolution import ConvolutionResult, parallel_convolve, parallel_correlate
+from .fft2d import Fft2dResult, parallel_fft_2d
+from .parallel import ParallelFftResult, build_fft_program, parallel_fft, parallel_ifft
+from .reference import dft_direct, fft_dif, ifft_dif
+from .twiddle import stage_twiddles, twiddle
+
+__all__ = [
+    "ButterflyFlowGraph",
+    "FlowEdge",
+    "butterfly_flow_graph",
+    "fft_dif",
+    "ifft_dif",
+    "dft_direct",
+    "twiddle",
+    "stage_twiddles",
+    "ParallelFftResult",
+    "build_fft_program",
+    "parallel_fft",
+    "parallel_ifft",
+    "BlockedFftResult",
+    "blocked_fft",
+    "blocked_fft_step_model",
+    "Fft2dResult",
+    "parallel_fft_2d",
+    "ConvolutionResult",
+    "parallel_convolve",
+    "parallel_correlate",
+]

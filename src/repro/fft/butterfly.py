@@ -1,0 +1,95 @@
+"""The FFT data-flow graph of Fig. 3: an SW-banyan (butterfly) followed by
+the bit-reversal permutation.
+
+The flow graph has ``log N + 1`` ranks of ``N`` vertices.  Rank ``s`` feeds
+rank ``s+1`` through two edges per vertex: the *straight* edge (same index)
+and the *cross* edge (index with stage bit flipped) — the classic butterfly
+pattern, identical to one stage of an SW-banyan.  After the last rank, the
+bit-reversal permutation wires output ``i`` to terminal ``reverse(i)``.
+
+This module materializes that graph as data so benchmarks can regenerate
+Fig. 3 (via :mod:`repro.viz.diagrams`) and tests can check the structural
+facts the paper's step counting relies on — notably that the edges leaving
+rank ``s`` are exactly the butterfly exchange on bit ``log N - 1 - s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.addressing import bit_reverse, ilog2
+
+__all__ = ["FlowEdge", "ButterflyFlowGraph", "butterfly_flow_graph"]
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """One edge of the flow graph.
+
+    ``kind`` is "straight" (same index), "cross" (stage bit flipped) or
+    "bitrev" (closing permutation wire).
+    """
+
+    stage: int
+    source: int
+    target: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class ButterflyFlowGraph:
+    """The complete ``N``-point FFT data-flow graph."""
+
+    num_points: int
+    num_stages: int
+    edges: tuple[FlowEdge, ...]
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices across all ranks, including the bit-reversed terminals."""
+        return self.num_points * (self.num_stages + 2)
+
+    def stage_edges(self, stage: int) -> tuple[FlowEdge, ...]:
+        """Edges leaving rank ``stage`` (0-based; ``num_stages`` = bitrev)."""
+        return tuple(e for e in self.edges if e.stage == stage)
+
+    def cross_bit(self, stage: int) -> int:
+        """Address bit exchanged by rank ``stage`` (DIF order)."""
+        if not 0 <= stage < self.num_stages:
+            raise ValueError(f"stage {stage} out of range [0, {self.num_stages})")
+        return self.num_stages - 1 - stage
+
+    def to_networkx(self):
+        """Directed ``networkx`` view; vertex = (rank, index)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for edge in self.edges:
+            graph.add_edge(
+                (edge.stage, edge.source),
+                (edge.stage + 1, edge.target),
+                kind=edge.kind,
+            )
+        return graph
+
+
+def butterfly_flow_graph(num_points: int) -> ButterflyFlowGraph:
+    """Build the Fig. 3 flow graph for a power-of-two ``num_points``."""
+    width = ilog2(num_points)
+    edges: list[FlowEdge] = []
+    for stage in range(width):
+        bit = width - 1 - stage
+        for i in range(num_points):
+            edges.append(FlowEdge(stage=stage, source=i, target=i, kind="straight"))
+            edges.append(
+                FlowEdge(stage=stage, source=i, target=i ^ (1 << bit), kind="cross")
+            )
+    for i in range(num_points):
+        edges.append(
+            FlowEdge(
+                stage=width, source=i, target=bit_reverse(i, width), kind="bitrev"
+            )
+        )
+    return ButterflyFlowGraph(
+        num_points=num_points, num_stages=width, edges=tuple(edges)
+    )

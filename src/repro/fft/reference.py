@@ -1,0 +1,57 @@
+"""Sequential radix-2 Cooley–Tukey FFT, written to mirror the flow graph.
+
+This is the *reference semantics* for the parallel machines: an iterative
+decimation-in-frequency FFT whose stage structure matches Fig. 3 exactly —
+``log N`` butterfly ranks followed by the bit-reversal permutation.  It is
+deliberately implemented from scratch (not a ``numpy.fft`` call) so the
+repository owns the algorithm end to end; tests then pin *both* this
+implementation and the parallel executions against ``numpy.fft.fft``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..networks.addressing import bit_reversal_permutation, ilog2
+from .twiddle import stage_twiddles
+
+__all__ = ["fft_dif", "ifft_dif", "dft_direct"]
+
+
+def fft_dif(x: np.ndarray) -> np.ndarray:
+    """N-point DFT by iterative radix-2 decimation in frequency.
+
+    Natural-order input, natural-order output (the internal bit-reversed
+    result is reordered by the closing permutation, exactly like the mapped
+    parallel algorithm).  ``N`` must be a power of two.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    if x.ndim != 1:
+        raise ValueError("expected a 1D sample vector")
+    n = x.size
+    width = ilog2(n)
+    values = x.copy()
+    idx = np.arange(n)
+    for bit in reversed(range(width)):
+        m = 1 << bit
+        partner = values[idx ^ m]
+        upper = (idx & m) == 0
+        tw = stage_twiddles(n, bit)
+        values = np.where(upper, values + partner, (partner - values) * tw)
+    # values[i] now holds X[bit_reverse(i)]; undo with the involution.
+    return values[bit_reversal_permutation(n)]
+
+
+def ifft_dif(x: np.ndarray) -> np.ndarray:
+    """Inverse DFT via conjugation: ``ifft(x) = conj(fft(conj(x))) / N``."""
+    x = np.asarray(x, dtype=np.complex128)
+    return np.conj(fft_dif(np.conj(x))) / x.size
+
+
+def dft_direct(x: np.ndarray) -> np.ndarray:
+    """O(N^2) direct DFT — the ground truth for small-size tests."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.size
+    k = np.arange(n)
+    matrix = np.exp(-2j * np.pi * np.outer(k, k) / n)
+    return matrix @ x

@@ -1,0 +1,38 @@
+"""Twiddle factors for the radix-2 decimation-in-frequency FFT.
+
+A DIF butterfly of span ``m = 2**bit`` pairs indices ``i`` and ``i + m``
+inside blocks of ``2m``; the lower output is scaled by
+``W_{2m}^{i mod m} = exp(-2*pi*j*(i mod m)/(2m))``.  The helpers here are the
+single source of those factors for both the sequential reference FFT and the
+parallel machine programs, so a twiddle bug cannot hide by cancelling between
+the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["twiddle", "stage_twiddles"]
+
+
+def twiddle(order: int, exponent: int | np.ndarray) -> complex | np.ndarray:
+    """``W_order^exponent = exp(-2*pi*j*exponent/order)`` (DFT sign
+    convention: negative exponent, matching ``numpy.fft``)."""
+    if order < 1:
+        raise ValueError("twiddle order must be positive")
+    return np.exp(-2j * np.pi * np.asarray(exponent) / order)
+
+
+def stage_twiddles(n: int, bit: int) -> np.ndarray:
+    """Per-PE twiddles for the DIF stage exchanging on ``bit``.
+
+    Entry ``i`` is the factor PE ``i`` applies when it computes the *lower*
+    butterfly output (PEs whose bit ``bit`` is 0 ignore it and add instead).
+    """
+    if bit < 0:
+        raise ValueError("bit must be non-negative")
+    m = 1 << bit
+    if m >= n:
+        raise ValueError(f"bit {bit} out of range for {n} points")
+    idx = np.arange(n)
+    return twiddle(2 * m, idx % m)

@@ -1,0 +1,25 @@
+"""Hardware model: pin-limited crossbars, transmission-line links, and the
+equal-aggregate-bandwidth cost normalization of Section III-D."""
+
+from .cost import NormalizedNetwork, link_bandwidth, link_pins, normalize, step_time
+from .crossbar import Crossbar, ganged_bandwidth, pins_per_port
+from .link import Link, SPEED_NS_PER_FOOT
+from .technology import GAAS_1992, GBIT, MBIT, NANOSECOND, Technology
+
+__all__ = [
+    "Technology",
+    "GAAS_1992",
+    "MBIT",
+    "GBIT",
+    "NANOSECOND",
+    "Crossbar",
+    "pins_per_port",
+    "ganged_bandwidth",
+    "Link",
+    "SPEED_NS_PER_FOOT",
+    "NormalizedNetwork",
+    "normalize",
+    "link_pins",
+    "link_bandwidth",
+    "step_time",
+]

@@ -1,0 +1,195 @@
+"""Equal-aggregate-bandwidth normalization (Section III-D).
+
+The comparison gives every network the *same crossbar IC inventory* — one
+``K``-pin IC per PE, hence aggregate bandwidth ``N * K * L`` — and then asks
+how much bandwidth each topology can put behind a single inter-PE channel:
+
+* a point-to-point network uses its IC as a ``degree``-way routing node, so
+  each link is driven by ``K / degree`` pins in parallel
+  (mesh: ``K/5`` -> bandwidth ``KL/5``; hypercube: ``K/(log N + 1)``);
+* the hypermesh spends the same ``N`` ICs on its ``n * N / b`` nets, ganging
+  ``b/n`` ICs per net, which gives every node ``K/n`` pins into each net
+  (2D: bandwidth ``KL/2`` — equation (1) of the paper).
+
+:func:`normalize` turns any topology plus a :class:`Technology` into a
+:class:`NormalizedNetwork` carrying the pins-per-link, link bandwidth and
+per-step packet time used by every downstream table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.base import HypergraphTopology, PointToPointTopology, Topology
+from .crossbar import ganged_bandwidth
+from .link import Link
+from .technology import Technology
+
+__all__ = ["NormalizedNetwork", "normalize", "link_pins", "link_bandwidth", "step_time"]
+
+
+@dataclass(frozen=True)
+class NormalizedNetwork:
+    """A topology with its equal-cost hardware realization.
+
+    Attributes
+    ----------
+    topology:
+        The interconnection network being costed.
+    technology:
+        Crossbar/packet/propagation parameters.
+    ic_budget:
+        Crossbar ICs allocated — ``N`` for every network in the paper.
+    pins_per_link:
+        Crossbar IO pins ganged behind one inter-PE channel.
+    link:
+        The resulting :class:`~repro.hardware.link.Link`.
+    """
+
+    topology: Topology
+    technology: Technology
+    ic_budget: int
+    pins_per_link: float
+    link: Link
+
+    @property
+    def link_bandwidth(self) -> float:
+        """Inter-PE channel bandwidth in bits/s."""
+        return self.link.bandwidth
+
+    @property
+    def step_time(self) -> float:
+        """Seconds per word-level data-transfer step (one packet per hop)."""
+        return self.link.packet_time(self.technology.packet_bits)
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Total crossbar IO bandwidth, identical across compared networks."""
+        return self.ic_budget * self.technology.aggregate_crossbar_bandwidth
+
+
+def link_pins(
+    topology: Topology,
+    technology: Technology,
+    *,
+    ic_budget: int | None = None,
+    include_pe_port: bool = True,
+) -> float:
+    """Crossbar pins driving one inter-PE channel under the normalization.
+
+    Parameters
+    ----------
+    topology:
+        Network to cost.
+    technology:
+        Crossbar parameters (``K`` pins each).
+    ic_budget:
+        Crossbar ICs available; defaults to ``N`` (one per PE), the paper's
+        equal-cost rule.
+    include_pe_port:
+        Point-to-point networks only: whether the routing node's PE port
+        consumes pins.  The paper derives the mesh with degree 5 (True) but
+        prints ``KL/4`` in Table 1B (False); True is canonical here.
+
+    Raises
+    ------
+    ValueError
+        If the topology cannot be built from the given crossbars (degree or
+        net size exceeding ``K``, or too few ICs for the nets).
+    """
+    n = topology.num_nodes
+    budget = n if ic_budget is None else int(ic_budget)
+    if budget < 1:
+        raise ValueError("IC budget must be positive")
+
+    if isinstance(topology, PointToPointTopology):
+        if budget < n:
+            raise ValueError(
+                f"point-to-point networks need one routing IC per PE: "
+                f"budget {budget} < {n}"
+            )
+        degree = topology.node_degree if include_pe_port else topology.node_degree - 1
+        if degree > technology.crossbar_ports:
+            raise ValueError(
+                f"node degree {degree} exceeds crossbar ports "
+                f"{technology.crossbar_ports}"
+            )
+        # Each PE's IC is shared by `degree` ports; spare pins are ganged.
+        pins = technology.crossbar_ports / degree
+    elif isinstance(topology, HypergraphTopology):
+        base = getattr(topology, "base")
+        dims = getattr(topology, "dims")
+        if base > technology.crossbar_ports:
+            raise ValueError(
+                f"hypermesh base {base} exceeds crossbar ports "
+                f"{technology.crossbar_ports} (the paper's K >= sqrt(N) constraint)"
+            )
+        num_nets = topology.num_nets()
+        ics_per_net = budget / num_nets
+        if ics_per_net < 1:
+            raise ValueError(
+                f"budget {budget} cannot give each of {num_nets} nets a crossbar"
+            )
+        # Each IC serves the net's `base` members with K/base pins apiece;
+        # ganging `ics_per_net` ICs multiplies the per-member pin count.
+        pins = ics_per_net * technology.crossbar_ports / base
+    else:  # pragma: no cover - no other channel models exist
+        raise TypeError(f"unsupported topology {type(topology).__name__}")
+
+    if technology.round_pins_down:
+        pins = float(int(pins))
+        if pins < 1:
+            raise ValueError("rounding left zero pins per link")
+    return pins
+
+
+def link_bandwidth(
+    topology: Topology,
+    technology: Technology,
+    *,
+    ic_budget: int | None = None,
+    include_pe_port: bool = True,
+) -> float:
+    """Inter-PE channel bandwidth in bits/s under the normalization."""
+    pins = link_pins(
+        topology, technology, ic_budget=ic_budget, include_pe_port=include_pe_port
+    )
+    return ganged_bandwidth(technology, pins)
+
+
+def step_time(
+    topology: Topology,
+    technology: Technology,
+    *,
+    ic_budget: int | None = None,
+    include_pe_port: bool = True,
+) -> float:
+    """Seconds per word-level data-transfer step (transmission + propagation)."""
+    return normalize(
+        topology, technology, ic_budget=ic_budget, include_pe_port=include_pe_port
+    ).step_time
+
+
+def normalize(
+    topology: Topology,
+    technology: Technology,
+    *,
+    ic_budget: int | None = None,
+    include_pe_port: bool = True,
+) -> NormalizedNetwork:
+    """Bundle a topology with its equal-cost hardware realization."""
+    budget = topology.num_nodes if ic_budget is None else int(ic_budget)
+    pins = link_pins(
+        topology, technology, ic_budget=budget, include_pe_port=include_pe_port
+    )
+    link = Link(
+        bandwidth=ganged_bandwidth(technology, pins),
+        propagation_delay=technology.propagation_delay,
+    )
+    return NormalizedNetwork(
+        topology=topology,
+        technology=technology,
+        ic_budget=budget,
+        pins_per_link=pins,
+        link=link,
+    )

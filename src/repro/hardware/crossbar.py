@@ -1,0 +1,107 @@
+"""A pin-limited crossbar switch IC.
+
+The paper's normalization rests on one engineering fact: a crossbar switch is
+a *single integrated circuit whose cost is its pin count*.  A ``K``-pin IC
+used as a ``b x b`` routing node (``b <= K``) has ``K / b`` pins to spare per
+port, which are ganged in parallel to widen each link; several ICs can also be
+ganged across an entire hypermesh net.  :class:`Crossbar` captures both uses
+and additionally acts as a *functional* switch for the simulator: it can be
+configured with any (partial) permutation of its ports and will refuse
+anything that is not one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .technology import Technology
+
+__all__ = ["Crossbar", "pins_per_port", "ganged_bandwidth"]
+
+
+def pins_per_port(technology: Technology, node_degree: int) -> float:
+    """Crossbar pins available to each port of a ``node_degree``-way node.
+
+    ``K / degree`` — fractional unless ``technology.round_pins_down`` is set,
+    mirroring the paper's decision to keep 12.8 pins/link for the mesh and
+    4.92 for the hypercube rather than rounding down.
+    """
+    if node_degree < 1:
+        raise ValueError("node degree must be >= 1")
+    if node_degree > technology.crossbar_ports:
+        raise ValueError(
+            f"node degree {node_degree} exceeds crossbar port count "
+            f"{technology.crossbar_ports}"
+        )
+    pins = technology.crossbar_ports / node_degree
+    return float(int(pins)) if technology.round_pins_down else pins
+
+
+def ganged_bandwidth(technology: Technology, pins: float) -> float:
+    """Bandwidth in bits/s of ``pins`` crossbar pins driven in parallel."""
+    if pins <= 0:
+        raise ValueError("need a positive number of pins")
+    return pins * technology.pin_bandwidth
+
+
+class Crossbar:
+    """A ``ports x ports`` non-blocking crossbar switch.
+
+    Functionally the switch realizes any one-to-one mapping from input ports
+    to output ports per step.  :meth:`configure` installs such a mapping and
+    raises on conflicts — this is the primitive the hypermesh simulator uses
+    to enforce "one permutation per net per step".
+    """
+
+    def __init__(self, ports: int):
+        if ports < 1:
+            raise ValueError("crossbar needs at least one port")
+        self._ports = int(ports)
+        self._mapping: dict[int, int] = {}
+
+    @property
+    def ports(self) -> int:
+        """Number of IO ports."""
+        return self._ports
+
+    @property
+    def mapping(self) -> Mapping[int, int]:
+        """Currently configured input -> output port mapping (read-only view)."""
+        return dict(self._mapping)
+
+    def configure(self, mapping: Mapping[int, int]) -> None:
+        """Install a (partial) permutation ``input_port -> output_port``.
+
+        Raises
+        ------
+        ValueError
+            If any port index is out of range, or two inputs target the same
+            output — a crossbar cannot merge streams.
+        """
+        outputs_seen: set[int] = set()
+        for inp, out in mapping.items():
+            if not 0 <= inp < self._ports:
+                raise ValueError(f"input port {inp} out of range [0, {self._ports})")
+            if not 0 <= out < self._ports:
+                raise ValueError(f"output port {out} out of range [0, {self._ports})")
+            if out in outputs_seen:
+                raise ValueError(f"output port {out} targeted by two inputs")
+            outputs_seen.add(out)
+        self._mapping = dict(mapping)
+
+    def route(self, input_port: int) -> int | None:
+        """Output port the given input is currently connected to, if any."""
+        if not 0 <= input_port < self._ports:
+            raise ValueError(f"input port {input_port} out of range [0, {self._ports})")
+        return self._mapping.get(input_port)
+
+    def clear(self) -> None:
+        """Remove the installed mapping."""
+        self._mapping = {}
+
+    def is_permutation(self) -> bool:
+        """True when the installed mapping is a *full* permutation."""
+        return len(self._mapping) == self._ports
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Crossbar(ports={self._ports}, configured={len(self._mapping)})"

@@ -1,0 +1,62 @@
+"""Inter-PE links modelled as high-speed transmission lines.
+
+The paper's delay model has exactly two terms (Section I):
+
+* **transmission delay** — the time for the packet to depart the source,
+  ``packet_bits / link_bandwidth``; and
+* **propagation delay** — the time to flush the transmission pipeline,
+  proportional to line length (about 1 ns/ft; the paper's worked example
+  charges 20 ns for ~20 feet).
+
+A :class:`Link` bundles a bandwidth with a propagation delay and answers
+"how long does one packet take".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link", "SPEED_NS_PER_FOOT"]
+
+#: Rule-of-thumb signal propagation on a transmission line, ns per foot.
+#: 20 feet * 1 ns/ft ~= the paper's 20 ns worked figure.
+SPEED_NS_PER_FOOT = 1.0
+
+
+@dataclass(frozen=True)
+class Link:
+    """A (possibly pin-ganged) inter-PE transmission line.
+
+    Attributes
+    ----------
+    bandwidth:
+        Usable bandwidth in bits/s (pins in parallel x pin bandwidth).
+    propagation_delay:
+        Line flush time in seconds.
+    """
+
+    bandwidth: float
+    propagation_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+
+    def transmission_time(self, packet_bits: int) -> float:
+        """Seconds for ``packet_bits`` to depart the source."""
+        if packet_bits < 1:
+            raise ValueError("packets need at least one bit")
+        return packet_bits / self.bandwidth
+
+    def packet_time(self, packet_bits: int) -> float:
+        """Total per-hop time: transmission plus propagation."""
+        return self.transmission_time(packet_bits) + self.propagation_delay
+
+    @staticmethod
+    def propagation_for_length(feet: float) -> float:
+        """Propagation delay in seconds for a line of ``feet`` feet."""
+        if feet < 0:
+            raise ValueError("line length cannot be negative")
+        return feet * SPEED_NS_PER_FOOT * 1e-9

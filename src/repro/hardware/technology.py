@@ -1,0 +1,83 @@
+"""Technology parameters for the discrete-component comparison (Section IV).
+
+The paper's numeric comparison assumes every network is assembled from
+commercially available GaAs crossbar ICs:
+
+* each crossbar has ``K = 64`` IO pins,
+* each pin carries ``L = 200 Mbit/s``,
+* packets are 128 bits (one complex sample at the word level),
+* a long transmission line (~20 feet) adds a 20 ns propagation delay.
+
+All of these are plain inputs to the timing model, captured in the frozen
+:class:`Technology` dataclass so ablations can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Technology", "GAAS_1992", "MBIT", "GBIT", "NANOSECOND"]
+
+#: One megabit per second, in bits/s.
+MBIT = 1e6
+#: One gigabit per second, in bits/s.
+GBIT = 1e9
+#: One nanosecond, in seconds.
+NANOSECOND = 1e-9
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Hardware technology point for the normalized comparison.
+
+    Attributes
+    ----------
+    crossbar_ports:
+        IO pins per crossbar IC — the paper's ``K``.
+    pin_bandwidth:
+        Bandwidth of one crossbar IO pin in bits/s — the paper's ``L``.
+    packet_bits:
+        Word-level packet size in bits (indivisible unit of transfer).
+    propagation_delay:
+        Per-hop transmission-line flush time in seconds; the paper charges it
+        only on networks with long lines (hypercube, hypermesh) and treats
+        nearest-neighbour mesh lines as free.
+    round_pins_down:
+        Whether to round fractional pins-per-link down to an integer.  The
+        paper deliberately does *not* round ("over-estimates the performance
+        of the 2D mesh / hypercube slightly"), so the default is False.
+    """
+
+    crossbar_ports: int = 64
+    pin_bandwidth: float = 200 * MBIT
+    packet_bits: int = 128
+    propagation_delay: float = 0.0
+    round_pins_down: bool = False
+
+    def __post_init__(self) -> None:
+        if self.crossbar_ports < 1:
+            raise ValueError("crossbar needs at least one port")
+        if self.pin_bandwidth <= 0:
+            raise ValueError("pin bandwidth must be positive")
+        if self.packet_bits < 1:
+            raise ValueError("packets need at least one bit")
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+
+    @property
+    def aggregate_crossbar_bandwidth(self) -> float:
+        """Total IO bandwidth of one crossbar IC, ``K * L`` bits/s."""
+        return self.crossbar_ports * self.pin_bandwidth
+
+    def with_propagation_delay(self, seconds: float) -> "Technology":
+        """Copy of this technology with a different propagation delay."""
+        return replace(self, propagation_delay=seconds)
+
+    def with_packet_bits(self, bits: int) -> "Technology":
+        """Copy of this technology with a different packet size."""
+        return replace(self, packet_bits=bits)
+
+
+#: The paper's Section IV technology point: 64x64 GaAs crossbars at
+#: 200 Mbit/s per pin, 128-bit packets, no propagation delay (Section IV-A).
+GAAS_1992 = Technology()

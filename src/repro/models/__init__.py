@@ -1,0 +1,78 @@
+"""Analytical models: communication timing, speedups, bisection bandwidth,
+and regeneration of the paper's tables."""
+
+from .bisection import (
+    BisectionBandwidth,
+    bisection_bandwidth_formula,
+    bisection_ratios,
+    computed_bisection_bandwidth,
+)
+from .speedup import (
+    LONG_LINE_NETWORKS,
+    NetworkComparison,
+    bitonic_comparison,
+    bitonic_steps,
+    section4_comparison,
+    speedup_sweep,
+)
+from .tables import table_1a, table_1b, table_2a, table_2b
+from .universality import (
+    UniversalityRow,
+    empirical_random_routing_steps,
+    hypercube_slowdown,
+    hypermesh_slowdown,
+    slowdown_table,
+)
+from .wafer import WaferTiming, crossover_size, wafer_fft_comparison
+from .wallclock import TimedMapping, mapping_time, pipeline_throughput, schedule_time
+from .wormhole import (
+    SwitchingComparison,
+    dense_exchange_time,
+    lone_packet_time,
+    mesh_fft_butterfly_time,
+)
+from .timing import (
+    CommTime,
+    StepConvention,
+    fft_comm_time,
+    fft_steps,
+    network_step_time,
+)
+
+__all__ = [
+    "StepConvention",
+    "CommTime",
+    "fft_steps",
+    "fft_comm_time",
+    "network_step_time",
+    "NetworkComparison",
+    "LONG_LINE_NETWORKS",
+    "section4_comparison",
+    "speedup_sweep",
+    "bitonic_comparison",
+    "bitonic_steps",
+    "BisectionBandwidth",
+    "bisection_bandwidth_formula",
+    "computed_bisection_bandwidth",
+    "bisection_ratios",
+    "table_1a",
+    "table_1b",
+    "table_2a",
+    "table_2b",
+    "UniversalityRow",
+    "hypercube_slowdown",
+    "hypermesh_slowdown",
+    "slowdown_table",
+    "empirical_random_routing_steps",
+    "SwitchingComparison",
+    "lone_packet_time",
+    "dense_exchange_time",
+    "mesh_fft_butterfly_time",
+    "TimedMapping",
+    "schedule_time",
+    "mapping_time",
+    "pipeline_throughput",
+    "WaferTiming",
+    "wafer_fft_comparison",
+    "crossover_size",
+]

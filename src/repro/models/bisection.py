@@ -1,0 +1,146 @@
+"""Bisection bandwidth (Section V).
+
+All three networks have the same *aggregate* bandwidth under the Section
+III-D normalization; what differs is how much of it crosses a bisector:
+
+* 2D mesh — ``sqrt(N)`` links cross the halving cut, each ``KL/5``:
+  bisection bandwidth ``sqrt(N) * KL / 5``;
+* hypercube — ``N/2`` dimension links cross, each ``KL/(log N + 1)``:
+  ``(N/2) * KL / (log N + 1)`` (the paper prints the loose ``KL/log N``);
+* 2D hypermesh — every column net is cut and every one of the ``N/2``
+  crossbar ICs serving those nets straddles the bisector with its full
+  ``KL`` bandwidth: the paper quotes ``N * KL / 2``.  Counting one-way
+  *port* capacity instead (each cut net can carry ``sqrt(N)/2`` packets per
+  step at ``KL/2`` per port) gives ``N * KL / 4`` — same O(N), half the
+  constant; both conventions are exposed.
+
+The ratios are the paper's point: hypermesh over mesh = O(sqrt(N)), over
+hypercube = O(log N).  :func:`computed_bisection_bandwidth` re-derives the
+numbers by actually counting crossing channels on a topology instance
+(:mod:`repro.networks.properties`), so the formulas are validated, not
+assumed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.complexity import NetworkKind
+from ..hardware.cost import link_bandwidth
+from ..hardware.technology import Technology
+from ..networks.addressing import ilog2
+from ..networks.base import HypergraphTopology, PointToPointTopology, Topology
+from ..networks.properties import halving_cut_links, net_crossing_ports
+
+__all__ = [
+    "BisectionBandwidth",
+    "bisection_bandwidth_formula",
+    "computed_bisection_bandwidth",
+    "bisection_ratios",
+]
+
+
+@dataclass(frozen=True)
+class BisectionBandwidth:
+    """Bisection bandwidth with its provenance.
+
+    ``channels`` is the number of crossing channels (links / net ports) and
+    ``per_channel`` their individual bandwidth; ``total = channels *
+    per_channel`` in bits/s (one-way).
+    """
+
+    network: NetworkKind
+    num_pes: int
+    channels: float
+    per_channel: float
+
+    @property
+    def total(self) -> float:
+        """One-way bisection bandwidth in bits/s."""
+        return self.channels * self.per_channel
+
+
+def _side(num_pes: int) -> int:
+    side = math.isqrt(num_pes)
+    if side * side != num_pes:
+        raise ValueError(f"2D layouts need a square PE count, got {num_pes}")
+    return side
+
+
+def bisection_bandwidth_formula(
+    network: NetworkKind,
+    num_pes: int,
+    technology: Technology,
+    *,
+    include_pe_port: bool = True,
+    paper_convention: bool = False,
+) -> BisectionBandwidth:
+    """Closed-form Section V bisection bandwidth.
+
+    ``paper_convention=True`` reproduces the printed formulas (mesh divisor
+    5, hypercube divisor ``log N``, hypermesh full-crossbar ``N*KL/2``);
+    the default counts one-way port capacity consistently across networks.
+    """
+    kl = technology.aggregate_crossbar_bandwidth
+    log_n = ilog2(num_pes)
+    if network is NetworkKind.MESH_2D or network is NetworkKind.TORUS_2D:
+        side = _side(num_pes)
+        channels = side if network is NetworkKind.MESH_2D else 2 * side
+        divisor = 5 if (include_pe_port or paper_convention) else 4
+        return BisectionBandwidth(network, num_pes, channels, kl / divisor)
+    if network is NetworkKind.HYPERCUBE:
+        divisor = log_n if paper_convention else (log_n + 1 if include_pe_port else log_n)
+        return BisectionBandwidth(network, num_pes, num_pes / 2, kl / divisor)
+    if network is NetworkKind.HYPERMESH_2D:
+        side = _side(num_pes)
+        if paper_convention:
+            # N/2 crossbar ICs straddle the cut, each with full bandwidth KL.
+            return BisectionBandwidth(network, num_pes, num_pes / 2, kl)
+        # One-way ports: sqrt(N) cut nets x sqrt(N)/2 crossing ports each,
+        # every port carrying KL/2.
+        return BisectionBandwidth(network, num_pes, side * side / 2, kl / 2)
+    raise ValueError(f"unknown network kind {network!r}")  # pragma: no cover
+
+
+def computed_bisection_bandwidth(
+    topology: Topology,
+    technology: Technology,
+    *,
+    include_pe_port: bool = True,
+) -> float:
+    """Bisection bandwidth by counting crossing channels on the instance.
+
+    Uses the index-halving cut (the coordinate bisector for all the
+    row-major topologies here) and the normalized per-channel bandwidths of
+    Section III-D.  One-way convention.
+    """
+    bw = link_bandwidth(topology, technology, include_pe_port=include_pe_port)
+    if isinstance(topology, PointToPointTopology):
+        return halving_cut_links(topology) * bw
+    if isinstance(topology, HypergraphTopology):
+        return net_crossing_ports(topology) * bw
+    raise TypeError(f"unsupported topology {type(topology).__name__}")
+
+
+def bisection_ratios(
+    num_pes: int,
+    technology: Technology,
+    *,
+    paper_convention: bool = True,
+) -> tuple[float, float]:
+    """(hypermesh/mesh, hypermesh/hypercube) bisection-bandwidth ratios.
+
+    The paper's claim: the first grows as O(sqrt(N)), the second as
+    O(log N).
+    """
+    hm = bisection_bandwidth_formula(
+        NetworkKind.HYPERMESH_2D, num_pes, technology, paper_convention=paper_convention
+    ).total
+    mesh = bisection_bandwidth_formula(
+        NetworkKind.MESH_2D, num_pes, technology, paper_convention=paper_convention
+    ).total
+    hc = bisection_bandwidth_formula(
+        NetworkKind.HYPERCUBE, num_pes, technology, paper_convention=paper_convention
+    ).total
+    return hm / mesh, hm / hc

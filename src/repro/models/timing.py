@@ -1,0 +1,144 @@
+"""Communication-time model (Sections III-E and IV).
+
+Total communication time = (data-transfer steps) x (time per step), where
+the per-step time follows from the equal-aggregate-bandwidth link bandwidths
+of Section III-D plus any propagation delay.  Two step-count conventions are
+provided:
+
+* ``PAPER`` — exactly what equations (2)-(4) charge: the mesh pays
+  ``2*sqrt(N)`` butterfly steps plus the optimistic wrap-around bit-reversal
+  ``sqrt(N)/2`` (total ``5*sqrt(N)/2``), the hypercube ``2 log N``, the
+  hypermesh ``log N + 3``.  This convention regenerates the published 8 us /
+  3.12 us / 0.3 us figures digit for digit.
+* ``CONSTRUCTIVE`` — the step counts of this repository's executable
+  schedules: mesh butterfly ``2(sqrt(N)-1)`` plus measured-form bit-reversal
+  ``2(sqrt(N)-1)`` (no wrap-around XY routing), hypercube
+  ``log N + 2*floor(log N / 2)``, hypermesh ``log N + 3``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..core.complexity import NetworkKind
+from ..hardware.cost import link_bandwidth
+from ..hardware.technology import Technology
+from ..networks.addressing import ilog2
+from ..networks.hypercube import Hypercube
+from ..networks.hypermesh import Hypermesh2D
+from ..networks.mesh import Mesh2D
+from ..networks.torus import Torus2D
+
+__all__ = ["StepConvention", "CommTime", "fft_steps", "network_step_time", "fft_comm_time"]
+
+
+class StepConvention(enum.Enum):
+    """Which step-count accounting to apply."""
+
+    PAPER = "paper"
+    CONSTRUCTIVE = "constructive"
+
+
+def _side(num_pes: int) -> int:
+    side = math.isqrt(num_pes)
+    if side * side != num_pes:
+        raise ValueError(f"2D layouts need a square PE count, got {num_pes}")
+    return side
+
+
+def fft_steps(
+    network: NetworkKind,
+    num_pes: int,
+    *,
+    include_bitrev: bool = True,
+    convention: StepConvention = StepConvention.PAPER,
+) -> float:
+    """Data-transfer steps of the ``num_pes``-point FFT on ``network``."""
+    log_n = ilog2(num_pes)
+    if network is NetworkKind.HYPERCUBE:
+        if convention is StepConvention.PAPER:
+            bitrev = log_n
+        else:
+            bitrev = 2 * (log_n // 2)
+        return log_n + (bitrev if include_bitrev else 0)
+    if network is NetworkKind.HYPERMESH_2D:
+        _side(num_pes)
+        return log_n + (3 if include_bitrev else 0)
+    if network in (NetworkKind.MESH_2D, NetworkKind.TORUS_2D):
+        side = _side(num_pes)
+        if convention is StepConvention.PAPER:
+            butterfly = 2 * side  # the paper's rounding in equation (2)
+            bitrev = side / 2  # optimistic wrap-around figure
+        else:
+            butterfly = 2 * (side - 1)
+            bitrev = side / 2 if network is NetworkKind.TORUS_2D else 2 * (side - 1)
+        return butterfly + (bitrev if include_bitrev else 0)
+    raise ValueError(f"unknown network kind {network!r}")  # pragma: no cover
+
+
+def _topology_for(network: NetworkKind, num_pes: int):
+    if network is NetworkKind.HYPERCUBE:
+        return Hypercube(ilog2(num_pes))
+    if network is NetworkKind.HYPERMESH_2D:
+        return Hypermesh2D(_side(num_pes))
+    if network is NetworkKind.MESH_2D:
+        return Mesh2D(_side(num_pes))
+    if network is NetworkKind.TORUS_2D:
+        return Torus2D(_side(num_pes))
+    raise ValueError(f"unknown network kind {network!r}")  # pragma: no cover
+
+
+def network_step_time(
+    network: NetworkKind,
+    num_pes: int,
+    technology: Technology,
+    *,
+    include_pe_port: bool = True,
+) -> float:
+    """Seconds per data-transfer step under the Section III-D normalization.
+
+    Includes ``technology.propagation_delay`` — the caller decides which
+    networks are charged for long lines (the paper charges only the
+    hypercube and hypermesh; nearest-neighbour mesh wires ride free).
+    """
+    topo = _topology_for(network, num_pes)
+    bw = link_bandwidth(topo, technology, include_pe_port=include_pe_port)
+    return technology.packet_bits / bw + technology.propagation_delay
+
+
+@dataclass(frozen=True)
+class CommTime:
+    """Step count, per-step time and total communication time."""
+
+    network: NetworkKind
+    num_pes: int
+    steps: float
+    step_time: float
+
+    @property
+    def total(self) -> float:
+        """Total communication time in seconds."""
+        return self.steps * self.step_time
+
+
+def fft_comm_time(
+    network: NetworkKind,
+    num_pes: int,
+    technology: Technology,
+    *,
+    include_bitrev: bool = True,
+    include_pe_port: bool = True,
+    convention: StepConvention = StepConvention.PAPER,
+) -> CommTime:
+    """FFT communication time on ``network`` (Section IV arithmetic)."""
+    steps = fft_steps(
+        network, num_pes, include_bitrev=include_bitrev, convention=convention
+    )
+    per_step = network_step_time(
+        network, num_pes, technology, include_pe_port=include_pe_port
+    )
+    return CommTime(
+        network=network, num_pes=num_pes, steps=steps, step_time=per_step
+    )

@@ -1,0 +1,104 @@
+"""Universality slowdowns (the Section I motivation).
+
+Valiant proved the degree-``log N`` hypercube can simulate any bounded-degree
+network with ``O(log N)`` slowdown; [13] proved the degree-``log N``
+hypermesh does it in ``O(log N / loglog N)`` — a ``O(loglog N)`` advantage,
+"the result that provided the motivation for this paper".
+
+These are asymptotic statements about randomized routing; the closed forms
+here expose the claimed growth (with unit constants, as the sources state
+them) so the scaling bench can chart the widening gap, and
+:func:`empirical_random_routing_steps` backs the trend with actual routed
+permutations on both networks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..networks.addressing import ilog2
+from ..networks.hypercube import Hypercube
+from ..networks.hypermesh import Hypermesh, degree_log_hypermesh_shape
+from ..routing.permutation import Permutation
+from ..sim.engine import route_permutation
+
+__all__ = [
+    "UniversalityRow",
+    "hypercube_slowdown",
+    "hypermesh_slowdown",
+    "slowdown_table",
+    "empirical_random_routing_steps",
+]
+
+
+def hypercube_slowdown(num_pes: int) -> float:
+    """Valiant's ``O(log N)`` simulation slowdown (unit constant)."""
+    return float(ilog2(num_pes))
+
+
+def hypermesh_slowdown(num_pes: int) -> float:
+    """[13]'s ``O(log N / loglog N)`` slowdown for degree-log hypermeshes."""
+    log_n = ilog2(num_pes)
+    if log_n < 2:
+        return float(log_n)
+    return log_n / math.log2(log_n)
+
+
+@dataclass(frozen=True)
+class UniversalityRow:
+    """One machine size in the slowdown comparison."""
+
+    num_pes: int
+    hypercube: float
+    hypermesh: float
+
+    @property
+    def advantage(self) -> float:
+        """Hypermesh advantage ``O(loglog N)``."""
+        return self.hypercube / self.hypermesh
+
+
+def slowdown_table(sizes: list[int]) -> list[UniversalityRow]:
+    """Slowdown rows across machine sizes."""
+    return [
+        UniversalityRow(
+            num_pes=n,
+            hypercube=hypercube_slowdown(n),
+            hypermesh=hypermesh_slowdown(n),
+        )
+        for n in sizes
+    ]
+
+
+def empirical_random_routing_steps(
+    num_pes: int,
+    trials: int = 5,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Mean measured steps to route random permutations on both networks.
+
+    Uses the degree-log hypermesh shape for ``num_pes`` and the same-size
+    hypercube; greedy deterministic routing (e-cube / digit-correction).
+    Random permutations are the *average* case the universality arguments
+    randomize adversarial patterns into, so the measured gap tracks the
+    diameter ratio ``log N : log N / loglog N``.
+    """
+    rng = np.random.default_rng(seed)
+    cube = Hypercube(ilog2(num_pes))
+    base, dims = degree_log_hypermesh_shape(num_pes)
+    hm = Hypermesh(base, dims)
+    cube_steps = []
+    hm_steps = []
+    for _ in range(trials):
+        perm = Permutation.random(num_pes, rng)
+        cube_steps.append(route_permutation(cube, perm).stats.steps)
+        hm_steps.append(route_permutation(hm, perm).stats.steps)
+    return {
+        "hypercube_mean_steps": float(np.mean(cube_steps)),
+        "hypermesh_mean_steps": float(np.mean(hm_steps)),
+        "hypermesh_dims": float(dims),
+        "hypercube_dims": float(cube.dimension),
+    }

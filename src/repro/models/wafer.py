@@ -1,0 +1,119 @@
+"""The wafer-scale caveat (Section I / Dally's analysis [4]).
+
+The paper's conclusion is scoped to *discrete-component* machines and it
+says so: "these conclusions may not hold when the network is implemented
+entirely on a single wafer, but this scenario is unlikely for the next
+decade or two."  This module models the excluded scenario so the boundary
+of the claim is computable rather than rhetorical.
+
+On a wafer, Dally's assumptions apply: wire *length* is the resource.  Lay
+the PEs out on a physical square grid with unit neighbour spacing.  Then
+
+* a 2D mesh link has length 1;
+* a hypermesh net spans a full row/column: its transmission line is
+  ``sqrt(N) - 1`` units long, and under equal *bisection-wire* budgeting
+  its wires are also ``sqrt(N)/2``-times narrower (slower) than the mesh's;
+* per-hop time = transmission (inversely proportional to wire width) +
+  propagation (proportional to length).
+
+:func:`wafer_fft_comparison` prices the same FFT step counts under this
+wire-cost model; :func:`crossover_size` finds where the mesh overtakes —
+the quantitative content of the paper's "may not hold".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..networks.addressing import ilog2
+
+__all__ = ["WaferTiming", "wafer_fft_comparison", "crossover_size"]
+
+
+@dataclass(frozen=True)
+class WaferTiming:
+    """Wafer-model FFT communication times (arbitrary wire-delay units)."""
+
+    num_pes: int
+    mesh_time: float
+    hypermesh_time: float
+
+    @property
+    def hypermesh_speedup(self) -> float:
+        """> 1 means the hypermesh still wins under wafer assumptions."""
+        return self.mesh_time / self.hypermesh_time
+
+
+def wafer_fft_comparison(
+    num_pes: int,
+    *,
+    base_transmission: float = 1.0,
+    propagation_per_unit: float = 0.2,
+    equal_bisection_wiring: bool = True,
+) -> WaferTiming:
+    """FFT communication time under equal-bisection-wire wafer budgeting.
+
+    Parameters
+    ----------
+    num_pes:
+        Machine size (an even power of two).
+    base_transmission:
+        Packet transmission time over a mesh-width wire (the unit).
+    propagation_per_unit:
+        Line-flush time per unit of physical wire length, in the same unit.
+    equal_bisection_wiring:
+        True applies Dally's wafer constraint (hypermesh wires are
+        ``sqrt(N)/2`` times narrower); False keeps full-width wires, which
+        together with ``propagation_per_unit = 0`` recovers the paper's
+        discrete-component regime where the hypermesh wins.
+
+    Model
+    -----
+    Equal bisection wiring: the hypermesh's ``N/2``-channel bisection must
+    squeeze through the same wafer cross-section as the mesh's ``sqrt(N)``
+    channels, so each hypermesh wire is ``sqrt(N)/2`` times narrower —
+    transmission time scales up by that factor — and each spans up to
+    ``sqrt(N) - 1`` units of propagation.  Step counts are the paper's:
+    ``5 sqrt(N)/2`` for the mesh, ``log N + 3`` for the hypermesh.
+    """
+    log_n = ilog2(num_pes)
+    if log_n % 2:
+        raise ValueError("2D layouts need an even power of two")
+    side = math.isqrt(num_pes)
+
+    mesh_step = base_transmission + propagation_per_unit * 1.0
+    mesh_time = (2.5 * side) * mesh_step
+
+    width_penalty = side / 2 if equal_bisection_wiring else 1.0
+    hm_step = base_transmission * width_penalty + propagation_per_unit * (side - 1)
+    hm_time = (log_n + 3) * hm_step
+
+    return WaferTiming(
+        num_pes=num_pes, mesh_time=mesh_time, hypermesh_time=hm_time
+    )
+
+
+def crossover_size(
+    *,
+    base_transmission: float = 1.0,
+    propagation_per_unit: float = 0.2,
+    max_exponent: int = 16,
+) -> int | None:
+    """Smallest machine size where the wafer-model mesh beats the hypermesh.
+
+    Returns None if the hypermesh wins at every tested size (propagation
+    and width penalties too small to matter).  Under Dally-style defaults
+    the crossover arrives at modest sizes — the computable content of the
+    paper's "may not hold on a wafer" caveat.
+    """
+    for k in range(2, max_exponent + 1):
+        n = 4**k
+        timing = wafer_fft_comparison(
+            n,
+            base_transmission=base_transmission,
+            propagation_per_unit=propagation_per_unit,
+        )
+        if timing.hypermesh_speedup < 1.0:
+            return n
+    return None

@@ -1,0 +1,98 @@
+"""Wall-clock pricing of executed schedules.
+
+The tables multiply closed-form step counts by normalized per-step times;
+this module prices *executed* artifacts the same way, so any schedule,
+mapping or algorithm run can be quoted in nanoseconds under any technology
+point:
+
+* :func:`schedule_time` — one :class:`~repro.sim.schedule.CommSchedule`;
+* :func:`mapping_time` — a whole FFT mapping (butterfly + bit reversal);
+* :func:`pipeline_throughput` — sustained rate when many transforms stream
+  through the machine back to back: the bottleneck is the busiest channel
+  (from :mod:`repro.sim.analysis`), not the latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fftmap import FftMapping
+from ..hardware.cost import NormalizedNetwork, normalize
+from ..hardware.technology import Technology
+from ..sim.analysis import channel_utilization
+from ..sim.schedule import CommSchedule
+
+__all__ = ["TimedMapping", "schedule_time", "mapping_time", "pipeline_throughput"]
+
+
+def schedule_time(
+    schedule: CommSchedule,
+    technology: Technology,
+    *,
+    normalized: NormalizedNetwork | None = None,
+) -> float:
+    """Seconds to run ``schedule`` on its topology under ``technology``.
+
+    Word-level: every data-transfer step costs one packet time on the
+    normalized inter-PE channel (transmission + propagation).
+    """
+    nn = normalized or normalize(schedule.topology, technology)
+    return schedule.num_steps * nn.step_time
+
+
+@dataclass(frozen=True)
+class TimedMapping:
+    """An FFT mapping priced under one technology point."""
+
+    mapping: FftMapping
+    normalized: NormalizedNetwork
+    butterfly_time: float
+    bitrev_time: float
+
+    @property
+    def total_time(self) -> float:
+        """Communication wall-clock of one transform, seconds."""
+        return self.butterfly_time + self.bitrev_time
+
+
+def mapping_time(mapping: FftMapping, technology: Technology) -> TimedMapping:
+    """Price a whole FFT mapping (Section IV's arithmetic on executed
+    schedules instead of closed forms)."""
+    nn = normalize(mapping.topology, technology)
+    butterfly = sum(s.num_steps for s in mapping.stage_schedules) * nn.step_time
+    bitrev = (
+        mapping.bitrev_schedule.num_steps * nn.step_time
+        if mapping.bitrev_schedule is not None
+        else 0.0
+    )
+    return TimedMapping(
+        mapping=mapping,
+        normalized=nn,
+        butterfly_time=butterfly,
+        bitrev_time=bitrev,
+    )
+
+
+def pipeline_throughput(mapping: FftMapping, technology: Technology) -> float:
+    """Sustained transforms/second when FFTs stream through the machine.
+
+    With transforms pipelined back to back, the steady-state initiation
+    interval is set by the busiest channel: it must carry its whole load
+    for every transform, one packet time per packet.  Latency (the step
+    count) cancels out — which is why throughput favours the hypermesh even
+    more than latency does: its load spreads over ``2 sqrt(N)`` fat nets.
+    """
+    nn = normalize(mapping.topology, technology)
+    # Accumulate loads across *all* phases per channel: the bottleneck
+    # channel's total load sets the initiation interval.
+    totals: dict = {}
+    schedules = list(mapping.stage_schedules)
+    if mapping.bitrev_schedule is not None:
+        schedules.append(mapping.bitrev_schedule)
+    for schedule in schedules:
+        for channel, load in channel_utilization(schedule).items():
+            totals[channel] = totals.get(channel, 0) + load
+    bottleneck = max(totals.values(), default=0)
+    if bottleneck == 0:
+        return float("inf")
+    return 1.0 / (bottleneck * nn.step_time)

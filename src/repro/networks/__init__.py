@@ -1,0 +1,68 @@
+"""Interconnection-network topologies compared by the paper.
+
+Exports the four topology families (mesh, torus/k-ary n-cube, binary
+hypercube, hypermesh), the addressing utilities they share, and the
+brute-force property validators used to cross-check Table 1A.
+"""
+
+from .addressing import (
+    bit_reversal_permutation,
+    bit_reverse,
+    bit_reverse_array,
+    digit_distance,
+    from_mixed_radix,
+    gray_code,
+    gray_decode,
+    hamming_distance,
+    ilog2,
+    is_power_of_two,
+    to_mixed_radix,
+)
+from .base import ChannelModel, HypergraphTopology, PointToPointTopology, Topology
+from .benes import BenesNetwork, BenesRouting
+from .embeddings import (
+    dilation,
+    hypermesh_hosts_with_dilation,
+    mesh2d_into_hypercube,
+    ring_into_hypercube,
+)
+from .hypercube import Hypercube
+from .hypermesh import Hypermesh, Hypermesh2D, degree_log_hypermesh_shape
+from .mesh import Mesh, Mesh2D
+from .omega import OmegaNetwork, OmegaTrace, SwitchConflict
+from .torus import Torus, Torus2D
+
+__all__ = [
+    "ChannelModel",
+    "Topology",
+    "PointToPointTopology",
+    "HypergraphTopology",
+    "Mesh",
+    "Mesh2D",
+    "Torus",
+    "Torus2D",
+    "Hypercube",
+    "Hypermesh",
+    "Hypermesh2D",
+    "degree_log_hypermesh_shape",
+    "OmegaNetwork",
+    "OmegaTrace",
+    "SwitchConflict",
+    "BenesNetwork",
+    "BenesRouting",
+    "ring_into_hypercube",
+    "mesh2d_into_hypercube",
+    "dilation",
+    "hypermesh_hosts_with_dilation",
+    "bit_reverse",
+    "bit_reverse_array",
+    "bit_reversal_permutation",
+    "hamming_distance",
+    "digit_distance",
+    "gray_code",
+    "gray_decode",
+    "ilog2",
+    "is_power_of_two",
+    "to_mixed_radix",
+    "from_mixed_radix",
+]

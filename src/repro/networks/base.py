@@ -1,0 +1,172 @@
+"""Topology abstraction shared by every interconnection network.
+
+The paper compares three architecturally different networks:
+
+* **point-to-point** graphs (2D mesh, torus, binary hypercube, k-ary
+  n-cube), where a *link* joins exactly two routing nodes and can carry one
+  packet per direction per data-transfer step; and
+* **hypergraph** networks (the hypermesh), where a *net* joins all nodes
+  aligned along one dimension and can realize one arbitrary permutation
+  among its members per data-transfer step.
+
+:class:`Topology` exposes the common structural interface (nodes, adjacency,
+distance, diameter, crossbar inventory), and declares which channel model the
+word-level simulator must enforce.  Concrete topologies provide closed-form
+answers; :mod:`repro.networks.properties` re-derives the same quantities by
+brute force so the formulas used in the paper's Table 1A are never taken on
+faith.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+__all__ = ["ChannelModel", "Topology", "PointToPointTopology", "HypergraphTopology"]
+
+
+class ChannelModel(enum.Enum):
+    """How a network's channels are shared during one data-transfer step."""
+
+    #: Each (directed) link carries at most one packet per step.
+    POINT_TO_POINT = "point-to-point"
+    #: Each hypergraph net realizes at most one partial permutation per step:
+    #: every member injects at most one packet and receives at most one.
+    HYPERGRAPH_NET = "hypergraph-net"
+
+
+class Topology(ABC):
+    """An interconnection network on ``num_nodes`` processing elements.
+
+    Nodes are integers ``0 .. num_nodes-1``; how an integer maps onto
+    coordinates is topology-specific (see :mod:`repro.networks.addressing`).
+    """
+
+    #: Short machine-readable identifier ("mesh2d", "hypercube", ...).
+    name: str = "topology"
+
+    def __init__(self, num_nodes: int):
+        if num_nodes <= 0:
+            raise ValueError("a topology needs at least one node")
+        self._num_nodes = int(num_nodes)
+
+    # ------------------------------------------------------------------ core
+    @property
+    def num_nodes(self) -> int:
+        """Number of processing elements ``N``."""
+        return self._num_nodes
+
+    @property
+    @abstractmethod
+    def channel_model(self) -> ChannelModel:
+        """Channel sharing discipline the simulator must enforce."""
+
+    @abstractmethod
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """All nodes reachable from ``node`` in one data-transfer step."""
+
+    @abstractmethod
+    def distance(self, node_a: int, node_b: int) -> int:
+        """Graph distance in data-transfer steps (closed form)."""
+
+    @property
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum :meth:`distance` over all node pairs (closed form)."""
+
+    # ----------------------------------------------------------- hardware
+    @property
+    @abstractmethod
+    def node_degree(self) -> int:
+        """Ports per routing node, *including* the port to the local PE.
+
+        This is the paper's "degree": a 2D mesh node has degree 5 (four
+        neighbours plus the PE), a hypercube node ``log N + 1``.
+        """
+
+    @property
+    @abstractmethod
+    def num_crossbars(self) -> int:
+        """Crossbar switch ICs required to build the network.
+
+        Point-to-point networks place one crossbar per PE; the hypermesh
+        spends its IC budget on the nets instead (Section III-D).
+        """
+
+    # ----------------------------------------------------------- utilities
+    def nodes(self) -> range:
+        """Iterate over all node identifiers."""
+        return range(self._num_nodes)
+
+    def validate_node(self, node: int) -> int:
+        """Raise ``ValueError`` unless ``node`` is a valid identifier."""
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self._num_nodes})")
+        return node
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_nodes={self._num_nodes})"
+
+
+class PointToPointTopology(Topology):
+    """A topology whose channels are two-ended links."""
+
+    @property
+    def channel_model(self) -> ChannelModel:
+        return ChannelModel.POINT_TO_POINT
+
+    @abstractmethod
+    def links(self) -> Iterator[tuple[int, int]]:
+        """Yield each undirected link exactly once as ``(u, v)`` with u < v."""
+
+    def num_links(self) -> int:
+        """Number of undirected links."""
+        return sum(1 for _ in self.links())
+
+    def to_networkx(self):
+        """Build a ``networkx.Graph`` view (requires the optional extra)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        graph.add_edges_from(self.links())
+        return graph
+
+
+class HypergraphTopology(Topology):
+    """A topology whose channels are multi-ended hypergraph nets."""
+
+    @property
+    def channel_model(self) -> ChannelModel:
+        return ChannelModel.HYPERGRAPH_NET
+
+    @abstractmethod
+    def nets(self) -> Sequence[tuple[int, ...]]:
+        """All hypergraph nets, each as the tuple of member nodes."""
+
+    @abstractmethod
+    def nets_of(self, node: int) -> tuple[int, ...]:
+        """Indices (into :meth:`nets`) of the nets ``node`` belongs to."""
+
+    def num_nets(self) -> int:
+        """Number of hypergraph nets."""
+        return len(self.nets())
+
+    def to_networkx(self):
+        """Clique-expansion ``networkx.Graph`` (each net becomes a clique).
+
+        Distances in the clique expansion equal hypermesh distances, which is
+        what the brute-force validators need.
+        """
+        import networkx as nx
+        from itertools import combinations
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        for net in self.nets():
+            graph.add_edges_from(combinations(net, 2))
+        return graph

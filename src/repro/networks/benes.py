@@ -1,0 +1,229 @@
+"""The Beneš rearrangeable multistage network.
+
+The Omega network (:mod:`repro.networks.omega`) blocks on most
+permutations; the classical fix is the Beneš network: ``2 log2 N - 1``
+stages of ``N/2`` two-by-two switches wired as a butterfly followed by a
+mirrored butterfly.  It is **rearrangeable** — any permutation passes in a
+single conflict-free pass — by the same Slepian–Duguid argument that gives
+the 2D hypermesh its 3-step bound, and the constructive switch setting is
+the classical **looping algorithm**:
+
+* inputs ``2i, 2i+1`` share a first-stage switch and must enter different
+  halves; outputs ``2j, 2j+1`` share a last-stage switch and must *leave*
+  different halves;
+* those constraints form a union of even cycles, 2-colored by walking each
+  loop; the color decides upper/lower half;
+* recurse on the two induced half-size permutations.
+
+Including it makes the paper's Section I taxonomy complete on both sides:
+the hypermesh is compared against a *blocking* multistage network (Omega)
+and a *rearrangeable* one (Beneš) — the latter matches the hypermesh's
+any-permutation power but spends ``2 log N - 1`` switch stages doing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing.permutation import Permutation
+from .addressing import ilog2
+
+__all__ = ["BenesNetwork", "BenesRouting"]
+
+
+@dataclass(frozen=True)
+class BenesRouting:
+    """Switch settings realizing one permutation.
+
+    ``settings[stage][switch]`` is False for *straight* (input k -> output
+    k) and True for *cross*.  Stages are numbered 0 .. 2 log N - 2.
+    """
+
+    num_ports: int
+    settings: tuple[tuple[bool, ...], ...]
+
+    @property
+    def num_stages(self) -> int:
+        """``2 log2 N - 1``."""
+        return len(self.settings)
+
+
+class BenesNetwork:
+    """An ``N x N`` Beneš network (``N`` a power of two, ``N >= 2``)."""
+
+    def __init__(self, num_ports: int):
+        self._width = ilog2(num_ports)
+        if self._width < 1:
+            raise ValueError("a Benes network needs at least 2 ports")
+        self._n = num_ports
+
+    @property
+    def num_ports(self) -> int:
+        """Inputs (= outputs) of the network."""
+        return self._n
+
+    @property
+    def num_stages(self) -> int:
+        """``2 log2 N - 1`` switch columns."""
+        return 2 * self._width - 1
+
+    @property
+    def switches_per_stage(self) -> int:
+        """``N / 2`` two-by-two switches per column."""
+        return self._n // 2
+
+    # ------------------------------------------------------------- routing
+    def route(self, perm: Permutation) -> BenesRouting:
+        """Compute switch settings realizing ``perm`` (looping algorithm).
+
+        Always succeeds — rearrangeability — and the result is verified by
+        :meth:`simulate` in the test suite.
+        """
+        if perm.n != self._n:
+            raise ValueError(
+                f"permutation on {perm.n} points, network has {self._n} ports"
+            )
+        stages: list[list[bool]] = [
+            [False] * (self._n // 2) for _ in range(self.num_stages)
+        ]
+        self._route_recursive(
+            perm.destinations.tolist(),
+            list(range(self._n)),
+            stage_lo=0,
+            stage_hi=self.num_stages - 1,
+            offset=0,
+            stages=stages,
+        )
+        return BenesRouting(
+            num_ports=self._n,
+            settings=tuple(tuple(s) for s in stages),
+        )
+
+    def _route_recursive(
+        self,
+        dest: list[int],
+        ports: list[int],
+        stage_lo: int,
+        stage_hi: int,
+        offset: int,
+        stages: list[list[bool]],
+    ) -> None:
+        """Set switches for the sub-network handling ``ports`` (size m).
+
+        ``dest`` maps local input position -> local output position within
+        this sub-network; ``offset`` is the first global switch index of the
+        sub-network in each of its stages.
+        """
+        m = len(dest)
+        if m == 2:
+            # The middle single switch: cross iff the pair swaps.
+            stages[stage_lo][offset] = dest[0] == 1
+            return
+
+        half = m // 2
+        # 2-color input pairs: color[i] says which half input i enters
+        # (0 = upper). Constraints: partners at input switches differ;
+        # partners at output switches differ.
+        inv = [0] * m
+        for i, d in enumerate(dest):
+            inv[d] = i
+        color = [-1] * m
+        for start in range(m):
+            if color[start] != -1:
+                continue
+            #
+
+            i = start
+            c = 0
+            while color[i] == -1:
+                color[i] = c
+                color[i ^ 1] = 1 - c
+                # Follow the output-pair constraint from i's partner.
+                partner_out = dest[i ^ 1]
+                j = inv[partner_out ^ 1]
+                c = 1 - color[i ^ 1]
+                i = j
+
+        # Input-stage switches: switch k handles inputs 2k, 2k+1; cross iff
+        # input 2k goes to the lower half.
+        for k in range(half):
+            stages[stage_lo][offset + k] = color[2 * k] == 1
+        # Output-stage switches: cross iff output 2k arrives from lower.
+        for k in range(half):
+            stages[stage_hi][offset + k] = color[inv[2 * k]] == 1
+
+        # Induced sub-permutations: input i sits at position i // 2 of its
+        # half; output d sits at position d // 2 of its half.
+        upper_dest = [0] * half
+        lower_dest = [0] * half
+        for i in range(m):
+            if color[i] == 0:
+                upper_dest[i // 2] = dest[i] // 2
+            else:
+                lower_dest[i // 2] = dest[i] // 2
+        self._route_recursive(
+            upper_dest, ports[:half], stage_lo + 1, stage_hi - 1, offset, stages
+        )
+        self._route_recursive(
+            lower_dest,
+            ports[half:],
+            stage_lo + 1,
+            stage_hi - 1,
+            offset + half // 2,
+            stages,
+        )
+
+    # ---------------------------------------------------------- simulation
+    def simulate(self, routing: BenesRouting) -> np.ndarray:
+        """Push one packet per input through ``routing``; return the arrival
+        order (``result[input] = output port``)."""
+        if routing.num_ports != self._n:
+            raise ValueError("routing was computed for a different size")
+        return np.array(
+            [self._trace(port, routing) for port in range(self._n)],
+            dtype=np.int64,
+        )
+
+    def _trace(self, port: int, routing: BenesRouting) -> int:
+        """Follow one packet through all stages (recursive descent that
+        mirrors the construction: depth d handles sub-networks of size
+        N / 2^d with local positions)."""
+        return self._trace_recursive(port, routing, depth=0, offset=0, size=self._n)
+
+    def _trace_recursive(
+        self, pos: int, routing: BenesRouting, depth: int, offset: int, size: int
+    ) -> int:
+        stage_lo = depth
+        stage_hi = self.num_stages - 1 - depth
+        if size == 2:
+            cross = routing.settings[stage_lo][offset]
+            return (pos ^ 1) if cross else pos
+
+        half = size // 2
+        switch = offset + pos // 2
+        cross = routing.settings[stage_lo][switch]
+        # Output port of the input switch: 0 = to upper half, 1 = lower.
+        out = (pos % 2) ^ (1 if cross else 0)
+        sub_pos = pos // 2
+        if out == 0:
+            sub_out = self._trace_recursive(
+                sub_pos, routing, depth + 1, offset, half
+            )
+            arrived_lower = False
+        else:
+            sub_out = self._trace_recursive(
+                sub_pos, routing, depth + 1, offset + half // 2, half
+            )
+            arrived_lower = True
+        # Output switch `sub_out` of this sub-network.
+        out_switch = offset + sub_out
+        cross_out = routing.settings[stage_hi][out_switch]
+        # Upper-half arrivals enter port 0, lower port 1.
+        port_in = 1 if arrived_lower else 0
+        port_out = port_in ^ (1 if cross_out else 0)
+        return 2 * sub_out + port_out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BenesNetwork(num_ports={self._n})"

@@ -1,0 +1,97 @@
+"""Graph embeddings between the compared topologies.
+
+The comparison's background fact — every network here can *host* the others
+with known cost — is what makes "which topology should the machine use?" a
+fair question.  This module provides the classical constructive embeddings
+and the quality metrics used to judge them:
+
+* **ring -> hypercube** via the binary-reflected Gray code (dilation 1);
+* **2D mesh/torus -> hypercube** via per-axis Gray codes (dilation 1 for
+  power-of-two sides);
+* **any graph -> 2D hypermesh** trivially at dilation 1 whenever the guest
+  fits in a row/column... not quite: the generic statement is dilation <= 2
+  because the hypermesh's diameter is 2 — captured by
+  :func:`hypermesh_hosts_with_dilation`.
+
+``dilation(guest, host, mapping)`` is the standard metric: the worst
+stretching of a guest edge in the host.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .addressing import gray_code, ilog2
+from .base import Topology
+from .hypercube import Hypercube
+
+__all__ = [
+    "ring_into_hypercube",
+    "mesh2d_into_hypercube",
+    "dilation",
+    "hypermesh_hosts_with_dilation",
+]
+
+
+def ring_into_hypercube(dimension: int) -> list[int]:
+    """Embed the ``2**dimension``-node ring into the same-size hypercube.
+
+    Returns ``mapping`` with ``mapping[ring_position] = hypercube_node``;
+    consecutive ring positions (including the wrap-around pair) land on
+    hypercube neighbours — dilation 1, the Gray-code classic.
+    """
+    n = 1 << dimension
+    return [gray_code(i) for i in range(n)]
+
+
+def mesh2d_into_hypercube(row_bits: int, col_bits: int) -> list[int]:
+    """Embed a ``2**row_bits x 2**col_bits`` mesh (or torus) into the
+    ``row_bits + col_bits``-dimensional hypercube at dilation 1.
+
+    Row-major guest node ``(r, c)`` maps to the concatenation of the two
+    axis Gray codes; neighbours along either axis differ in exactly one bit.
+    """
+    rows, cols = 1 << row_bits, 1 << col_bits
+    mapping = []
+    for r in range(rows):
+        for c in range(cols):
+            mapping.append((gray_code(r) << col_bits) | gray_code(c))
+    return mapping
+
+
+def dilation(guest: Topology, host: Topology, mapping: Sequence[int]) -> int:
+    """Worst host-distance between images of guest neighbours.
+
+    ``mapping[guest_node] = host_node`` must be injective onto host nodes.
+    """
+    if len(mapping) != guest.num_nodes:
+        raise ValueError("mapping must cover every guest node")
+    if len(set(mapping)) != len(mapping):
+        raise ValueError("mapping must be injective")
+    for node in mapping:
+        host.validate_node(node)
+    worst = 0
+    for node in guest.nodes():
+        for nb in guest.neighbors(node):
+            worst = max(worst, host.distance(mapping[node], mapping[nb]))
+    return worst
+
+
+def hypermesh_hosts_with_dilation(guest: Topology, side: int) -> int:
+    """Dilation of the identity embedding of ``guest`` into ``Hypermesh2D``.
+
+    Any graph on ``side**2`` nodes embeds into the 2D hypermesh with
+    dilation at most 2, because the hypermesh's diameter is 2 — the
+    structural reason every algorithm's communication maps so cheaply.
+    """
+    from .hypermesh import Hypermesh2D
+
+    hm = Hypermesh2D(side)
+    if guest.num_nodes != hm.num_nodes:
+        raise ValueError("guest size must equal side**2")
+    return dilation(guest, hm, list(range(guest.num_nodes)))
+
+
+def _hypercube_for(mapping: Sequence[int]) -> Hypercube:
+    """The smallest hypercube hosting ``mapping`` (helper for tests)."""
+    return Hypercube(ilog2(len(mapping)))

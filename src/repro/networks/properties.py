@@ -1,0 +1,162 @@
+"""Brute-force re-derivation of topology properties.
+
+Every closed-form quantity the paper's Table 1A relies on — degree, diameter,
+crossbar count, bisection width — is recomputed here from first principles
+(BFS over adjacency, exhaustive partition search, direct link counting) so the
+analytical classes in :mod:`repro.networks` are continuously cross-checked
+rather than trusted.  The functions are deliberately topology-agnostic: they
+consume only the :class:`~repro.networks.base.Topology` interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import combinations
+from typing import Mapping
+
+from .base import HypergraphTopology, PointToPointTopology, Topology
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity",
+    "computed_diameter",
+    "computed_average_distance",
+    "degree_histogram",
+    "max_network_degree",
+    "halving_cut_links",
+    "halving_cut_nets",
+    "net_crossing_ports",
+    "exhaustive_bisection_width",
+]
+
+
+def bfs_distances(topology: Topology, source: int) -> list[int]:
+    """Hop distances from ``source`` to every node, by breadth-first search.
+
+    One "hop" is one data-transfer step: a link traversal on a point-to-point
+    network, a net traversal on a hypermesh.
+    """
+    topology.validate_node(source)
+    dist = [-1] * topology.num_nodes
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nb in topology.neighbors(node):
+            if dist[nb] < 0:
+                dist[nb] = dist[node] + 1
+                queue.append(nb)
+    if any(d < 0 for d in dist):
+        raise ValueError("topology is not connected")
+    return dist
+
+
+def eccentricity(topology: Topology, node: int) -> int:
+    """Greatest BFS distance from ``node``."""
+    return max(bfs_distances(topology, node))
+
+
+def computed_diameter(topology: Topology) -> int:
+    """Diameter by all-pairs BFS — the ground truth for ``.diameter``."""
+    return max(eccentricity(topology, node) for node in topology.nodes())
+
+
+def computed_average_distance(topology: Topology) -> float:
+    """Mean BFS distance over ordered node pairs (excluding self-pairs)."""
+    n = topology.num_nodes
+    if n == 1:
+        return 0.0
+    total = sum(sum(bfs_distances(topology, node)) for node in topology.nodes())
+    return total / (n * (n - 1))
+
+
+def degree_histogram(topology: Topology) -> Mapping[int, int]:
+    """Histogram ``{neighbor_count: how_many_nodes}``."""
+    hist: dict[int, int] = {}
+    for node in topology.nodes():
+        d = len(topology.neighbors(node))
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def max_network_degree(topology: Topology) -> int:
+    """Largest neighbour count over all nodes (excludes the PE port)."""
+    return max(len(topology.neighbors(node)) for node in topology.nodes())
+
+
+def _halves(topology: Topology) -> tuple[frozenset[int], frozenset[int]]:
+    n = topology.num_nodes
+    if n % 2:
+        raise ValueError("halving cut needs an even number of nodes")
+    left = frozenset(range(n // 2))
+    right = frozenset(range(n // 2, n))
+    return left, right
+
+
+def halving_cut_links(topology: PointToPointTopology) -> int:
+    """Links crossing the index-halving bisector (nodes < N/2 vs >= N/2).
+
+    For the row-major topologies in this library the halving cut is the
+    natural coordinate bisector along the most significant dimension — e.g.
+    the horizontal cut through the middle of a 2D mesh, which yields the
+    minimum ``sqrt(N)`` crossing links the paper's Section V uses.
+    """
+    left, _ = _halves(topology)
+    return sum(1 for u, v in topology.links() if (u in left) != (v in left))
+
+
+def halving_cut_nets(topology: HypergraphTopology) -> int:
+    """Nets with members on both sides of the index-halving bisector."""
+    left, _ = _halves(topology)
+    count = 0
+    for net in topology.nets():
+        members_left = sum(1 for m in net if m in left)
+        if 0 < members_left < len(net):
+            count += 1
+    return count
+
+
+def net_crossing_ports(topology: HypergraphTopology) -> int:
+    """Total one-way port capacity crossing the index-halving bisector.
+
+    For each cut net the crossing capacity is limited by the smaller side:
+    ``min(members_left, members_right)`` packets can cross per step.  Summed
+    over nets this is the step-capacity analogue of a link count; Section V's
+    bisection-bandwidth accounting multiplies it by the per-port bandwidth.
+    """
+    left, _ = _halves(topology)
+    total = 0
+    for net in topology.nets():
+        members_left = sum(1 for m in net if m in left)
+        total += min(members_left, len(net) - members_left)
+    return total
+
+
+def exhaustive_bisection_width(topology: Topology, max_nodes: int = 14) -> int:
+    """True bisection width by exhaustive balanced-partition search.
+
+    Counts crossing *channels*: links for point-to-point networks, cut nets
+    for hypergraph networks.  Exponential in N — guarded by ``max_nodes``.
+    """
+    n = topology.num_nodes
+    if n % 2:
+        raise ValueError("bisection needs an even number of nodes")
+    if n > max_nodes:
+        raise ValueError(f"exhaustive search limited to {max_nodes} nodes, got {n}")
+
+    if isinstance(topology, PointToPointTopology):
+        channels = [frozenset(link) for link in topology.links()]
+    elif isinstance(topology, HypergraphTopology):
+        channels = [frozenset(net) for net in topology.nets()]
+    else:  # pragma: no cover - no other channel models exist
+        raise TypeError(f"unsupported topology {type(topology).__name__}")
+
+    best = len(channels) + 1
+    all_nodes = frozenset(topology.nodes())
+    # Fix node 0 on the left to halve the search space.
+    for rest in combinations(range(1, n), n // 2 - 1):
+        left = frozenset((0, *rest))
+        right = all_nodes - left
+        cut = sum(1 for ch in channels if ch & left and ch & right)
+        best = min(best, cut)
+    return best

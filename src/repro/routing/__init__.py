@@ -1,0 +1,41 @@
+"""Permutation machinery: algebra, standard families, bipartite edge
+coloring, and the hypermesh 3-step Clos routing."""
+
+from .clos import ClosRoute, is_col_internal, is_row_internal, route_permutation_3step
+from .edge_coloring import bipartite_edge_coloring, validate_edge_coloring
+from .families import (
+    ascend_schedule,
+    bit_permutation,
+    bit_reversal,
+    butterfly_exchange,
+    descend_schedule,
+    inverse_shuffle,
+    matrix_transpose,
+    perfect_shuffle,
+    vector_reversal,
+)
+from .hrelation import HRelation, decompose_h_relation, validate_rounds
+from .permutation import Permutation, is_permutation_array
+
+__all__ = [
+    "Permutation",
+    "is_permutation_array",
+    "bit_permutation",
+    "bit_reversal",
+    "butterfly_exchange",
+    "perfect_shuffle",
+    "inverse_shuffle",
+    "vector_reversal",
+    "matrix_transpose",
+    "ascend_schedule",
+    "descend_schedule",
+    "bipartite_edge_coloring",
+    "validate_edge_coloring",
+    "ClosRoute",
+    "route_permutation_3step",
+    "is_row_internal",
+    "is_col_internal",
+    "HRelation",
+    "decompose_h_relation",
+    "validate_rounds",
+]

@@ -1,0 +1,142 @@
+"""Minimal edge coloring of bipartite multigraphs.
+
+König's theorem: every bipartite (multi)graph can be properly edge-colored
+with exactly ``Delta`` colors (its maximum degree).  This is the engine of
+the hypermesh's rearrangeability — routing a permutation through a 2D
+hypermesh in 3 steps is exactly coloring the "source row -> destination row"
+demand multigraph with ``sqrt(N)`` colors, one color per intermediate column
+(Slepian–Duguid, applied in :mod:`repro.routing.clos`).
+
+The implementation is the classical Kempe-chain (alternating-path) algorithm:
+insert edges one at a time; when the first free color at the two endpoints
+differs, flip the two-colored alternating path hanging off one endpoint to
+make a common color free.  Worst case ``O(E * (V + Delta))`` — ample for the
+``sqrt(N) <= 64`` instances the paper considers and for the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["bipartite_edge_coloring", "validate_edge_coloring"]
+
+
+def bipartite_edge_coloring(
+    num_left: int,
+    num_right: int,
+    edges: Sequence[tuple[int, int]],
+) -> tuple[np.ndarray, int]:
+    """Properly edge-color a bipartite multigraph with ``Delta`` colors.
+
+    Parameters
+    ----------
+    num_left, num_right:
+        Sizes of the two vertex classes.
+    edges:
+        Multiset of ``(left_vertex, right_vertex)`` pairs; parallel edges are
+        allowed (the Clos demand graph has one edge per packet).
+
+    Returns
+    -------
+    (colors, num_colors):
+        ``colors[k]`` is the color of ``edges[k]``; ``num_colors`` equals the
+        maximum degree ``Delta`` (0 for an empty edge set).
+
+    Raises
+    ------
+    ValueError
+        On out-of-range vertex indices.
+    """
+    if num_left < 0 or num_right < 0:
+        raise ValueError("vertex-class sizes cannot be negative")
+
+    degree_left = np.zeros(num_left, dtype=np.int64)
+    degree_right = np.zeros(num_right, dtype=np.int64)
+    for u, v in edges:
+        if not 0 <= u < num_left:
+            raise ValueError(f"left vertex {u} out of range [0, {num_left})")
+        if not 0 <= v < num_right:
+            raise ValueError(f"right vertex {v} out of range [0, {num_right})")
+        degree_left[u] += 1
+        degree_right[v] += 1
+
+    if not edges:
+        return np.zeros(0, dtype=np.int64), 0
+
+    delta = int(max(degree_left.max(initial=0), degree_right.max(initial=0)))
+
+    no_edge = -1
+    # color tables: left_at[u][c] / right_at[v][c] = edge index or -1.
+    left_at = np.full((num_left, delta), no_edge, dtype=np.int64)
+    right_at = np.full((num_right, delta), no_edge, dtype=np.int64)
+    colors = np.full(len(edges), no_edge, dtype=np.int64)
+
+    def first_free(table_row: np.ndarray) -> int:
+        free = np.flatnonzero(table_row == no_edge)
+        # Degrees bound usage by delta, so a free slot always exists.
+        return int(free[0])
+
+    for eid, (u, v) in enumerate(edges):
+        a = first_free(left_at[u])
+        b = first_free(right_at[v])
+        if a != b:
+            # Flip the (a, b)-alternating path hanging off v so color a
+            # becomes free at v.  The path enters left vertices via color a,
+            # so it can never reach u (u has no a-colored edge) — flipping
+            # keeps u free at a.  Because v lacks a b-edge the walk is a
+            # simple path, not a cycle.
+            path: list[int] = []
+            side_right = True
+            vertex = v
+            want = a  # color of the next edge to follow
+            while True:
+                table = right_at if side_right else left_at
+                edge = int(table[vertex, want])
+                if edge == no_edge:
+                    break
+                path.append(edge)
+                eu, ev = edges[edge]
+                vertex = eu if side_right else ev
+                side_right = not side_right
+                want = a if want == b else b
+            # Two-phase flip (clear all entries, then rewrite) so parallel
+            # updates along the path never clobber each other.
+            for edge in path:
+                eu, ev = edges[edge]
+                left_at[eu, colors[edge]] = no_edge
+                right_at[ev, colors[edge]] = no_edge
+            for edge in path:
+                colors[edge] = a if colors[edge] == b else b
+                eu, ev = edges[edge]
+                left_at[eu, colors[edge]] = edge
+                right_at[ev, colors[edge]] = edge
+        colors[eid] = a
+        left_at[u, a] = eid
+        right_at[v, a] = eid
+
+    return colors, delta
+
+
+def validate_edge_coloring(
+    num_left: int,
+    num_right: int,
+    edges: Sequence[tuple[int, int]],
+    colors: np.ndarray,
+) -> None:
+    """Raise ``ValueError`` unless ``colors`` is a proper edge coloring."""
+    seen_left: set[tuple[int, int]] = set()
+    seen_right: set[tuple[int, int]] = set()
+    if len(colors) != len(edges):
+        raise ValueError("one color per edge required")
+    for (u, v), c in zip(edges, colors):
+        c = int(c)
+        if c < 0:
+            raise ValueError("uncolored edge")
+        if (u, c) in seen_left:
+            raise ValueError(f"color {c} repeated at left vertex {u}")
+        if (v, c) in seen_right:
+            raise ValueError(f"color {c} repeated at right vertex {v}")
+        seen_left.add((u, c))
+        seen_right.add((v, c))

@@ -1,0 +1,125 @@
+"""The standard permutation families of parallel algorithms.
+
+Section I of the paper singles out the permutations "the majority of parallel
+algorithms use": the Omega (perfect-shuffle) family, their inverses, and the
+ASCEND/DESCEND butterfly exchanges, plus the bit-reversal permutation that
+closes the FFT flow graph.  All are bit-permute-complement permutations,
+generated here from explicit bit specifications so their structure is
+available to the schedulers (e.g. the hypercube router exploits that a
+butterfly exchange moves along exactly one dimension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..networks.addressing import bit_reverse_array, ilog2
+from .permutation import Permutation
+
+__all__ = [
+    "bit_permutation",
+    "bit_reversal",
+    "butterfly_exchange",
+    "perfect_shuffle",
+    "inverse_shuffle",
+    "vector_reversal",
+    "matrix_transpose",
+    "ascend_schedule",
+    "descend_schedule",
+]
+
+
+def bit_permutation(
+    n: int, bit_source: tuple[int, ...] | list[int], complement_mask: int = 0
+) -> Permutation:
+    """Build the BPC permutation ``dest bit j = src bit bit_source[j] ^ mask_j``.
+
+    ``bit_source`` must list, for each destination bit position ``j`` (LSB
+    first), the source bit that feeds it; it must be a permutation of
+    ``0..log2(n)-1``.
+    """
+    width = ilog2(n)
+    if sorted(bit_source) != list(range(width)):
+        raise ValueError("bit_source must be a permutation of bit positions")
+    if not 0 <= complement_mask < n:
+        raise ValueError("complement mask out of range")
+    addrs = np.arange(n, dtype=np.int64)
+    dest = np.full(n, complement_mask, dtype=np.int64)
+    for j, src in enumerate(bit_source):
+        dest ^= ((addrs >> src) & 1) << j
+    return Permutation(dest)
+
+
+def bit_reversal(n: int) -> Permutation:
+    """The bit-reversal permutation on ``n`` points (an involution)."""
+    return Permutation(bit_reverse_array(ilog2(n)))
+
+
+def butterfly_exchange(n: int, dim: int) -> Permutation:
+    """Exchange partners across bit ``dim``: ``i <-> i ^ (1 << dim)``.
+
+    One FFT butterfly stage communicates exactly this involution; on the
+    hypercube it is a single-step neighbour swap along dimension ``dim``.
+    """
+    width = ilog2(n)
+    if not 0 <= dim < width:
+        raise ValueError(f"dimension {dim} out of range [0, {width})")
+    return Permutation(np.arange(n, dtype=np.int64) ^ (1 << dim))
+
+
+def perfect_shuffle(n: int) -> Permutation:
+    """The perfect shuffle: left-rotate the address bits by one.
+
+    ``dest = 2*src mod (n-1)`` for interior points — the interconnection of
+    each Omega-network stage.
+    """
+    width = ilog2(n)
+    # Destination bit j takes source bit (j-1) mod width.
+    return bit_permutation(n, [(j - 1) % width for j in range(width)])
+
+
+def inverse_shuffle(n: int) -> Permutation:
+    """Right-rotate the address bits by one (inverse Omega stage)."""
+    width = ilog2(n)
+    return bit_permutation(n, [(j + 1) % width for j in range(width)])
+
+
+def vector_reversal(n: int) -> Permutation:
+    """``i -> n-1-i``: complement every address bit (the all-ones BPC mask).
+
+    On the 2D mesh this is the permutation whose corner packets give the
+    paper's bit-reversal lower bound of ``2(sqrt(N)-1)`` steps.
+    """
+    width = ilog2(n)
+    return bit_permutation(n, list(range(width)), complement_mask=n - 1)
+
+
+def matrix_transpose(rows: int, cols: int) -> Permutation:
+    """Row-major transpose of a ``rows x cols`` array laid out linearly.
+
+    ``(r, c) -> (c, r)``; on the 2D hypermesh it is realizable in 2 steps and
+    used by higher-radix FFT layouts.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("matrix dimensions must be positive")
+    src = np.arange(rows * cols, dtype=np.int64)
+    r, c = src // cols, src % cols
+    return Permutation(c * rows + r)
+
+
+def descend_schedule(n: int) -> list[Permutation]:
+    """The DESCEND communication schedule: butterfly exchanges on bits
+    ``log n - 1`` down to ``0``.
+
+    This is the order a decimation-in-frequency FFT (the paper's Fig. 3
+    SW-banyan) visits dimensions.
+    """
+    width = ilog2(n)
+    return [butterfly_exchange(n, d) for d in reversed(range(width))]
+
+
+def ascend_schedule(n: int) -> list[Permutation]:
+    """The ASCEND communication schedule: butterfly exchanges on bits
+    ``0`` up to ``log n - 1``."""
+    width = ilog2(n)
+    return [butterfly_exchange(n, d) for d in range(width)]

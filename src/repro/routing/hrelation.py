@@ -1,0 +1,109 @@
+"""h-relation decomposition — permutations are not the whole story.
+
+When a machine has fewer PEs than data items (the blocked FFT of
+:mod:`repro.fft.blocked`), one communication phase asks every PE to send up
+to ``h`` packets and receive up to ``h`` packets: an **h-relation**.  A
+rearrangeable network that realizes any permutation in ``s`` steps realizes
+any h-relation in ``h * s`` steps, by decomposing the demand into ``h``
+permutations — and the decomposition is again König edge coloring: build the
+bipartite multigraph (source PE -> destination PE, one edge per packet),
+color with ``Delta = h`` colors, and each color class is a partial
+permutation.
+
+This is the same machinery as the hypermesh's 3-step Clos routing one level
+up, which is why it lives beside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .edge_coloring import bipartite_edge_coloring
+
+__all__ = ["HRelation", "decompose_h_relation"]
+
+
+@dataclass(frozen=True)
+class HRelation:
+    """A multiset of point-to-point demands between ``num_pes`` PEs.
+
+    ``demands[k] = (src, dst)`` for packet ``k``; self-demands are allowed
+    (they cost nothing and are dropped from the rounds).
+    """
+
+    num_pes: int
+    demands: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for src, dst in self.demands:
+            if not (0 <= src < self.num_pes and 0 <= dst < self.num_pes):
+                raise ValueError(f"demand ({src}, {dst}) out of range")
+
+    @property
+    def h(self) -> int:
+        """The relation's degree: max packets any PE sends or receives."""
+        out = [0] * self.num_pes
+        inc = [0] * self.num_pes
+        for src, dst in self.demands:
+            if src != dst:
+                out[src] += 1
+                inc[dst] += 1
+        return max(max(out, default=0), max(inc, default=0))
+
+
+def decompose_h_relation(
+    relation: HRelation,
+) -> list[list[tuple[int, int, int]]]:
+    """Split an h-relation into ``h`` rounds of partial permutations.
+
+    Returns a list of rounds; each round is a list of ``(packet_index, src,
+    dst)`` triples in which every PE appears at most once as a source and at
+    most once as a destination — i.e. a partial permutation a rearrangeable
+    network can route at full speed.
+
+    The number of rounds equals the relation's degree ``h`` (König), which
+    is optimal: some PE must serialize ``h`` sends.
+    """
+    moving = [
+        (k, src, dst)
+        for k, (src, dst) in enumerate(relation.demands)
+        if src != dst
+    ]
+    if not moving:
+        return []
+    edges = [(src, dst) for _, src, dst in moving]
+    colors, num_rounds = bipartite_edge_coloring(
+        relation.num_pes, relation.num_pes, edges
+    )
+    rounds: list[list[tuple[int, int, int]]] = [[] for _ in range(num_rounds)]
+    for (k, src, dst), color in zip(moving, colors):
+        rounds[int(color)].append((k, src, dst))
+    return rounds
+
+
+def validate_rounds(
+    relation: HRelation, rounds: Sequence[Sequence[tuple[int, int, int]]]
+) -> None:
+    """Raise ``ValueError`` unless ``rounds`` is a proper decomposition."""
+    seen = set()
+    for round_ in rounds:
+        sources = set()
+        dests = set()
+        for k, src, dst in round_:
+            if relation.demands[k] != (src, dst):
+                raise ValueError(f"packet {k} has wrong endpoints")
+            if k in seen:
+                raise ValueError(f"packet {k} scheduled twice")
+            seen.add(k)
+            if src in sources:
+                raise ValueError(f"PE {src} sends twice in one round")
+            if dst in dests:
+                raise ValueError(f"PE {dst} receives twice in one round")
+            sources.add(src)
+            dests.add(dst)
+    expected = {
+        k for k, (src, dst) in enumerate(relation.demands) if src != dst
+    }
+    if seen != expected:
+        raise ValueError("decomposition drops or invents packets")

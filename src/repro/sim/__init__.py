@@ -1,0 +1,61 @@
+"""Word-level synchronous network simulator: schedules, routers, adaptive
+routing engine, and the SIMD compute/communicate machine."""
+
+from .engine import (
+    RoutedDemands,
+    RoutedPermutation,
+    replay_schedule,
+    route_demands,
+    route_permutation,
+)
+from .machine import Compute, Exchange, Permute, ProgramOp, RunResult, SimdMachine
+from .routers import (
+    HypercubeEcubeRouter,
+    HypermeshDigitRouter,
+    MeshDimensionOrderRouter,
+    Router,
+    TorusDimensionOrderRouter,
+    router_for,
+)
+from .schedule import CommSchedule, ScheduleError, schedule_from_phases
+from .stats import RoutingStats
+from .analysis import (
+    TrafficSummary,
+    bisection_crossings,
+    channel_utilization,
+    traffic_summary,
+)
+from .deflection import DeflectionResult, route_deflection
+from .valiant import TwoPhaseRoute, route_two_phase
+
+__all__ = [
+    "CommSchedule",
+    "ScheduleError",
+    "schedule_from_phases",
+    "RoutingStats",
+    "Router",
+    "MeshDimensionOrderRouter",
+    "TorusDimensionOrderRouter",
+    "HypercubeEcubeRouter",
+    "HypermeshDigitRouter",
+    "router_for",
+    "route_permutation",
+    "RoutedPermutation",
+    "route_demands",
+    "RoutedDemands",
+    "replay_schedule",
+    "SimdMachine",
+    "Exchange",
+    "Compute",
+    "Permute",
+    "ProgramOp",
+    "RunResult",
+    "TwoPhaseRoute",
+    "route_two_phase",
+    "DeflectionResult",
+    "route_deflection",
+    "TrafficSummary",
+    "bisection_crossings",
+    "channel_utilization",
+    "traffic_summary",
+]

@@ -1,0 +1,99 @@
+"""Traffic analysis of executed schedules.
+
+Section V explains the hypermesh's win through bisection bandwidth: "every
+Butterfly permutation causes transfers over a network bisector".  These
+tools measure that statement on real schedules instead of asserting it:
+
+* :func:`bisection_crossings` counts, per step, how many packet moves cross
+  the index-halving bisector;
+* :func:`channel_utilization` histograms how many times each channel
+  (directed link / (net, direction) port pair) carried a packet;
+* :func:`traffic_summary` bundles both with the peak-step load.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..networks.base import ChannelModel, HypergraphTopology
+from .schedule import CommSchedule
+
+__all__ = ["TrafficSummary", "bisection_crossings", "channel_utilization", "traffic_summary"]
+
+
+def bisection_crossings(schedule: CommSchedule) -> list[int]:
+    """Packets crossing the index-halving bisector, per step.
+
+    A move crosses when its source and destination nodes lie on opposite
+    sides of ``node < N/2``.
+    """
+    n = schedule.topology.num_nodes
+    half = n // 2
+    position = list(range(schedule.logical.n))
+    crossings = []
+    for step in schedule.steps:
+        count = 0
+        for pid, node in step.items():
+            if (position[pid] < half) != (node < half):
+                count += 1
+            position[pid] = node
+        crossings.append(count)
+    return crossings
+
+
+def channel_utilization(schedule: CommSchedule) -> Counter:
+    """How many packets each channel carried over the whole schedule.
+
+    Point-to-point channels are directed links ``(u, v)``; hypergraph
+    channels are ``(net, sender)`` port pairs.
+    """
+    topo = schedule.topology
+    hypergraph = topo.channel_model is ChannelModel.HYPERGRAPH_NET
+    position = list(range(schedule.logical.n))
+    usage: Counter = Counter()
+    for step in schedule.steps:
+        for pid, node in step.items():
+            src = position[pid]
+            if hypergraph:
+                assert isinstance(topo, HypergraphTopology)
+                nets = set(topo.nets_of(src)) & set(topo.nets_of(node))
+                net = min(nets)  # hypermesh nets share at most one net
+                usage[(net, src)] += 1
+            else:
+                usage[(src, node)] += 1
+            position[pid] = node
+    return usage
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate traffic statistics of one schedule."""
+
+    steps: int
+    total_moves: int
+    bisection_crossings_total: int
+    bisection_crossings_peak: int
+    busiest_channel_load: int
+    channels_used: int
+
+    @property
+    def crossing_fraction(self) -> float:
+        """Share of all moves that crossed the bisector."""
+        if self.total_moves == 0:
+            return 0.0
+        return self.bisection_crossings_total / self.total_moves
+
+
+def traffic_summary(schedule: CommSchedule) -> TrafficSummary:
+    """Aggregate bisection and channel-load statistics for a schedule."""
+    crossings = bisection_crossings(schedule)
+    usage = channel_utilization(schedule)
+    return TrafficSummary(
+        steps=schedule.num_steps,
+        total_moves=schedule.total_hops(),
+        bisection_crossings_total=sum(crossings),
+        bisection_crossings_peak=max(crossings, default=0),
+        busiest_channel_load=max(usage.values(), default=0),
+        channels_used=len(usage),
+    )

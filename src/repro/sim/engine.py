@@ -1,0 +1,247 @@
+"""The synchronous word-level network simulator.
+
+One *data-transfer step* advances the whole machine at once, exactly as the
+paper's SIMD word-level model prescribes:
+
+* every directed link of a point-to-point network forwards at most one
+  packet;
+* every hypermesh net realizes at most one partial permutation (each member
+  node injects at most one packet into the net and accepts at most one from
+  it);
+* packets that lose arbitration wait in unbounded FIFO buffers at their
+  current node.
+
+:func:`route_permutation` drives one packet per node adaptively with a
+per-topology :class:`~repro.sim.routers.Router` and **records** every move,
+returning a :class:`~repro.sim.schedule.CommSchedule` plus congestion
+statistics.  :func:`route_demands` generalizes to arbitrary multisets of
+``(source, destination)`` packets — h-relations — under the very same
+channel constraints, which is how the blocked FFT's m-relation bit reversal
+can be *executed* rather than only planned.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..networks.base import ChannelModel, HypergraphTopology, Topology
+from ..routing.permutation import Permutation
+from .routers import Router, router_for
+from .schedule import CommSchedule, ScheduleError
+from .stats import RoutingStats
+
+__all__ = [
+    "RoutedPermutation",
+    "RoutedDemands",
+    "route_permutation",
+    "route_demands",
+    "replay_schedule",
+]
+
+
+@dataclass(frozen=True)
+class RoutedPermutation:
+    """Result of adaptively routing a permutation."""
+
+    schedule: CommSchedule
+    stats: RoutingStats
+
+
+@dataclass(frozen=True)
+class RoutedDemands:
+    """Result of adaptively routing an arbitrary packet multiset.
+
+    ``steps[s][packet_index] = node moved to during step s`` — the same
+    time-expanded encoding as :class:`CommSchedule`, but packets are
+    identified by their index into ``demands`` and may start anywhere.
+    """
+
+    demands: tuple[tuple[int, int], ...]
+    steps: tuple[dict[int, int], ...]
+    stats: RoutingStats
+
+
+def _route_core(
+    topology: Topology,
+    sources: Sequence[int],
+    dests: Sequence[int],
+    router: Router,
+    max_steps: int,
+) -> tuple[list[dict[int, int]], RoutingStats]:
+    """Shared arbitration loop for permutation and h-relation routing."""
+    n = topology.num_nodes
+    hypergraph = topology.channel_model is ChannelModel.HYPERGRAPH_NET
+
+    position = list(sources)
+    queues: list[deque[int]] = [deque() for _ in range(n)]
+    in_flight = 0
+    for pid, (src, dst) in enumerate(zip(sources, dests)):
+        if src != dst:
+            queues[src].append(pid)
+            in_flight += 1
+
+    stats = RoutingStats()
+    stats.delivered = len(sources) - in_flight
+    stats.max_queue_depth = max((len(q) for q in queues), default=0)
+    steps: list[dict[int, int]] = []
+
+    while in_flight:
+        if stats.steps >= max_steps:
+            raise ScheduleError(
+                f"{in_flight} packets undelivered after {max_steps} steps"
+            )
+        moves: dict[int, int] = {}
+        used_links: set[tuple[int, int]] = set()
+        used_inject: set[tuple[int, int]] = set()
+        used_deliver: set[tuple[int, int]] = set()
+
+        # Propose in deterministic order: node index, then FIFO position.
+        for node in range(n):
+            for pid in queues[node]:
+                nxt = router.next_hop(node, dests[pid])
+                if nxt is None:
+                    continue  # already home (shouldn't be queued, but safe)
+                if hypergraph:
+                    net = _shared_net_id(topology, node, nxt)
+                    if net is None:
+                        raise ScheduleError(
+                            f"router proposed non-net hop {node} -> {nxt}"
+                        )
+                    if (net, node) in used_inject or (net, nxt) in used_deliver:
+                        stats.blocked_moves += 1
+                        continue
+                    used_inject.add((net, node))
+                    used_deliver.add((net, nxt))
+                else:
+                    link = (node, nxt)
+                    if link in used_links:
+                        stats.blocked_moves += 1
+                        continue
+                    used_links.add(link)
+                moves[pid] = nxt
+
+        if not moves:
+            raise ScheduleError(
+                f"deadlock: {in_flight} packets queued but none can move"
+            )
+
+        # Apply the granted moves.
+        for pid, nxt in moves.items():
+            queues[position[pid]].remove(pid)
+            position[pid] = nxt
+            if nxt == dests[pid]:
+                stats.delivered += 1
+                in_flight -= 1
+            else:
+                queues[nxt].append(pid)
+        steps.append(moves)
+        stats.steps += 1
+        stats.total_hops += len(moves)
+        stats.per_step_moves.append(len(moves))
+        depth = max((len(q) for q in queues), default=0)
+        stats.max_queue_depth = max(stats.max_queue_depth, depth)
+
+    return steps, stats
+
+
+def route_permutation(
+    topology: Topology,
+    perm: Permutation,
+    router: Router | None = None,
+    *,
+    max_steps: int | None = None,
+) -> RoutedPermutation:
+    """Route one packet per node to ``perm[node]`` and record the schedule.
+
+    Parameters
+    ----------
+    topology:
+        Network to route on.
+    perm:
+        Destination of the packet starting at each node.
+    router:
+        Routing discipline; defaults to the topology's canonical router.
+    max_steps:
+        Safety bound; defaults to ``10 * diameter + 10 * N`` which no
+        deterministic minimal-path discipline on these topologies exceeds.
+
+    Raises
+    ------
+    ScheduleError
+        If packets are undeliverable within ``max_steps`` (e.g. a router
+        proposing non-neighbours, which validation would also catch).
+    """
+    n = topology.num_nodes
+    if perm.n != n:
+        raise ValueError(f"permutation on {perm.n} points, topology has {n} nodes")
+    router = router or router_for(topology)
+    if max_steps is None:
+        max_steps = 10 * topology.diameter + 10 * n
+
+    steps, stats = _route_core(
+        topology, list(range(n)), perm.destinations.tolist(), router, max_steps
+    )
+    schedule = CommSchedule(
+        topology=topology, logical=perm, steps=tuple(steps)
+    )
+    return RoutedPermutation(schedule=schedule, stats=stats)
+
+
+def route_demands(
+    topology: Topology,
+    demands: Sequence[tuple[int, int]],
+    router: Router | None = None,
+    *,
+    max_steps: int | None = None,
+) -> RoutedDemands:
+    """Route an arbitrary packet multiset (an h-relation) adaptively.
+
+    Each ``demands[k] = (source, destination)`` packet starts at its source;
+    several packets may share a source or a destination — the channel
+    constraints (one packet per directed link per step; one injection and
+    one delivery per net port per step) still apply, so congestion shows up
+    as steps, exactly as the word model prescribes.
+
+    The ``max_steps`` default scales with the relation's degree ``h``.
+    """
+    n = topology.num_nodes
+    for src, dst in demands:
+        topology.validate_node(src)
+        topology.validate_node(dst)
+    router = router or router_for(topology)
+    if max_steps is None:
+        out = [0] * n
+        inc = [0] * n
+        for src, dst in demands:
+            if src != dst:
+                out[src] += 1
+                inc[dst] += 1
+        h = max(max(out, default=0), max(inc, default=0), 1)
+        max_steps = h * (10 * topology.diameter + 10 * n)
+
+    sources = [src for src, _ in demands]
+    dests = [dst for _, dst in demands]
+    steps, stats = _route_core(topology, sources, dests, router, max_steps)
+    return RoutedDemands(
+        demands=tuple((int(s), int(d)) for s, d in demands),
+        steps=tuple(steps),
+        stats=stats,
+    )
+
+
+def replay_schedule(schedule: CommSchedule) -> int:
+    """Validate a schedule against the hardware model and return its step
+    count.  Thin convenience wrapper so benchmark code reads naturally."""
+    schedule.validate()
+    return schedule.num_steps
+
+
+def _shared_net_id(topology: Topology, a: int, b: int) -> int | None:
+    assert isinstance(topology, HypergraphTopology)
+    nets_a = set(topology.nets_of(a))
+    for net in topology.nets_of(b):
+        if net in nets_a:
+            return net
+    return None

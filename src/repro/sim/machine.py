@@ -1,0 +1,158 @@
+"""A word-level SIMD machine: PEs with local values executing staged
+compute/communicate programs.
+
+The paper's algorithms (FFT, bitonic sort) alternate two kinds of phase:
+
+* **communication** — a permutation of packets across the network, costed in
+  data-transfer steps by a :class:`~repro.sim.schedule.CommSchedule`;
+* **computation** — every PE combines its own value with the one it just
+  received (a butterfly, a compare-exchange), costed as one computation step.
+
+:class:`SimdMachine` executes such programs *numerically* on a NumPy value
+array while accounting steps from the attached schedules, so correctness
+(``numpy.fft`` agreement, sortedness) and cost (Table 2A step counts) come
+out of the same run.  With ``validate=True`` every schedule is additionally
+replayed against the hardware constraints before its data movement is
+applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .schedule import CommSchedule
+
+__all__ = ["Exchange", "Compute", "Permute", "ProgramOp", "RunResult", "SimdMachine"]
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """Every PE sends a *copy* of its value along the schedule's permutation.
+
+    After the op, PE ``j`` has received the value of PE ``perm^{-1}(j)`` in
+    its communication register; local values are unchanged.  This is how a
+    butterfly stage shares operands: partners swap copies, then each computes
+    its own output.
+    """
+
+    schedule: CommSchedule
+    label: str = "exchange"
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Every PE updates its value from (own value, received value, PE index).
+
+    ``fn(values, received, pe_indices) -> new_values`` operates on whole
+    arrays (one entry per PE) so NumPy vectorization does the work; it must
+    not mutate its inputs.
+    """
+
+    fn: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    label: str = "compute"
+
+
+@dataclass(frozen=True)
+class Permute:
+    """Values *move* along the schedule's permutation (no copies kept)."""
+
+    schedule: CommSchedule
+    label: str = "permute"
+
+
+ProgramOp = Exchange | Compute | Permute
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a program.
+
+    Attributes
+    ----------
+    values:
+        Final per-PE values.
+    data_transfer_steps:
+        Total word-level data-transfer steps consumed by Exchange/Permute.
+    computation_steps:
+        Number of Compute ops executed.
+    op_steps:
+        Per-op breakdown ``(label, steps)`` in program order (Compute ops
+        appear with their single computation step).
+    """
+
+    values: np.ndarray
+    data_transfer_steps: int
+    computation_steps: int
+    op_steps: list[tuple[str, int]]
+
+
+class SimdMachine:
+    """Executes compute/communicate programs over a topology's PEs."""
+
+    def __init__(self, topology, *, validate: bool = False):
+        self._topology = topology
+        self._validate = bool(validate)
+
+    @property
+    def topology(self):
+        """The interconnection network the machine is built on."""
+        return self._topology
+
+    def run(self, program: Sequence[ProgramOp], values: np.ndarray) -> RunResult:
+        """Execute ``program`` on initial per-PE ``values``.
+
+        Raises
+        ------
+        ValueError
+            If ``values`` does not provide exactly one value per PE, or an
+            op's schedule targets a different topology.
+        repro.sim.schedule.ScheduleError
+            With ``validate=True``, if any schedule violates the hardware
+            model.
+        """
+        values = np.asarray(values)
+        n = self._topology.num_nodes
+        if values.shape[0] != n:
+            raise ValueError(f"need one value per PE: got {values.shape[0]}, want {n}")
+        values = values.copy()
+        received = np.zeros_like(values)
+        pe_indices = np.arange(n)
+
+        transfer_steps = 0
+        compute_steps = 0
+        op_steps: list[tuple[str, int]] = []
+
+        for op in program:
+            if isinstance(op, (Exchange, Permute)):
+                schedule = op.schedule
+                if schedule.topology is not self._topology:
+                    raise ValueError(
+                        f"op {op.label!r} scheduled on a different topology"
+                    )
+                if self._validate:
+                    schedule.validate()
+                moved = schedule.logical.apply(values)
+                if isinstance(op, Exchange):
+                    received = moved
+                else:
+                    values = moved
+                transfer_steps += schedule.num_steps
+                op_steps.append((op.label, schedule.num_steps))
+            elif isinstance(op, Compute):
+                values = op.fn(values, received, pe_indices)
+                if values.shape[0] != n:
+                    raise ValueError(f"compute op {op.label!r} changed the PE count")
+                compute_steps += 1
+                op_steps.append((op.label, 1))
+            else:  # pragma: no cover - exhaustive over ProgramOp
+                raise TypeError(f"unknown program op {op!r}")
+
+        return RunResult(
+            values=values,
+            data_transfer_steps=transfer_steps,
+            computation_steps=compute_steps,
+            op_steps=op_steps,
+        )

@@ -1,0 +1,225 @@
+"""Time-expanded communication schedules.
+
+A :class:`CommSchedule` says exactly which packet crosses which channel at
+which data-transfer step — the unit of account of the whole paper.  Both ways
+of producing communication are lowered to this one representation:
+
+* *algorithmic* schedules (hypercube butterfly exchanges, the hypermesh
+  3-step Clos route, mesh shift exchanges) are constructed directly by
+  :mod:`repro.core`, and
+* *adaptive* routing (greedy XY on the mesh) records the moves it made
+  (:mod:`repro.sim.engine`).
+
+Validation then enforces the word-level hardware constraints uniformly:
+
+* every move is one hop (link traversal / net traversal);
+* on point-to-point networks each **directed link** carries at most one
+  packet per step;
+* on hypergraph networks each node **injects at most one packet into a given
+  net** and **receives at most one packet from a given net** per step (the
+  crossbar port constraint);
+* after the last step every packet sits at its destination.
+
+Packet ``i`` always starts at node ``i`` (one packet per PE — the SIMD
+word-level model); its destination is ``logical[i]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..networks.base import (
+    ChannelModel,
+    HypergraphTopology,
+    PointToPointTopology,
+    Topology,
+)
+from ..routing.permutation import Permutation
+
+__all__ = ["CommSchedule", "ScheduleError", "schedule_from_phases"]
+
+
+class ScheduleError(ValueError):
+    """A communication schedule violates the word-level hardware model."""
+
+
+@dataclass(frozen=True)
+class CommSchedule:
+    """Moves of ``n`` packets over a number of data-transfer steps.
+
+    Attributes
+    ----------
+    topology:
+        Network the schedule runs on.
+    logical:
+        The permutation being realized; packet ``i`` starts at node ``i`` and
+        must end at ``logical[i]``.
+    steps:
+        One mapping per data-transfer step: ``{packet_id: node_moved_to}``.
+        Packets not mentioned stay where they are for that step.
+    """
+
+    topology: Topology
+    logical: Permutation
+    steps: tuple[Mapping[int, int], ...] = field(default_factory=tuple)
+
+    @property
+    def num_steps(self) -> int:
+        """Data-transfer steps consumed."""
+        return len(self.steps)
+
+    def final_positions(self) -> list[int]:
+        """Where each packet ends up after replaying all steps."""
+        pos = list(range(self.logical.n))
+        for step in self.steps:
+            for pid, node in step.items():
+                pos[pid] = node
+        return pos
+
+    def total_hops(self) -> int:
+        """Total channel traversals across all packets and steps."""
+        return sum(len(step) for step in self.steps)
+
+    def validate(self) -> None:
+        """Raise :class:`ScheduleError` on any hardware-model violation."""
+        topo = self.topology
+        n = self.logical.n
+        if n != topo.num_nodes:
+            raise ScheduleError(
+                f"{n} packets do not match {topo.num_nodes} nodes"
+            )
+        pos = list(range(n))
+        point_to_point = topo.channel_model is ChannelModel.POINT_TO_POINT
+        for step_index, step in enumerate(self.steps):
+            if point_to_point:
+                self._validate_point_to_point_step(topo, pos, step, step_index)
+            else:
+                self._validate_net_step(topo, pos, step, step_index)
+            for pid, node in step.items():
+                pos[pid] = node
+        for pid in range(n):
+            want = self.logical[pid]
+            if pos[pid] != want:
+                raise ScheduleError(
+                    f"packet {pid} ends at node {pos[pid]}, expected {want}"
+                )
+
+    @staticmethod
+    def _validate_point_to_point_step(
+        topo: PointToPointTopology,
+        pos: Sequence[int],
+        step: Mapping[int, int],
+        step_index: int,
+    ) -> None:
+        used_links: set[tuple[int, int]] = set()
+        for pid, node in step.items():
+            cur = pos[pid]
+            if node == cur:
+                raise ScheduleError(
+                    f"step {step_index}: packet {pid} 'moves' to its own node"
+                )
+            if node not in topo.neighbors(cur):
+                raise ScheduleError(
+                    f"step {step_index}: packet {pid} jumps {cur} -> {node} "
+                    f"(not adjacent)"
+                )
+            link = (cur, node)
+            if link in used_links:
+                raise ScheduleError(
+                    f"step {step_index}: directed link {link} carries two packets"
+                )
+            used_links.add(link)
+
+    @staticmethod
+    def _validate_net_step(
+        topo: HypergraphTopology,
+        pos: Sequence[int],
+        step: Mapping[int, int],
+        step_index: int,
+    ) -> None:
+        inject: set[tuple[int, int]] = set()  # (net, sender node)
+        deliver: set[tuple[int, int]] = set()  # (net, receiver node)
+        for pid, node in step.items():
+            cur = pos[pid]
+            if node == cur:
+                raise ScheduleError(
+                    f"step {step_index}: packet {pid} 'moves' to its own node"
+                )
+            net = _shared_net(topo, cur, node)
+            if net is None:
+                raise ScheduleError(
+                    f"step {step_index}: packet {pid} jumps {cur} -> {node} "
+                    f"(no shared net)"
+                )
+            if (net, cur) in inject:
+                raise ScheduleError(
+                    f"step {step_index}: node {cur} injects two packets into "
+                    f"net {net}"
+                )
+            if (net, node) in deliver:
+                raise ScheduleError(
+                    f"step {step_index}: node {node} receives two packets from "
+                    f"net {net}"
+                )
+            inject.add((net, cur))
+            deliver.add((net, node))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommSchedule(topology={self.topology!r}, "
+            f"steps={self.num_steps}, packets={self.logical.n})"
+        )
+
+
+def _shared_net(topo: HypergraphTopology, a: int, b: int) -> int | None:
+    """Identifier of a net containing both nodes, or None.
+
+    For hypermeshes the nets of a node intersect pairwise only at the node,
+    so at most one net is shared by two distinct nodes.
+    """
+    nets_a = set(topo.nets_of(a))
+    for net in topo.nets_of(b):
+        if net in nets_a:
+            return net
+    return None
+
+
+def schedule_from_phases(
+    topology: Topology,
+    phases: Sequence[Permutation],
+) -> CommSchedule:
+    """Lower a sequence of one-step phase permutations to a schedule.
+
+    Each phase must move every non-fixed packet exactly one hop; the phases
+    compose left-to-right into the logical permutation.  This is the lowering
+    used by hypercube butterfly stages and hypermesh Clos routes, where the
+    algorithm guarantees single-hop phases.
+    """
+    if not phases:
+        raise ScheduleError("need at least one phase")
+    n = phases[0].n
+    steps: list[dict[int, int]] = []
+    # Track where each packet currently is so phases (which permute
+    # *positions*) can be converted into per-packet moves.
+    position = list(range(n))
+    packet_at = list(range(n))  # node -> packet id
+    logical = Permutation.identity(n)
+    for phase in phases:
+        if phase.n != n:
+            raise ScheduleError("phase sizes disagree")
+        logical = logical.compose(phase)
+        moves: dict[int, int] = {}
+        new_position = position[:]
+        new_packet_at = packet_at[:]
+        for node in range(n):
+            dest = phase[node]
+            if dest != node:
+                pid = packet_at[node]
+                moves[pid] = dest
+                new_position[pid] = dest
+                new_packet_at[dest] = pid
+        position = new_position
+        packet_at = new_packet_at
+        steps.append(moves)
+    return CommSchedule(topology=topology, logical=logical, steps=tuple(steps))

@@ -1,0 +1,42 @@
+"""Statistics collected while routing packets adaptively."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoutingStats"]
+
+
+@dataclass
+class RoutingStats:
+    """Counters for one adaptive-routing run.
+
+    Attributes
+    ----------
+    steps:
+        Data-transfer steps until the last packet was delivered.
+    total_hops:
+        Channel traversals summed over all packets.
+    max_queue_depth:
+        Largest number of packets buffered at one node at any instant — the
+        word model assumes unbounded buffers; this reports how much was used.
+    blocked_moves:
+        Proposals denied by channel arbitration, summed over steps (a
+        congestion indicator).
+    delivered:
+        Packets that reached their destination.
+    """
+
+    steps: int = 0
+    total_hops: int = 0
+    max_queue_depth: int = 0
+    blocked_moves: int = 0
+    delivered: int = 0
+    per_step_moves: list[int] = field(default_factory=list)
+
+    @property
+    def average_parallelism(self) -> float:
+        """Mean packets moved per step."""
+        if not self.per_step_moves:
+            return 0.0
+        return sum(self.per_step_moves) / len(self.per_step_moves)

@@ -1,0 +1,60 @@
+"""Step-by-step timeline rendering of communication schedules.
+
+A debugging and teaching aid: print what every packet does at every
+data-transfer step of a schedule — the word-level model made visible.  Used
+by the permutation-routing example and handy when a schedule fails
+validation (the timeline shows exactly where two packets collide).
+"""
+
+from __future__ import annotations
+
+from .schedule import CommSchedule
+
+__all__ = ["render_timeline", "render_occupancy"]
+
+
+def render_timeline(schedule: CommSchedule, *, max_packets: int = 32) -> str:
+    """One row per packet, one column per step: the node visited after each
+    step ('.' = stayed put).  Truncated to ``max_packets`` rows."""
+    n = schedule.logical.n
+    shown = min(n, max_packets)
+    width = len(str(schedule.topology.num_nodes - 1))
+    header = ["pkt".rjust(4), "start".rjust(width + 1)] + [
+        f"s{t}".rjust(width + 1) for t in range(schedule.num_steps)
+    ] + ["dest".rjust(width + 1)]
+    lines = [" ".join(header)]
+    positions = list(range(n))
+    per_step: list[list[int | None]] = []
+    for step in schedule.steps:
+        row: list[int | None] = [None] * n
+        for pid, node in step.items():
+            row[pid] = node
+            positions[pid] = node
+        per_step.append(row)
+    for pid in range(shown):
+        cells = [str(pid).rjust(4), str(pid).rjust(width + 1)]
+        for row in per_step:
+            cell = row[pid]
+            cells.append(("." if cell is None else str(cell)).rjust(width + 1))
+        cells.append(str(schedule.logical[pid]).rjust(width + 1))
+        lines.append(" ".join(cells))
+    if shown < n:
+        lines.append(f"... ({n - shown} more packets)")
+    return "\n".join(lines)
+
+
+def render_occupancy(schedule: CommSchedule) -> str:
+    """Per-step node-occupancy histogram: how many packets sat at the most
+    crowded node after each step (buffer pressure over time)."""
+    n = schedule.logical.n
+    positions = list(range(n))
+    lines = ["step  max-occupancy  histogram"]
+    for t, step in enumerate(schedule.steps):
+        for pid, node in step.items():
+            positions[pid] = node
+        counts: dict[int, int] = {}
+        for node in positions:
+            counts[node] = counts.get(node, 0) + 1
+        worst = max(counts.values())
+        lines.append(f"{t:4d}  {worst:13d}  " + "#" * worst)
+    return "\n".join(lines)

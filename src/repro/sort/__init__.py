@@ -1,0 +1,23 @@
+"""Bitonic sort on the simulated networks (the paper's [13] cross-check)."""
+
+from .bitonic import (
+    BitonicMapping,
+    BitonicSortResult,
+    bitonic_pass_bits,
+    build_bitonic_program,
+    map_bitonic_sort,
+    parallel_bitonic_sort,
+)
+from .shearsort import ShearsortResult, parallel_shearsort, shearsort_round_count
+
+__all__ = [
+    "BitonicMapping",
+    "BitonicSortResult",
+    "bitonic_pass_bits",
+    "build_bitonic_program",
+    "map_bitonic_sort",
+    "parallel_bitonic_sort",
+    "ShearsortResult",
+    "parallel_shearsort",
+    "shearsort_round_count",
+]

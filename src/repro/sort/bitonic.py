@@ -1,0 +1,160 @@
+"""Batcher's bitonic sort on the three networks (Section IV-A cross-check).
+
+The paper quotes its companion analysis [13]: for the bitonic sort on 4K
+keys / 4K PEs the hypermesh came out 12.3x faster than the 2D mesh and 6.47x
+faster than the hypercube.  Bitonic sort is the canonical ASCEND/DESCEND
+algorithm: ``log N (log N + 1) / 2`` compare-exchange passes, each a
+butterfly exchange on one address bit — so it reuses the FFT's exchange
+lowerings unchanged and exercises exactly the permutations Section V argues
+stress the bisection.
+
+Pass structure (0-indexed): merge level ``i = 0 .. log N - 1`` runs passes on
+bits ``i, i-1, ..., 0``; the sort direction of a pair flips with address bit
+``i + 1`` (the standard construction producing an ascending full sort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.lowering import butterfly_exchange_schedule
+from ..networks.addressing import ilog2
+from ..networks.base import Topology
+from ..sim.machine import Compute, Exchange, ProgramOp, SimdMachine
+from ..sim.schedule import CommSchedule
+
+__all__ = [
+    "BitonicMapping",
+    "BitonicSortResult",
+    "map_bitonic_sort",
+    "build_bitonic_program",
+    "parallel_bitonic_sort",
+    "bitonic_pass_bits",
+]
+
+
+def bitonic_pass_bits(num_keys: int) -> list[tuple[int, int]]:
+    """The ``(merge_level, bit)`` sequence of all compare-exchange passes."""
+    width = ilog2(num_keys)
+    return [(i, j) for i in range(width) for j in range(i, -1, -1)]
+
+
+@dataclass(frozen=True)
+class BitonicMapping:
+    """Lowered communication plan of a bitonic sort on one topology."""
+
+    topology: Topology
+    pass_schedules: tuple[CommSchedule, ...]
+    pass_bits: tuple[tuple[int, int], ...]
+
+    @property
+    def num_passes(self) -> int:
+        """Compare-exchange passes = ``log N (log N + 1) / 2``."""
+        return len(self.pass_schedules)
+
+    @property
+    def total_steps(self) -> int:
+        """Data-transfer steps across all passes."""
+        return sum(s.num_steps for s in self.pass_schedules)
+
+    def validate(self) -> None:
+        """Replay every pass schedule against the hardware model."""
+        for schedule in self.pass_schedules:
+            schedule.validate()
+
+
+@dataclass(frozen=True)
+class BitonicSortResult:
+    """Outcome of a parallel bitonic sort run."""
+
+    keys: np.ndarray
+    data_transfer_steps: int
+    computation_steps: int
+    mapping: BitonicMapping
+
+
+def map_bitonic_sort(topology: Topology) -> BitonicMapping:
+    """Lower the bitonic sorting network onto ``topology``.
+
+    Schedules are shared between passes touching the same bit (the exchange
+    pattern is identical; only the compare direction differs).
+    """
+    n = topology.num_nodes
+    bits = bitonic_pass_bits(n)
+    cache: dict[int, CommSchedule] = {}
+    schedules = []
+    for _, bit in bits:
+        if bit not in cache:
+            cache[bit] = butterfly_exchange_schedule(topology, bit)
+        schedules.append(cache[bit])
+    return BitonicMapping(
+        topology=topology,
+        pass_schedules=tuple(schedules),
+        pass_bits=tuple(bits),
+    )
+
+
+def _compare_exchange(level: int, bit: int):
+    """Vectorized compare-exchange for merge ``level`` on ``bit``.
+
+    A PE keeps the minimum of (own, received) when its position within the
+    pair (bit ``bit``) matches the pair's sort direction (bit ``level+1`` of
+    the address: 0 = ascending).
+    """
+    direction_mask = 1 << (level + 1)
+    pair_mask = 1 << bit
+
+    def fn(values: np.ndarray, received: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        ascending = (idx & direction_mask) == 0
+        is_lower = (idx & pair_mask) == 0
+        keep_min = ascending == is_lower
+        return np.where(
+            keep_min, np.minimum(values, received), np.maximum(values, received)
+        )
+
+    return fn
+
+
+def build_bitonic_program(mapping: BitonicMapping) -> list[ProgramOp]:
+    """Lower a :class:`BitonicMapping` to a SIMD machine program."""
+    program: list[ProgramOp] = []
+    for (level, bit), schedule in zip(mapping.pass_bits, mapping.pass_schedules):
+        program.append(Exchange(schedule=schedule, label=f"exchange bit {bit}"))
+        program.append(
+            Compute(fn=_compare_exchange(level, bit), label=f"compare L{level} b{bit}")
+        )
+    return program
+
+
+def parallel_bitonic_sort(
+    topology: Topology,
+    keys: np.ndarray,
+    *,
+    validate: bool = False,
+    mapping: BitonicMapping | None = None,
+) -> BitonicSortResult:
+    """Sort ``keys`` ascending on the simulated parallel machine.
+
+    One key per PE; ``len(keys)`` must equal the (power-of-two) PE count.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("expected a 1D key vector")
+    if keys.size != topology.num_nodes:
+        raise ValueError(
+            f"{keys.size} keys need {keys.size} PEs, topology has "
+            f"{topology.num_nodes}"
+        )
+    if mapping is None:
+        mapping = map_bitonic_sort(topology)
+    program = build_bitonic_program(mapping)
+    machine = SimdMachine(topology, validate=validate)
+    result = machine.run(program, keys)
+    return BitonicSortResult(
+        keys=result.values,
+        data_transfer_steps=result.data_transfer_steps,
+        computation_steps=result.computation_steps,
+        mapping=mapping,
+    )

@@ -1,0 +1,24 @@
+"""Text renderings: the paper's figures (ASCII) and table/series formatting."""
+
+from .diagrams import (
+    render_butterfly_graph,
+    render_hypermesh_2d,
+    render_mesh_2d,
+    render_pe_node,
+)
+from .multistage import render_benes, render_omega
+from .series import ascii_chart, format_bandwidth, format_rows, format_table, format_time
+
+__all__ = [
+    "render_hypermesh_2d",
+    "render_mesh_2d",
+    "render_pe_node",
+    "render_butterfly_graph",
+    "render_omega",
+    "render_benes",
+    "format_table",
+    "format_rows",
+    "ascii_chart",
+    "format_time",
+    "format_bandwidth",
+]

@@ -1,0 +1,111 @@
+"""ASCII renderings of the paper's figures.
+
+The paper's three figures are structural diagrams, not data plots:
+
+* Fig. 1 — a 2D hypermesh (bold lines = hypergraph nets);
+* Fig. 2 — a PE-node of a hypermesh-based SIMD machine (PE + one port per
+  dimension, no intermediate n x n crossbar);
+* Fig. 3 — the Cooley–Tukey FFT data-flow graph (butterfly + bit reversal).
+
+These renderers regenerate them as text so the figure benchmarks have a
+concrete artifact, and double as debugging aids for the topologies.
+"""
+
+from __future__ import annotations
+
+from ..fft.butterfly import ButterflyFlowGraph, butterfly_flow_graph
+from ..networks.addressing import bit_reverse, ilog2
+from ..networks.hypermesh import Hypermesh2D
+from ..networks.mesh import Mesh2D
+
+__all__ = [
+    "render_hypermesh_2d",
+    "render_mesh_2d",
+    "render_pe_node",
+    "render_butterfly_graph",
+]
+
+
+def render_hypermesh_2d(side: int) -> str:
+    """Fig. 1: a ``side x side`` hypermesh; ``===``/``|`` are hypergraph nets.
+
+    Every horizontal bold run is one *row net* (a crossbar joining all nodes
+    of the row); every vertical run is one *column net*.  Unlike mesh links,
+    a net touches all its members at once.
+    """
+    hm = Hypermesh2D(side)
+    width = len(str(hm.num_nodes - 1))
+    lines = [f"2D hypermesh, side={side} ({hm.num_nodes} PEs, {hm.num_nets()} nets)"]
+    for r in range(side):
+        cells = [f"[{r * side + c:>{width}}]" for c in range(side)]
+        lines.append("===".join(cells) + "   <- row net")
+        if r < side - 1:
+            bar = (" " * (width // 2 + 1) + "|" + " " * (width - width // 2 + 1)) * side
+            lines.append(bar.rstrip())
+    lines.append(" " * 1 + "^ column nets join every cell of a column")
+    return "\n".join(lines)
+
+
+def render_mesh_2d(side: int) -> str:
+    """The 2D mesh for contrast: ``---``/``|`` are point-to-point links."""
+    mesh = Mesh2D(side)
+    width = len(str(mesh.num_nodes - 1))
+    lines = [f"2D mesh, side={side} ({mesh.num_nodes} PEs, {mesh.num_links()} links)"]
+    for r in range(side):
+        cells = [f"[{r * side + c:>{width}}]" for c in range(side)]
+        lines.append("---".join(cells))
+        if r < side - 1:
+            bar = (" " * (width // 2 + 1) + "|" + " " * (width - width // 2 + 1)) * side
+            lines.append(bar.rstrip())
+    return "\n".join(lines)
+
+
+def render_pe_node(dims: int = 2) -> str:
+    """Fig. 2: a hypermesh PE-node — PE plus one net port per dimension.
+
+    The Section II construction: the small n x n crossbar of the original
+    proposal is eliminated (SIMD machines switch dimensions globally), so
+    each node is just the PE wired straight to its ``dims`` net transceivers.
+    """
+    if dims < 1:
+        raise ValueError("a PE-node needs at least one dimension")
+    lines = [
+        f"PE-node of a {dims}D hypermesh SIMD machine",
+        "",
+        "        +----------+",
+        "        |    PE    |",
+        "        +----------+",
+    ]
+    for d in range(dims):
+        lines.append("          |")
+        lines.append(f"   [port dim {d}] ====== net {d} (crossbar, all nodes of dim {d})")
+    lines.append("")
+    lines.append("(no n x n crossbar between PE and ports: Section II)")
+    return "\n".join(lines)
+
+
+def render_butterfly_graph(num_points: int) -> str:
+    """Fig. 3: the FFT data-flow graph, one column per rank.
+
+    Each row is one data index; ``o`` marks a butterfly vertex, the listed
+    partner is the cross edge of that stage, and the final column shows the
+    bit-reversal wiring.
+    """
+    graph: ButterflyFlowGraph = butterfly_flow_graph(num_points)
+    width = ilog2(num_points)
+    idx_w = len(str(num_points - 1))
+    header = ["idx".rjust(idx_w)] + [
+        f"stage {s} (bit {width - 1 - s})" for s in range(width)
+    ] + ["bit-reversal"]
+    lines = [
+        f"Cooley-Tukey FFT data-flow graph, N={num_points}",
+        " | ".join(header),
+    ]
+    for i in range(num_points):
+        cells = [str(i).rjust(idx_w)]
+        for s in range(width):
+            partner = i ^ (1 << (width - 1 - s))
+            cells.append(f"o--x{partner:<{idx_w}}".ljust(len(header[s + 1])))
+        cells.append(f"-> {bit_reverse(i, width)}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

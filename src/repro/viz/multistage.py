@@ -1,0 +1,59 @@
+"""ASCII rendering of multistage networks (Omega / Beneš).
+
+Fig. 2 of the paper calls the FFT flow graph "an SW-banyan"; the Omega and
+Beneš networks are the hardware embodiments of that wiring, so the
+comparison benches render them alongside the hypermesh diagram.  Switches
+are drawn per column with their port spans; for a routed Beneš network the
+installed setting (``=`` straight / ``X`` cross) is shown per switch.
+"""
+
+from __future__ import annotations
+
+from ..networks.benes import BenesNetwork, BenesRouting
+from ..networks.omega import OmegaNetwork
+
+__all__ = ["render_omega", "render_benes"]
+
+
+def render_omega(network: OmegaNetwork) -> str:
+    """Column-per-stage sketch of an Omega network."""
+    n = network.num_ports
+    lines = [
+        f"Omega network, {n} ports, {network.num_stages} stages of "
+        f"{network.switches_per_stage} 2x2 switches",
+        "(each stage: perfect-shuffle wiring, then a switch column;",
+        " destination-tag self-routing, blocking)",
+        "",
+    ]
+    width = len(str(n - 1))
+    for sw in range(network.switches_per_stage):
+        ports = f"[{2 * sw:>{width}},{2 * sw + 1:>{width}}]"
+        row = "  ".join(ports for _ in range(network.num_stages))
+        lines.append(f"{ports} -shuffle-> " + row)
+    return "\n".join(lines)
+
+
+def render_benes(network: BenesNetwork, routing: BenesRouting | None = None) -> str:
+    """Column-per-stage sketch of a Beneš network, with settings if given.
+
+    Straight switches print ``=``, crossed ones ``X``; without a routing the
+    switches print ``?``.
+    """
+    n = network.num_ports
+    lines = [
+        f"Benes network, {n} ports, {network.num_stages} stages of "
+        f"{network.switches_per_stage} 2x2 switches (rearrangeable)",
+        "",
+    ]
+    if routing is not None and routing.num_ports != n:
+        raise ValueError("routing was computed for a different size")
+    for sw in range(network.switches_per_stage):
+        cells = []
+        for stage in range(network.num_stages):
+            if routing is None:
+                mark = "?"
+            else:
+                mark = "X" if routing.settings[stage][sw] else "="
+            cells.append(f"({mark})")
+        lines.append(f"ports {2 * sw},{2 * sw + 1}: " + "--".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Text rendering of tables and data series for the benchmark harness.
+
+No plotting dependency is assumed offline, so sweep "figures" are emitted as
+aligned text tables plus a log-scale ASCII chart good enough to eyeball the
+O(sqrt(N)/log N) and O(log N) growth shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_rows", "ascii_chart", "format_time", "format_bandwidth"]
+
+
+def format_time(seconds: float) -> str:
+    """Human-scale time: ns / us / ms / s."""
+    if seconds < 0:
+        raise ValueError("negative duration")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_bandwidth(bits_per_second: float) -> str:
+    """Human-scale bandwidth: Mbit/s or Gbit/s."""
+    if bits_per_second < 0:
+        raise ValueError("negative bandwidth")
+    if bits_per_second >= 1e9:
+        return f"{bits_per_second / 1e9:.2f} Gbit/s"
+    return f"{bits_per_second / 1e6:.1f} Mbit/s"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    out = []
+    for r, row in enumerate(cells):
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if r == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def format_rows(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:
+    """Table from dict rows, selecting and ordering ``columns``."""
+    return format_table(columns, [[row.get(c, "") for c in columns] for row in rows])
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """A minimal multi-series scatter chart in text.
+
+    Each series gets a marker (its name's first letter); x positions are
+    spread by rank (suitable for power-of-two sweeps), y linearly or
+    logarithmically.
+    """
+    if not xs:
+        raise ValueError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    def transform(v: float) -> float:
+        if log_y:
+            if v <= 0:
+                raise ValueError("log scale needs positive values")
+            return math.log10(v)
+        return v
+
+    all_y = [transform(v) for ys in series.values() for v in ys]
+    lo, hi = min(all_y), max(all_y)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        marker = name[0]
+        for i, y in enumerate(ys):
+            col = round(i * (width - 1) / max(1, len(xs) - 1))
+            row = height - 1 - round((transform(y) - lo) / span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10**hi:.3g}" if log_y else f"{hi:.3g}"
+    bottom = f"{10**lo:.3g}" if log_y else f"{lo:.3g}"
+    lines.append(f"y max = {top}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"y min = {bottom};  x: {xs[0]:g} .. {xs[-1]:g}")
+    legend = ", ".join(f"{name[0]} = {name}" for name in series)
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Unit tests for prefix sums, all-reduce and broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.algos import parallel_allreduce, parallel_broadcast, parallel_prefix_sum
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+
+
+TOPOLOGIES_16 = [Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)]
+
+
+class TestScan:
+    @pytest.mark.parametrize("topo", TOPOLOGIES_16, ids=lambda t: type(t).__name__)
+    def test_random_values(self, topo, rng):
+        values = rng.normal(size=16)
+        r = parallel_prefix_sum(topo, values, validate=True)
+        expected_inc = np.cumsum(values)
+        assert np.allclose(r.inclusive, expected_inc)
+        assert np.allclose(r.exclusive, expected_inc - values)
+        assert r.total == pytest.approx(values.sum())
+
+    def test_ones_give_indices(self):
+        r = parallel_prefix_sum(Hypercube(5), np.ones(32))
+        assert np.allclose(r.exclusive, np.arange(32))
+
+    def test_step_cost_matches_butterfly_bill(self):
+        assert parallel_prefix_sum(Hypercube(4), np.zeros(16)).data_transfer_steps == 4
+        assert parallel_prefix_sum(Hypermesh2D(4), np.zeros(16)).data_transfer_steps == 4
+        assert parallel_prefix_sum(Mesh2D(4), np.zeros(16)).data_transfer_steps == 6
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            parallel_prefix_sum(Hypercube(4), np.zeros(8))
+        with pytest.raises(ValueError):
+            parallel_prefix_sum(Hypercube(2), np.zeros((2, 2)))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("topo", TOPOLOGIES_16, ids=lambda t: type(t).__name__)
+    def test_sum(self, topo, rng):
+        values = rng.normal(size=16)
+        r = parallel_allreduce(topo, values)
+        assert np.allclose(r.values, values.sum())
+
+    def test_max(self, rng):
+        values = rng.normal(size=64)
+        r = parallel_allreduce(Hypercube(6), values, op=np.maximum)
+        assert np.allclose(r.values, values.max())
+
+    def test_min(self, rng):
+        values = rng.normal(size=16)
+        r = parallel_allreduce(Hypermesh2D(4), values, op=np.minimum)
+        assert np.allclose(r.values, values.min())
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            parallel_allreduce(Hypercube(3), np.zeros(16))
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("root", [0, 5, 15])
+    def test_roots(self, root, rng):
+        values = rng.normal(size=16)
+        r = parallel_broadcast(Hypercube(4), values, root=root)
+        assert np.allclose(r.values, values[root])
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES_16, ids=lambda t: type(t).__name__)
+    def test_all_topologies(self, topo, rng):
+        values = rng.normal(size=16)
+        r = parallel_broadcast(topo, values, root=3, validate=True)
+        assert np.allclose(r.values, values[3])
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError):
+            parallel_broadcast(Hypercube(3), np.zeros(8), root=8)
+
+    def test_step_cost(self):
+        r = parallel_broadcast(Hypercube(4), np.zeros(16))
+        assert r.data_transfer_steps == 4

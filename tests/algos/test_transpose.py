@@ -1,0 +1,66 @@
+"""Unit tests for the matrix-transpose schedules."""
+
+import numpy as np
+import pytest
+
+from repro.algos import transpose_schedule
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.routing import matrix_transpose
+
+
+class TestLogical:
+    @pytest.mark.parametrize(
+        "topo",
+        [Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)],
+        ids=lambda t: type(t).__name__,
+    )
+    def test_realizes_transpose(self, topo):
+        sched = transpose_schedule(topo)
+        sched.validate()
+        assert sched.logical == matrix_transpose(4, 4)
+
+    def test_moves_matrix_data(self):
+        sched = transpose_schedule(Hypercube(4))
+        data = np.arange(16.0)
+        out = sched.logical.apply(data)
+        assert np.array_equal(out.reshape(4, 4), data.reshape(4, 4).T)
+
+
+class TestStepCounts:
+    def test_hypercube_log_n(self):
+        # half bit-pair swaps of 2 steps each = log N.
+        assert transpose_schedule(Hypercube(4)).num_steps == 4
+        assert transpose_schedule(Hypercube(6)).num_steps == 6
+
+    def test_hypermesh_at_most_three(self):
+        for side in (2, 4, 8):
+            assert transpose_schedule(Hypermesh2D(side)).num_steps <= 3
+
+    def test_mesh_at_least_corner_distance(self):
+        # (0, s-1) <-> (s-1, 0) must interchange: 2(s-1) steps minimum.
+        sched = transpose_schedule(Mesh2D(4))
+        assert sched.num_steps >= 6
+
+    def test_hypermesh_beats_everyone(self):
+        hm = transpose_schedule(Hypermesh2D(8)).num_steps
+        hc = transpose_schedule(Hypercube(6)).num_steps
+        mesh = transpose_schedule(Mesh2D(8)).num_steps
+        assert hm < hc < mesh
+
+
+class TestValidation:
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_schedule(Hypercube(5))
+
+    def test_non_square_rejected(self):
+        from repro.networks import Mesh
+
+        with pytest.raises(ValueError):
+            transpose_schedule(Mesh((2, 4)))
+
+    def test_unknown_type_rejected(self):
+        from repro.networks import Hypermesh
+
+        with pytest.raises(TypeError):
+            transpose_schedule(Hypermesh(4, 2))

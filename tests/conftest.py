@@ -1,0 +1,51 @@
+"""Shared fixtures: small instances of every topology and a seeded RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks import Hypercube, Hypermesh, Hypermesh2D, Mesh, Mesh2D, Torus, Torus2D
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mesh4() -> Mesh2D:
+    return Mesh2D(4)
+
+
+@pytest.fixture
+def torus4() -> Torus2D:
+    return Torus2D(4)
+
+
+@pytest.fixture
+def cube4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture
+def hm4() -> Hypermesh2D:
+    return Hypermesh2D(4)
+
+
+@pytest.fixture(
+    params=[
+        Mesh2D(4),
+        Torus2D(4),
+        Hypercube(4),
+        Hypermesh2D(4),
+        Mesh((2, 3)),
+        Torus((3, 3)),
+        Hypermesh(3, 2),
+        Hypermesh(2, 3),
+    ],
+    ids=lambda t: f"{type(t).__name__}-{t.num_nodes}",
+)
+def any_topology(request):
+    """A representative zoo of small topologies."""
+    return request.param

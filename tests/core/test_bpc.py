@@ -1,0 +1,90 @@
+"""Unit tests for constructive hypercube BPC schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import hypercube_bpc_schedule
+from repro.networks import Hypercube
+from repro.routing import bit_permutation, bit_reversal, matrix_transpose, vector_reversal
+
+
+class TestSpecialCases:
+    def test_identity_is_empty(self):
+        hc = Hypercube(4)
+        sched = hypercube_bpc_schedule(hc, [0, 1, 2, 3])
+        sched.validate()
+        assert sched.num_steps == 0
+        assert sched.logical.is_identity()
+
+    def test_bit_reversal(self):
+        hc = Hypercube(4)
+        sched = hypercube_bpc_schedule(hc, [3, 2, 1, 0])
+        sched.validate()
+        assert sched.logical == bit_reversal(16)
+        assert sched.num_steps == 4  # two disjoint swaps
+
+    def test_vector_reversal_is_all_complements(self):
+        hc = Hypercube(3)
+        sched = hypercube_bpc_schedule(hc, [0, 1, 2], complement_mask=7)
+        sched.validate()
+        assert sched.logical == vector_reversal(8)
+        assert sched.num_steps == 3  # one exchange per complemented bit
+
+    def test_matrix_transpose(self):
+        hc = Hypercube(4)
+        sched = hypercube_bpc_schedule(hc, [2, 3, 0, 1])
+        sched.validate()
+        assert sched.logical == matrix_transpose(4, 4)
+
+    def test_single_complement_is_butterfly(self):
+        from repro.routing import butterfly_exchange
+
+        hc = Hypercube(3)
+        sched = hypercube_bpc_schedule(hc, [0, 1, 2], complement_mask=0b010)
+        sched.validate()
+        assert sched.logical == butterfly_exchange(8, 1)
+        assert sched.num_steps == 1
+
+
+class TestGeneral:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_bpc(self, seed):
+        rng = np.random.default_rng(seed)
+        width = int(rng.integers(1, 6))
+        hc = Hypercube(width)
+        sources = rng.permutation(width).tolist()
+        mask = int(rng.integers(1 << width))
+        sched = hypercube_bpc_schedule(hc, sources, mask)
+        sched.validate()
+        assert sched.logical == bit_permutation(1 << width, sources, mask)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_step_bound(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        width = 5
+        hc = Hypercube(width)
+        sources = rng.permutation(width).tolist()
+        mask = int(rng.integers(32))
+        sched = hypercube_bpc_schedule(hc, sources, mask)
+        assert sched.num_steps <= 2 * (width - 1) + bin(mask).count("1")
+
+    def test_full_rotation(self):
+        # Perfect shuffle: a single width-cycle -> width-1 swaps.
+        hc = Hypercube(4)
+        sources = [(j - 1) % 4 for j in range(4)]
+        sched = hypercube_bpc_schedule(hc, sources)
+        sched.validate()
+        from repro.routing import perfect_shuffle
+
+        assert sched.logical == perfect_shuffle(16)
+        assert sched.num_steps == 2 * 3
+
+
+class TestValidation:
+    def test_bad_sources_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_bpc_schedule(Hypercube(3), [0, 0, 2])
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_bpc_schedule(Hypercube(3), [0, 1, 2], complement_mask=8)

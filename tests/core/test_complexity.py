@@ -1,0 +1,73 @@
+"""Unit tests for the closed-form Table 2A step counts."""
+
+import pytest
+
+from repro.core import BoundKind, NetworkKind, fft_step_counts
+
+
+class TestHypercube:
+    def test_4096(self):
+        c = fft_step_counts(NetworkKind.HYPERCUBE, 4096)
+        assert c.butterfly_steps == 12
+        assert c.bitrev_steps == 12
+        assert c.total_steps == 24
+        assert c.bitrev_bound is BoundKind.LOWER
+        assert c.computation_steps == 12
+
+    def test_any_power_of_two(self):
+        c = fft_step_counts(NetworkKind.HYPERCUBE, 32)
+        assert c.total_steps == 10
+
+
+class TestHypermesh:
+    def test_4096(self):
+        c = fft_step_counts(NetworkKind.HYPERMESH_2D, 4096)
+        assert c.butterfly_steps == 12
+        assert c.bitrev_steps == 3
+        assert c.total_steps == 15
+        assert c.bitrev_bound is BoundKind.UPPER
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            fft_step_counts(NetworkKind.HYPERMESH_2D, 32)
+
+
+class TestMesh:
+    def test_4096_no_wraparound(self):
+        c = fft_step_counts(NetworkKind.MESH_2D, 4096)
+        assert c.butterfly_steps == 126
+        assert c.bitrev_steps == 126
+        assert c.total_steps == 252
+
+    def test_4096_wraparound(self):
+        c = fft_step_counts(NetworkKind.TORUS_2D, 4096)
+        assert c.butterfly_steps == 126
+        assert c.bitrev_steps == 32
+        assert c.total_steps == 158  # the paper's ">= 5 sqrt(N)/2" ballpark
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            fft_step_counts(NetworkKind.MESH_2D, 8)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_step_counts(NetworkKind.MESH_2D, 36)
+
+
+class TestCrossNetwork:
+    @pytest.mark.parametrize("n", [16, 64, 256, 1024, 4096])
+    def test_computation_steps_identical(self, n):
+        kinds = [NetworkKind.MESH_2D, NetworkKind.HYPERCUBE, NetworkKind.HYPERMESH_2D]
+        comp = {fft_step_counts(k, n).computation_steps for k in kinds}
+        assert len(comp) == 1  # "this component need not be considered"
+
+    @pytest.mark.parametrize("n", [64, 256, 1024, 4096])
+    def test_hypermesh_always_fewest_steps(self, n):
+        hm = fft_step_counts(NetworkKind.HYPERMESH_2D, n).total_steps
+        hc = fft_step_counts(NetworkKind.HYPERCUBE, n).total_steps
+        mesh = fft_step_counts(NetworkKind.MESH_2D, n).total_steps
+        assert hm < hc < mesh
+
+    def test_total_bound_tracks_bitrev(self):
+        c = fft_step_counts(NetworkKind.HYPERMESH_2D, 64)
+        assert c.total_bound is c.bitrev_bound

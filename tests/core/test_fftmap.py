@@ -1,0 +1,81 @@
+"""Unit tests for the FFT mapping (schedules for all stages + bit reversal)."""
+
+import pytest
+
+from repro.core import NetworkKind, fft_step_counts, map_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.routing import bit_reversal
+
+
+class TestStructure:
+    def test_stage_count_is_log_n(self):
+        mapping = map_fft(Hypercube(5))
+        assert mapping.num_stages == 5
+
+    def test_stages_in_dif_order(self):
+        mapping = map_fft(Hypercube(4))
+        # Stage s exchanges bit log N - 1 - s: packet 0's partner halves.
+        partners = [s.logical[0] for s in mapping.stage_schedules]
+        assert partners == [8, 4, 2, 1]
+
+    def test_without_bit_reversal(self):
+        mapping = map_fft(Hypercube(4), include_bit_reversal=False)
+        assert mapping.bitrev_schedule is None
+        assert mapping.bitrev_steps == 0
+        assert mapping.total_steps == mapping.butterfly_steps
+
+    def test_validate_replays_everything(self):
+        map_fft(Hypermesh2D(4)).validate()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            map_fft(Mesh2D(3))
+
+
+class TestStepCountsMatchClosedForm:
+    @pytest.mark.parametrize("dim", [2, 4, 6])
+    def test_hypercube(self, dim):
+        mapping = map_fft(Hypercube(dim))
+        counts = fft_step_counts(NetworkKind.HYPERCUBE, 1 << dim)
+        assert mapping.butterfly_steps == counts.butterfly_steps
+        # Constructive bitrev: 2*floor(dim/2) == dim for even dim.
+        assert mapping.bitrev_steps == 2 * (dim // 2)
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_hypermesh(self, side):
+        mapping = map_fft(Hypermesh2D(side))
+        counts = fft_step_counts(NetworkKind.HYPERMESH_2D, side * side)
+        assert mapping.butterfly_steps == counts.butterfly_steps
+        assert mapping.bitrev_steps <= counts.bitrev_steps
+        assert mapping.total_steps <= counts.total_steps
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_mesh_butterfly(self, side):
+        mapping = map_fft(Mesh2D(side), include_bit_reversal=False)
+        assert mapping.butterfly_steps == 2 * (side - 1)
+
+    def test_mesh_bitrev_at_least_lower_bound(self):
+        mapping = map_fft(Mesh2D(4))
+        counts = fft_step_counts(NetworkKind.MESH_2D, 16)
+        assert mapping.bitrev_steps >= counts.bitrev_steps
+
+    def test_torus(self):
+        mapping = map_fft(Torus2D(4))
+        assert mapping.butterfly_steps == 6
+        mapping.validate()
+
+
+class TestComposition:
+    def test_composed_schedules_equal_full_flow_graph(self):
+        # Composing all stage exchanges and the bit reversal must equal the
+        # flow graph's overall data movement: exchanges are copies in the
+        # real algorithm, but their logical permutations still compose.
+        mapping = map_fft(Hypercube(4))
+        perm = mapping.stage_schedules[0].logical
+        for s in mapping.stage_schedules[1:]:
+            perm = perm.compose(s.logical)
+        # Composition of all butterfly exchanges = XOR with all-ones mask.
+        for i in range(16):
+            assert perm[i] == i ^ 15
+        assert mapping.bitrev_schedule is not None
+        assert mapping.bitrev_schedule.logical == bit_reversal(16)

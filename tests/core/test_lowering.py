@@ -1,0 +1,132 @@
+"""Unit tests for the per-topology butterfly-exchange lowerings."""
+
+import pytest
+
+from repro.core import (
+    butterfly_exchange_schedule,
+    hypercube_bit_swap_schedule,
+    hypercube_exchange_schedule,
+    hypermesh_exchange_schedule,
+    mesh_exchange_schedule,
+)
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.routing import butterfly_exchange
+
+
+class TestHypercubeExchange:
+    @pytest.mark.parametrize("bit", range(4))
+    def test_one_step_and_valid(self, bit):
+        cube = Hypercube(4)
+        sched = hypercube_exchange_schedule(cube, bit)
+        sched.validate()
+        assert sched.num_steps == 1
+        assert sched.logical == butterfly_exchange(16, bit)
+
+    def test_every_packet_moves(self):
+        sched = hypercube_exchange_schedule(Hypercube(3), 1)
+        assert len(sched.steps[0]) == 8
+
+
+class TestHypercubeBitSwap:
+    def test_two_steps_and_valid(self):
+        cube = Hypercube(4)
+        sched = hypercube_bit_swap_schedule(cube, 0, 3)
+        sched.validate()
+        assert sched.num_steps == 2
+
+    def test_logical_swaps_bits(self):
+        cube = Hypercube(4)
+        sched = hypercube_bit_swap_schedule(cube, 1, 2)
+        for i in range(16):
+            expected = i
+            b1, b2 = (i >> 1) & 1, (i >> 2) & 1
+            if b1 != b2:
+                expected = i ^ 0b110
+            assert sched.logical[i] == expected
+
+    def test_agreeing_bits_stay(self):
+        sched = hypercube_bit_swap_schedule(Hypercube(3), 0, 2)
+        assert 0 not in sched.steps[0]  # bits agree (0,0)
+        assert 5 not in sched.steps[0]  # bits agree (1,1)
+
+    def test_same_bit_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_bit_swap_schedule(Hypercube(3), 1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_bit_swap_schedule(Hypercube(3), 0, 3)
+
+
+class TestHypermeshExchange:
+    @pytest.mark.parametrize("bit", range(4))
+    def test_one_step_and_valid(self, bit):
+        hm = Hypermesh2D(4)
+        sched = hypermesh_exchange_schedule(hm, bit)
+        sched.validate()
+        assert sched.num_steps == 1
+        assert sched.logical == butterfly_exchange(16, bit)
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            hypermesh_exchange_schedule(Hypermesh2D(4), 4)
+
+    def test_non_power_of_two_side_rejected(self):
+        with pytest.raises(ValueError):
+            hypermesh_exchange_schedule(Hypermesh2D(3), 0)
+
+
+class TestMeshExchange:
+    @pytest.mark.parametrize("bit,expected_steps", [(0, 1), (1, 2), (2, 1), (3, 2)])
+    def test_step_counts(self, bit, expected_steps):
+        # side 4: column bits 0-1 cost 2^bit; row bits 2-3 cost 2^(bit-2).
+        mesh = Mesh2D(4)
+        sched = mesh_exchange_schedule(mesh, bit)
+        sched.validate()
+        assert sched.num_steps == expected_steps
+        assert sched.logical == butterfly_exchange(16, bit)
+
+    def test_total_over_all_stages_matches_paper(self):
+        # Sum over all log N stages = 2 (sqrt(N) - 1).
+        for side in (2, 4, 8):
+            mesh = Mesh2D(side)
+            width = (side * side).bit_length() - 1
+            total = sum(
+                mesh_exchange_schedule(mesh, b).num_steps for b in range(width)
+            )
+            assert total == 2 * (side - 1)
+
+    def test_works_on_torus(self):
+        torus = Torus2D(4)
+        sched = mesh_exchange_schedule(torus, 3)
+        sched.validate()
+
+    def test_every_packet_moves_every_step(self):
+        sched = mesh_exchange_schedule(Mesh2D(4), 1)
+        for step in sched.steps:
+            assert len(step) == 16
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            mesh_exchange_schedule(Mesh2D(4), 4)
+
+
+class TestDispatch:
+    def test_dispatches_by_type(self):
+        assert butterfly_exchange_schedule(Hypercube(4), 0).num_steps == 1
+        assert butterfly_exchange_schedule(Hypermesh2D(4), 3).num_steps == 1
+        assert butterfly_exchange_schedule(Mesh2D(4), 3).num_steps == 2
+        assert butterfly_exchange_schedule(Torus2D(4), 3).num_steps == 2
+
+    def test_general_hypermesh_dispatched(self):
+        from repro.networks import Hypermesh
+
+        sched = butterfly_exchange_schedule(Hypermesh(4, 3), 0)
+        sched.validate()
+        assert sched.num_steps == 1
+
+    def test_unknown_type_rejected(self):
+        from repro.networks import Mesh
+
+        with pytest.raises(TypeError):
+            butterfly_exchange_schedule(Mesh((4, 4)), 0)

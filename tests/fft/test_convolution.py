@@ -1,0 +1,83 @@
+"""Unit tests for parallel convolution and correlation."""
+
+import numpy as np
+import pytest
+
+from repro.fft import parallel_convolve, parallel_correlate
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+
+
+TOPOLOGIES_16 = [Mesh2D(4), Hypercube(4), Hypermesh2D(4)]
+
+
+def _direct_circular_convolution(x, h):
+    n = x.size
+    return np.array(
+        [sum(x[m] * h[(k - m) % n] for m in range(n)) for k in range(n)]
+    )
+
+
+class TestConvolve:
+    @pytest.mark.parametrize("topo", TOPOLOGIES_16, ids=lambda t: type(t).__name__)
+    def test_matches_direct_sum(self, topo, rng):
+        x = rng.normal(size=16)
+        h = rng.normal(size=16)
+        result = parallel_convolve(topo, x, h, validate=True)
+        assert np.allclose(result.values, _direct_circular_convolution(x, h))
+
+    def test_matches_numpy_spectral(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        h = rng.normal(size=64)
+        result = parallel_convolve(Hypermesh2D(8), x, h)
+        expected = np.fft.ifft(np.fft.fft(x) * np.fft.fft(h))
+        assert np.allclose(result.values, expected)
+
+    def test_identity_kernel(self, rng):
+        x = rng.normal(size=16)
+        delta = np.zeros(16)
+        delta[0] = 1.0
+        result = parallel_convolve(Hypercube(4), x, delta)
+        assert np.allclose(result.values, x)
+
+    def test_shift_kernel(self, rng):
+        x = rng.normal(size=16)
+        shift = np.zeros(16)
+        shift[3] = 1.0
+        result = parallel_convolve(Hypercube(4), x, shift)
+        assert np.allclose(result.values, np.roll(x, 3))
+
+    def test_step_bill_is_three_transforms(self):
+        zeros = np.zeros(16)
+        result = parallel_convolve(Hypermesh2D(4), zeros, zeros)
+        # 3 transforms x (log N + 3) steps.
+        assert result.data_transfer_steps == 3 * 7
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_convolve(Hypercube(3), np.zeros(8), np.zeros(4))
+
+
+class TestCorrelate:
+    def test_finds_template(self, rng):
+        n = 64
+        template = np.zeros(n)
+        template[:8] = rng.normal(size=8)
+        signal = np.roll(template, 20) + 0.01 * rng.normal(size=n)
+        result = parallel_correlate(Hypercube(6), signal, template)
+        assert int(np.argmax(result.values.real)) == 20
+
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=16)
+        t = rng.normal(size=16)
+        result = parallel_correlate(Hypermesh2D(4), x, t)
+        expected = np.fft.ifft(np.fft.fft(x) * np.conj(np.fft.fft(t)))
+        assert np.allclose(result.values, expected)
+
+    def test_autocorrelation_peaks_at_zero(self, rng):
+        x = rng.normal(size=32)
+        result = parallel_correlate(Hypercube(5), x, x)
+        assert int(np.argmax(result.values.real)) == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_correlate(Hypercube(3), np.zeros(8), np.zeros(16))

@@ -1,0 +1,73 @@
+"""Unit tests for the parallel 2D FFT (row-column decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.fft.fft2d import parallel_fft_2d
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+
+
+TOPOLOGIES_16 = [Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("topo", TOPOLOGIES_16, ids=lambda t: type(t).__name__)
+    def test_matches_numpy_fft2(self, topo, rng):
+        img = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        result = parallel_fft_2d(topo, img, validate=True)
+        assert np.allclose(result.spectrum, np.fft.fft2(img))
+
+    def test_larger_instance(self, rng):
+        img = rng.normal(size=(8, 8))
+        for topo in (Hypermesh2D(8), Hypercube(6)):
+            result = parallel_fft_2d(topo, img)
+            assert np.allclose(result.spectrum, np.fft.fft2(img))
+
+    def test_dc_image(self):
+        img = np.ones((4, 4))
+        result = parallel_fft_2d(Hypermesh2D(4), img)
+        expected = np.zeros((4, 4), dtype=complex)
+        expected[0, 0] = 16.0
+        assert np.allclose(result.spectrum, expected)
+
+    def test_separable_tone(self, rng):
+        # A pure 2D tone concentrates in one bin.
+        s = 8
+        r, c = np.meshgrid(np.arange(s), np.arange(s), indexing="ij")
+        img = np.exp(2j * np.pi * (2 * r + 3 * c) / s)
+        result = parallel_fft_2d(Hypercube(6), img)
+        mag = np.abs(result.spectrum)
+        assert mag[2, 3] == pytest.approx(s * s)
+        mag[2, 3] = 0.0
+        assert mag.max() < 1e-9
+
+
+class TestCost:
+    def test_hypermesh_log_n_plus_8(self):
+        result = parallel_fft_2d(Hypermesh2D(8), np.zeros((8, 8)))
+        assert result.data_transfer_steps == 6 + 8  # log N + 8
+
+    def test_hypermesh_cheaper_than_hypercube_than_mesh(self):
+        steps = {
+            type(t).__name__: parallel_fft_2d(t, np.zeros((8, 8))).data_transfer_steps
+            for t in (Mesh2D(8), Hypercube(6), Hypermesh2D(8))
+        }
+        assert steps["Hypermesh2D"] < steps["Hypercube"] < steps["Mesh2D"]
+
+    def test_compute_steps_are_2_log_side(self):
+        result = parallel_fft_2d(Hypercube(4), np.zeros((4, 4)))
+        assert result.computation_steps == 2 * 2
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_fft_2d(Hypercube(3), np.zeros((2, 4)))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_fft_2d(Hypercube(4), np.zeros((8, 8)))
+
+    def test_non_power_side_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_fft_2d(Hypermesh2D(3), np.zeros((3, 3)))

@@ -1,0 +1,119 @@
+"""Unit tests for the parallel FFT execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import map_fft
+from repro.fft import build_fft_program, parallel_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.networks.addressing import bit_reversal_permutation
+
+
+TOPOLOGIES_16 = [Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "topo", TOPOLOGIES_16, ids=lambda t: type(t).__name__
+    )
+    def test_matches_numpy(self, topo, rng):
+        x = rng.normal(size=16) + 1j * rng.normal(size=16)
+        result = parallel_fft(topo, x, validate=True)
+        assert np.allclose(result.spectrum, np.fft.fft(x))
+
+    def test_larger_instance_64(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        for topo in (Mesh2D(8), Hypercube(6), Hypermesh2D(8)):
+            result = parallel_fft(topo, x)
+            assert np.allclose(result.spectrum, np.fft.fft(x))
+
+    def test_without_bitrev_gives_bit_reversed_spectrum(self, rng):
+        x = rng.normal(size=16)
+        result = parallel_fft(Hypercube(4), x, include_bit_reversal=False)
+        perm = bit_reversal_permutation(16)
+        assert np.allclose(result.spectrum[perm], np.fft.fft(x))
+
+    def test_real_input(self, rng):
+        x = rng.normal(size=16)
+        result = parallel_fft(Hypermesh2D(4), x)
+        assert np.allclose(result.spectrum, np.fft.fft(x))
+
+    def test_impulse(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        result = parallel_fft(Hypercube(4), x)
+        assert np.allclose(result.spectrum, np.ones(16))
+
+
+class TestStepAccounting:
+    def test_hypercube_2_log_n_even(self):
+        result = parallel_fft(Hypercube(4), np.zeros(16))
+        assert result.data_transfer_steps == 8
+        assert result.computation_steps == 4
+
+    def test_hypermesh_log_n_plus_3(self):
+        result = parallel_fft(Hypermesh2D(8), np.zeros(64))
+        assert result.data_transfer_steps == 6 + 3
+
+    def test_mesh_butterfly_plus_measured_bitrev(self):
+        result = parallel_fft(Mesh2D(4), np.zeros(16))
+        assert result.mapping.butterfly_steps == 6
+        assert result.data_transfer_steps >= 6 + 6
+
+    def test_skipping_bitrev_reduces_steps(self):
+        with_rev = parallel_fft(Hypermesh2D(4), np.zeros(16))
+        without = parallel_fft(Hypermesh2D(4), np.zeros(16), include_bit_reversal=False)
+        assert with_rev.data_transfer_steps - without.data_transfer_steps == 3
+
+
+class TestInverse:
+    @pytest.mark.parametrize(
+        "topo", TOPOLOGIES_16, ids=lambda t: type(t).__name__
+    )
+    def test_roundtrip(self, topo, rng):
+        from repro.fft import parallel_ifft
+
+        x = rng.normal(size=16) + 1j * rng.normal(size=16)
+        spectrum = parallel_fft(topo, x).spectrum
+        back = parallel_ifft(topo, spectrum)
+        assert np.allclose(back.spectrum, x)
+
+    def test_matches_numpy_ifft(self, rng):
+        from repro.fft import parallel_ifft
+
+        x = rng.normal(size=16) + 1j * rng.normal(size=16)
+        result = parallel_ifft(Hypercube(4), x)
+        assert np.allclose(result.spectrum, np.fft.ifft(x))
+
+    def test_same_step_bill_as_forward(self):
+        from repro.fft import parallel_ifft
+
+        fwd = parallel_fft(Hypermesh2D(4), np.zeros(16))
+        inv = parallel_ifft(Hypermesh2D(4), np.zeros(16))
+        assert inv.data_transfer_steps == fwd.data_transfer_steps
+
+
+class TestMappingReuse:
+    def test_prebuilt_mapping(self, rng):
+        topo = Hypercube(4)
+        mapping = map_fft(topo)
+        x = rng.normal(size=16)
+        result = parallel_fft(topo, x, mapping=mapping)
+        assert np.allclose(result.spectrum, np.fft.fft(x))
+        assert result.mapping is mapping
+
+    def test_program_structure(self):
+        mapping = map_fft(Hypercube(3))
+        program = build_fft_program(mapping)
+        # exchange+compute per stage, plus the closing permute.
+        assert len(program) == 2 * 3 + 1
+
+
+class TestValidation:
+    def test_sample_count_mismatch(self):
+        with pytest.raises(ValueError):
+            parallel_fft(Hypercube(4), np.zeros(8))
+
+    def test_2d_samples_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_fft(Hypercube(2), np.zeros((2, 2)))

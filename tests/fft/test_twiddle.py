@@ -1,0 +1,47 @@
+"""Unit tests for twiddle factors."""
+
+import numpy as np
+import pytest
+
+from repro.fft import stage_twiddles, twiddle
+
+
+class TestTwiddle:
+    def test_unit_root(self):
+        assert twiddle(4, 1) == pytest.approx(-1j)
+        assert twiddle(2, 1) == pytest.approx(-1.0)
+        assert twiddle(8, 0) == pytest.approx(1.0)
+
+    def test_periodicity(self):
+        assert twiddle(8, 9) == pytest.approx(twiddle(8, 1))
+
+    def test_vectorized(self):
+        out = twiddle(4, np.array([0, 1, 2, 3]))
+        assert np.allclose(out, [1, -1j, -1, 1j])
+
+    def test_order_must_be_positive(self):
+        with pytest.raises(ValueError):
+            twiddle(0, 1)
+
+    def test_magnitude_one(self):
+        assert np.allclose(np.abs(twiddle(16, np.arange(16))), 1.0)
+
+
+class TestStageTwiddles:
+    def test_final_stage_all_ones(self):
+        # bit 0: span 1, W_2^0 = 1 everywhere.
+        assert np.allclose(stage_twiddles(8, 0), 1.0)
+
+    def test_first_stage_matches_definition(self):
+        n = 8
+        tw = stage_twiddles(n, 2)  # span 4, order 8
+        idx = np.arange(n)
+        assert np.allclose(tw, np.exp(-2j * np.pi * (idx % 4) / 8))
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            stage_twiddles(8, 3)
+
+    def test_negative_bit(self):
+        with pytest.raises(ValueError):
+            stage_twiddles(8, -1)

@@ -1,0 +1,112 @@
+"""Unit tests for the equal-aggregate-bandwidth normalization (Section III-D)."""
+
+import pytest
+
+from repro.hardware import GAAS_1992, Technology, link_bandwidth, link_pins, normalize, step_time
+from repro.networks import Hypercube, Hypermesh, Hypermesh2D, Mesh2D, Torus2D
+
+
+class TestLinkPins:
+    def test_mesh_section4_figure(self):
+        # 64 / 5 = 12.8 pins per inter-PE link.
+        assert link_pins(Mesh2D(64), GAAS_1992) == pytest.approx(12.8)
+
+    def test_hypercube_section4_figure(self):
+        # 64 / 13 = 4.92 pins.
+        assert link_pins(Hypercube(12), GAAS_1992) == pytest.approx(64 / 13)
+
+    def test_hypermesh_section4_figure(self):
+        # 32 ICs per net -> 32 pins per node port.
+        assert link_pins(Hypermesh2D(64), GAAS_1992) == pytest.approx(32.0)
+
+    def test_mesh_without_pe_port(self):
+        assert link_pins(Mesh2D(64), GAAS_1992, include_pe_port=False) == pytest.approx(16.0)
+
+    def test_general_hypermesh_k_over_n(self):
+        # base-16 3D hypermesh of 4096 nodes: pins = K / dims.
+        hm = Hypermesh(16, 3)
+        assert link_pins(hm, GAAS_1992) == pytest.approx(64 / 3)
+
+    def test_rounding_down(self):
+        tech = Technology(round_pins_down=True)
+        assert link_pins(Mesh2D(64), tech) == 12.0
+
+    def test_budget_below_pe_count_rejected(self):
+        with pytest.raises(ValueError):
+            link_pins(Mesh2D(4), GAAS_1992, ic_budget=15)
+
+    def test_hypermesh_budget_below_net_count_rejected(self):
+        with pytest.raises(ValueError):
+            link_pins(Hypermesh2D(4), GAAS_1992, ic_budget=7)
+
+    def test_hypermesh_base_exceeding_ports_rejected(self):
+        # The paper's K >= sqrt(N) constraint.
+        with pytest.raises(ValueError):
+            link_pins(Hypermesh2D(128), GAAS_1992)
+
+    def test_hypercube_degree_exceeding_ports_rejected(self):
+        with pytest.raises(ValueError):
+            link_pins(Hypercube(10), Technology(crossbar_ports=8))
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError):
+            link_pins(Mesh2D(4), GAAS_1992, ic_budget=0)
+
+
+class TestLinkBandwidth:
+    def test_mesh_2_56_gbit(self):
+        assert link_bandwidth(Mesh2D(64), GAAS_1992) == pytest.approx(2.56e9)
+
+    def test_hypercube_0_985_gbit(self):
+        assert link_bandwidth(Hypercube(12), GAAS_1992) == pytest.approx(0.9846e9, rel=1e-3)
+
+    def test_hypermesh_6_4_gbit(self):
+        assert link_bandwidth(Hypermesh2D(64), GAAS_1992) == pytest.approx(6.4e9)
+
+    def test_torus_same_as_mesh(self):
+        assert link_bandwidth(Torus2D(64), GAAS_1992) == link_bandwidth(
+            Mesh2D(64), GAAS_1992
+        )
+
+    def test_kl_over_2_formula(self):
+        # Equation (1): hypermesh link bandwidth = K L / 2 for any square size.
+        for side in (4, 8, 16, 32, 64):
+            assert link_bandwidth(Hypermesh2D(side), GAAS_1992) == pytest.approx(
+                GAAS_1992.aggregate_crossbar_bandwidth / 2
+            )
+
+
+class TestStepTime:
+    def test_mesh_50ns(self):
+        assert step_time(Mesh2D(64), GAAS_1992) == pytest.approx(50e-9)
+
+    def test_hypercube_130ns(self):
+        assert step_time(Hypercube(12), GAAS_1992) == pytest.approx(130e-9, rel=1e-2)
+
+    def test_hypermesh_20ns(self):
+        assert step_time(Hypermesh2D(64), GAAS_1992) == pytest.approx(20e-9)
+
+    def test_propagation_delay_added(self):
+        tech = GAAS_1992.with_propagation_delay(20e-9)
+        assert step_time(Hypermesh2D(64), tech) == pytest.approx(40e-9)
+
+
+class TestNormalize:
+    def test_aggregate_bandwidth_equal_across_networks(self):
+        nets = [
+            normalize(Mesh2D(64), GAAS_1992),
+            normalize(Hypercube(12), GAAS_1992),
+            normalize(Hypermesh2D(64), GAAS_1992),
+        ]
+        aggregates = {n.aggregate_bandwidth for n in nets}
+        assert len(aggregates) == 1  # the comparison's founding assumption
+
+    def test_bundle_consistency(self):
+        nn = normalize(Mesh2D(8), GAAS_1992)
+        assert nn.link_bandwidth == pytest.approx(
+            nn.pins_per_link * GAAS_1992.pin_bandwidth
+        )
+        assert nn.step_time == pytest.approx(
+            GAAS_1992.packet_bits / nn.link_bandwidth
+        )
+        assert nn.ic_budget == 64

@@ -1,0 +1,55 @@
+"""Additional cost-model tests: explicit IC budgets and scaling knobs."""
+
+import pytest
+
+from repro.hardware import GAAS_1992, link_bandwidth, link_pins, normalize
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+
+
+class TestExplicitBudgets:
+    def test_double_budget_doubles_hypermesh_links(self):
+        hm = Hypermesh2D(8)
+        base = link_pins(hm, GAAS_1992)
+        rich = link_pins(hm, GAAS_1992, ic_budget=2 * hm.num_nodes)
+        assert rich == pytest.approx(2 * base)
+
+    def test_point_to_point_ignores_extra_ics(self):
+        # A mesh PE has one routing crossbar regardless of budget; extra ICs
+        # cannot widen links under the paper's construction.
+        mesh = Mesh2D(8)
+        assert link_pins(mesh, GAAS_1992, ic_budget=2 * 64) == link_pins(
+            mesh, GAAS_1992
+        )
+
+    def test_normalize_records_budget(self):
+        nn = normalize(Hypercube(6), GAAS_1992, ic_budget=64)
+        assert nn.ic_budget == 64
+        assert nn.aggregate_bandwidth == pytest.approx(
+            64 * GAAS_1992.aggregate_crossbar_bandwidth
+        )
+
+    def test_minimum_hypermesh_budget(self):
+        # Exactly one IC per net is the construction floor.
+        hm = Hypermesh2D(8)
+        pins = link_pins(hm, GAAS_1992, ic_budget=hm.num_nets())
+        assert pins == pytest.approx(GAAS_1992.crossbar_ports / hm.base)
+
+
+class TestEqualCostInvariant:
+    @pytest.mark.parametrize("side", [8, 16, 32, 64])
+    def test_aggregate_bandwidth_identical(self, side):
+        n = side * side
+        nets = [
+            normalize(Mesh2D(side), GAAS_1992),
+            normalize(Hypercube(n.bit_length() - 1), GAAS_1992),
+            normalize(Hypermesh2D(side), GAAS_1992),
+        ]
+        assert len({nn.aggregate_bandwidth for nn in nets}) == 1
+
+    @pytest.mark.parametrize("side", [8, 16, 32, 64])
+    def test_hypermesh_always_widest_link(self, side):
+        n = side * side
+        mesh_bw = link_bandwidth(Mesh2D(side), GAAS_1992)
+        cube_bw = link_bandwidth(Hypercube(n.bit_length() - 1), GAAS_1992)
+        hm_bw = link_bandwidth(Hypermesh2D(side), GAAS_1992)
+        assert hm_bw > mesh_bw > cube_bw

@@ -1,0 +1,86 @@
+"""Unit tests for the crossbar switch model."""
+
+import pytest
+
+from repro.hardware import Crossbar, GAAS_1992, ganged_bandwidth, pins_per_port
+from repro.hardware.technology import Technology
+
+
+class TestPinsPerPort:
+    def test_mesh_degree_five(self):
+        # 64 / 5 = 12.8 pins per link (paper Section IV, unrounded).
+        assert pins_per_port(GAAS_1992, 5) == pytest.approx(12.8)
+
+    def test_hypercube_degree_thirteen(self):
+        assert pins_per_port(GAAS_1992, 13) == pytest.approx(64 / 13)
+
+    def test_rounding_down(self):
+        tech = Technology(round_pins_down=True)
+        assert pins_per_port(tech, 5) == 12.0
+        assert pins_per_port(tech, 13) == 4.0
+
+    def test_degree_exceeding_ports_rejected(self):
+        with pytest.raises(ValueError):
+            pins_per_port(GAAS_1992, 65)
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ValueError):
+            pins_per_port(GAAS_1992, 0)
+
+
+class TestGangedBandwidth:
+    def test_mesh_link_bandwidth(self):
+        # 12.8 pins * 200 Mbit/s = 2.56 Gbit/s.
+        assert ganged_bandwidth(GAAS_1992, 12.8) == pytest.approx(2.56e9)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ganged_bandwidth(GAAS_1992, 0)
+
+
+class TestCrossbarSwitch:
+    def test_configure_permutation(self):
+        xb = Crossbar(4)
+        xb.configure({0: 2, 1: 3, 2: 0, 3: 1})
+        assert xb.route(0) == 2
+        assert xb.is_permutation()
+
+    def test_partial_mapping(self):
+        xb = Crossbar(4)
+        xb.configure({0: 1})
+        assert xb.route(0) == 1
+        assert xb.route(2) is None
+        assert not xb.is_permutation()
+
+    def test_output_conflict_rejected(self):
+        xb = Crossbar(4)
+        with pytest.raises(ValueError):
+            xb.configure({0: 1, 2: 1})
+
+    def test_out_of_range_rejected(self):
+        xb = Crossbar(4)
+        with pytest.raises(ValueError):
+            xb.configure({4: 0})
+        with pytest.raises(ValueError):
+            xb.configure({0: 4})
+
+    def test_clear(self):
+        xb = Crossbar(2)
+        xb.configure({0: 1})
+        xb.clear()
+        assert xb.route(0) is None
+
+    def test_route_validates_port(self):
+        with pytest.raises(ValueError):
+            Crossbar(2).route(5)
+
+    def test_needs_a_port(self):
+        with pytest.raises(ValueError):
+            Crossbar(0)
+
+    def test_mapping_view_is_a_copy(self):
+        xb = Crossbar(2)
+        xb.configure({0: 1})
+        view = xb.mapping
+        view[1] = 0  # type: ignore[index]
+        assert xb.route(1) is None

@@ -1,0 +1,44 @@
+"""Unit tests for the transmission-line link model."""
+
+import pytest
+
+from repro.hardware import Link
+
+
+class TestTransmission:
+    def test_mesh_packet_time(self):
+        # 128 bits over 2.56 Gbit/s = 50 ns (Section IV).
+        link = Link(bandwidth=2.56e9)
+        assert link.transmission_time(128) == pytest.approx(50e-9)
+
+    def test_hypermesh_packet_time(self):
+        # 128 bits over 6.4 Gbit/s = 20 ns.
+        assert Link(bandwidth=6.4e9).packet_time(128) == pytest.approx(20e-9)
+
+    def test_propagation_added(self):
+        link = Link(bandwidth=6.4e9, propagation_delay=20e-9)
+        assert link.packet_time(128) == pytest.approx(40e-9)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=0)
+
+    def test_rejects_negative_propagation(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=1e9, propagation_delay=-1)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=1e9).transmission_time(0)
+
+
+class TestPropagationHelper:
+    def test_twenty_feet_is_twenty_ns(self):
+        assert Link.propagation_for_length(20) == pytest.approx(20e-9)
+
+    def test_zero_length(self):
+        assert Link.propagation_for_length(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Link.propagation_for_length(-1)

@@ -1,0 +1,52 @@
+"""Unit tests for the technology dataclass."""
+
+import pytest
+
+from repro.hardware import GAAS_1992, GBIT, MBIT, Technology
+
+
+class TestDefaults:
+    def test_gaas_matches_section4(self):
+        assert GAAS_1992.crossbar_ports == 64
+        assert GAAS_1992.pin_bandwidth == 200 * MBIT
+        assert GAAS_1992.packet_bits == 128
+        assert GAAS_1992.propagation_delay == 0.0
+        assert not GAAS_1992.round_pins_down
+
+    def test_aggregate_crossbar_bandwidth(self):
+        # K * L = 64 * 200 Mbit/s = 12.8 Gbit/s.
+        assert GAAS_1992.aggregate_crossbar_bandwidth == pytest.approx(12.8 * GBIT)
+
+
+class TestValidation:
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            Technology(crossbar_ports=0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            Technology(pin_bandwidth=0)
+
+    def test_rejects_zero_packet(self):
+        with pytest.raises(ValueError):
+            Technology(packet_bits=0)
+
+    def test_rejects_negative_propagation(self):
+        with pytest.raises(ValueError):
+            Technology(propagation_delay=-1e-9)
+
+
+class TestCopies:
+    def test_with_propagation_delay(self):
+        t = GAAS_1992.with_propagation_delay(20e-9)
+        assert t.propagation_delay == 20e-9
+        assert GAAS_1992.propagation_delay == 0.0  # frozen original untouched
+
+    def test_with_packet_bits(self):
+        t = GAAS_1992.with_packet_bits(256)
+        assert t.packet_bits == 256
+        assert t.crossbar_ports == GAAS_1992.crossbar_ports
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GAAS_1992.packet_bits = 64  # type: ignore[misc]

@@ -1,0 +1,90 @@
+"""End-to-end workload tests: realistic signal-processing pipelines running
+on the simulated parallel machines."""
+
+import numpy as np
+import pytest
+
+from repro.fft import ifft_dif, parallel_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.sort import parallel_bitonic_sort
+
+
+class TestSpectralAnalysis:
+    def test_tone_detection_on_hypermesh(self, rng):
+        # A noisy two-tone signal; the parallel FFT must locate both bins.
+        n = 64
+        t = np.arange(n)
+        signal = (
+            2.0 * np.sin(2 * np.pi * 5 * t / n)
+            + 1.0 * np.sin(2 * np.pi * 17 * t / n)
+            + 0.05 * rng.normal(size=n)
+        )
+        result = parallel_fft(Hypermesh2D(8), signal, validate=True)
+        mag = np.abs(result.spectrum[: n // 2])
+        top_two = set(np.argsort(mag)[-2:])
+        assert top_two == {5, 17}
+
+    def test_convolution_theorem_across_networks(self, rng):
+        # Circular convolution via the parallel FFT equals the direct sum.
+        n = 16
+        x = rng.normal(size=n)
+        h = rng.normal(size=n)
+        direct = np.array(
+            [sum(x[m] * h[(k - m) % n] for m in range(n)) for k in range(n)]
+        )
+        for topo in (Mesh2D(4), Hypercube(4), Hypermesh2D(4)):
+            fx = parallel_fft(topo, x).spectrum
+            fh = parallel_fft(topo, h).spectrum
+            conv = ifft_dif(fx * fh)
+            assert np.allclose(conv.real, direct, atol=1e-8)
+
+    def test_forward_then_inverse_identity(self, rng):
+        n = 64
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        fwd = parallel_fft(Hypercube(6), x).spectrum
+        # Inverse via conjugation on the same machine.
+        inv = np.conj(parallel_fft(Hypercube(6), np.conj(fwd)).spectrum) / n
+        assert np.allclose(inv, x)
+
+
+class TestSortPipeline:
+    def test_median_extraction(self, rng):
+        keys = rng.normal(size=64)
+        result = parallel_bitonic_sort(Mesh2D(8), keys, validate=True)
+        assert result.keys[31] == np.sort(keys)[31]
+
+    def test_sort_then_fft_windowing(self, rng):
+        # Order statistics filter then spectral analysis — two staged
+        # parallel algorithms on the same machine.
+        topo = Hypermesh2D(4)
+        keys = rng.normal(size=16)
+        sorted_keys = parallel_bitonic_sort(topo, keys).keys
+        trimmed = sorted_keys.copy()
+        trimmed[:2] = 0.0
+        trimmed[-2:] = 0.0
+        spectrum = parallel_fft(topo, trimmed).spectrum
+        assert np.allclose(spectrum, np.fft.fft(trimmed))
+
+
+class TestCostAccountingEndToEnd:
+    def test_fft_wall_clock_estimate_4k(self):
+        """Join the executed schedule with the hardware model: the simulated
+        4K hypermesh FFT must price out at the paper's 0.3 us."""
+        from repro.core import map_fft
+        from repro.hardware import GAAS_1992, step_time
+        from repro.networks import Hypermesh2D
+
+        hm = Hypermesh2D(64)
+        mapping = map_fft(hm)
+        total = mapping.total_steps * step_time(hm, GAAS_1992)
+        assert total == pytest.approx(0.3e-6)
+
+    def test_hypercube_wall_clock_estimate_4k(self):
+        from repro.core import map_fft
+        from repro.hardware import GAAS_1992, step_time
+        from repro.networks import Hypercube
+
+        hc = Hypercube(12)
+        mapping = map_fft(hc)
+        total = mapping.total_steps * step_time(hc, GAAS_1992)
+        assert total == pytest.approx(3.12e-6, rel=1e-2)

@@ -1,0 +1,44 @@
+"""Every example script must run end to end (they assert their own
+numerics internally)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "spectral_filtering",
+        "network_design_study",
+        "parallel_sorting",
+        "permutation_routing_demo",
+        "large_transform",
+        "image_filtering",
+    } <= names

@@ -1,0 +1,95 @@
+"""Larger-scale randomized battery: every major subsystem exercised once at
+sizes past the unit tests' comfort zone (256-4096 nodes)."""
+
+import numpy as np
+import pytest
+
+from repro.algos import parallel_allreduce, parallel_prefix_sum, transpose_schedule
+from repro.fft import blocked_fft, parallel_fft, parallel_fft_2d
+from repro.networks import (
+    BenesNetwork,
+    Hypercube,
+    Hypermesh,
+    Hypermesh2D,
+    Mesh2D,
+    OmegaNetwork,
+    Torus2D,
+)
+from repro.routing import Permutation, bit_reversal, route_permutation_3step
+from repro.sim import route_permutation
+from repro.sort import parallel_bitonic_sort
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20260706)
+
+
+class TestScale1024:
+    def test_fft_all_networks(self, rng):
+        x = rng.normal(size=1024) + 1j * rng.normal(size=1024)
+        expected = np.fft.fft(x)
+        for topo in (Mesh2D(32), Torus2D(32), Hypercube(10), Hypermesh2D(32)):
+            result = parallel_fft(topo, x)
+            assert np.allclose(result.spectrum, expected)
+
+    def test_bitonic_sort_1024(self, rng):
+        keys = rng.normal(size=1024)
+        result = parallel_bitonic_sort(Hypermesh2D(32), keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_clos_routing_1024(self, rng):
+        perm = Permutation.random(1024, rng)
+        route = route_permutation_3step(perm, Hypermesh2D(32))
+        assert route.num_steps <= 3
+        assert route.composed() == perm
+
+    def test_adaptive_routing_1024(self, rng):
+        perm = Permutation.random(1024, rng)
+        for topo in (Torus2D(32), Hypercube(10)):
+            routed = route_permutation(topo, perm)
+            routed.schedule.validate()
+
+    def test_collectives_1024(self, rng):
+        values = rng.normal(size=1024)
+        assert np.allclose(
+            parallel_allreduce(Hypercube(10), values).values, values.sum()
+        )
+        scan = parallel_prefix_sum(Hypermesh2D(32), values)
+        assert np.allclose(scan.inclusive, np.cumsum(values))
+
+    def test_transpose_1024(self):
+        sched = transpose_schedule(Hypermesh2D(32))
+        sched.validate()
+        assert sched.num_steps <= 3
+
+    def test_fft2d_32x32(self, rng):
+        img = rng.normal(size=(32, 32))
+        result = parallel_fft_2d(Hypermesh2D(32), img)
+        assert np.allclose(result.spectrum, np.fft.fft2(img))
+
+    def test_omega_and_benes_1024(self, rng):
+        perm = Permutation.random(1024, rng)
+        bn = BenesNetwork(1024)
+        assert np.array_equal(bn.simulate(bn.route(perm)), perm.destinations)
+        passes = OmegaNetwork(1024).passes_required(bit_reversal(1024))
+        assert passes > 1
+
+
+class TestScale4096:
+    def test_headline_machine(self, rng):
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        result = parallel_fft(Hypermesh2D(64), x)
+        assert np.allclose(result.spectrum, np.fft.fft(x))
+        assert result.data_transfer_steps == 15
+
+    def test_blocked_16k_on_1024_pes(self, rng):
+        x = rng.normal(size=16384)
+        result = blocked_fft(Hypercube(10), x)
+        assert np.allclose(result.spectrum, np.fft.fft(x))
+        assert result.block_size == 16
+
+    def test_general_hypermesh_4096(self, rng):
+        x = rng.normal(size=4096)
+        result = parallel_fft(Hypermesh(16, 3), x)
+        assert np.allclose(result.spectrum, np.fft.fft(x))

@@ -1,0 +1,117 @@
+"""Unit tests for the speedup comparisons — the paper's headline numbers."""
+
+import pytest
+
+from repro.core.complexity import NetworkKind
+from repro.hardware import GAAS_1992, Technology
+from repro.models import (
+    bitonic_comparison,
+    bitonic_steps,
+    section4_comparison,
+    speedup_sweep,
+)
+
+
+class TestSection4A:
+    def test_published_totals(self):
+        cmp_ = section4_comparison()
+        assert cmp_.total(NetworkKind.MESH_2D) == pytest.approx(8e-6)
+        assert cmp_.total(NetworkKind.HYPERCUBE) == pytest.approx(3.12e-6, rel=1e-2)
+        assert cmp_.total(NetworkKind.HYPERMESH_2D) == pytest.approx(0.3e-6)
+
+    def test_published_speedups(self):
+        cmp_ = section4_comparison()
+        assert cmp_.speedup_vs_mesh == pytest.approx(26.6, rel=5e-3)
+        assert cmp_.speedup_vs_hypercube == pytest.approx(10.4, rel=1e-2)
+
+    def test_without_bitrev(self):
+        cmp_ = section4_comparison(include_bitrev=False)
+        assert cmp_.speedup_vs_mesh == pytest.approx(26.6, rel=5e-3)
+        assert cmp_.speedup_vs_hypercube == pytest.approx(6.5, rel=1e-2)
+
+
+class TestSection4B:
+    def test_propagation_delay_speedups(self):
+        cmp_ = section4_comparison(propagation_delay=20e-9)
+        assert cmp_.speedup_vs_mesh == pytest.approx(13.3, rel=5e-3)
+        assert cmp_.speedup_vs_hypercube == pytest.approx(6.0, rel=1e-2)
+
+    def test_mesh_not_charged_for_long_lines(self):
+        without = section4_comparison()
+        with_prop = section4_comparison(propagation_delay=20e-9)
+        assert with_prop.total(NetworkKind.MESH_2D) == without.total(
+            NetworkKind.MESH_2D
+        )
+        assert with_prop.total(NetworkKind.HYPERCUBE) > without.total(
+            NetworkKind.HYPERCUBE
+        )
+
+
+class TestSweep:
+    def test_monotone_growth_vs_mesh(self):
+        rows = speedup_sweep([4**k for k in range(2, 8)])
+        mesh_speedups = [m for _, m, _ in rows]
+        assert mesh_speedups == sorted(mesh_speedups)
+
+    def test_monotone_growth_vs_hypercube(self):
+        rows = speedup_sweep([4**k for k in range(2, 8)])
+        hc_speedups = [h for _, _, h in rows]
+        assert hc_speedups == sorted(hc_speedups)
+
+    def test_asymptotic_shapes(self):
+        # speedup_vs_mesh ~ c sqrt(N)/log N: ratio to that form converges.
+        import math
+
+        rows = speedup_sweep([4**k for k in range(3, 10)])
+        shaped = [m / (math.sqrt(n) / math.log2(n)) for n, m, _ in rows]
+        assert max(shaped) / min(shaped) < 1.6
+        shaped_hc = [h / math.log2(n) for n, _, h in rows]
+        assert max(shaped_hc) / min(shaped_hc) < 1.6
+
+    def test_contains_the_4k_point(self):
+        rows = dict(
+            (n, (m, h)) for n, m, h in speedup_sweep([4096])
+        )
+        m, h = rows[4096]
+        assert m == pytest.approx(26.6, rel=5e-3)
+        assert h == pytest.approx(10.4, rel=1e-2)
+
+
+class TestBitonic:
+    def test_hypercube_ratio_matches_13(self):
+        cmp_ = bitonic_comparison()
+        # [13] quotes 6.47; our normalization gives 6.5.
+        assert cmp_.speedup_vs_hypercube == pytest.approx(6.5, rel=1e-2)
+
+    def test_mesh_ratio_order_of_magnitude(self):
+        cmp_ = bitonic_comparison()
+        # [13] quotes 12.3 with its own mapping; ours lands ~20 (documented).
+        assert 10 < cmp_.speedup_vs_mesh < 30
+
+    def test_steps_4096(self):
+        assert bitonic_steps(NetworkKind.HYPERMESH_2D, 4096) == 78
+        assert bitonic_steps(NetworkKind.MESH_2D, 4096) == 618
+
+    def test_steps_square_guard(self):
+        with pytest.raises(ValueError):
+            bitonic_steps(NetworkKind.MESH_2D, 32)
+
+    def test_hypercube_works_on_any_power(self):
+        assert bitonic_steps(NetworkKind.HYPERCUBE, 32) == 15
+
+
+class TestTechnologyAblations:
+    def test_bigger_packets_do_not_change_ratios(self):
+        base = section4_comparison()
+        big = section4_comparison(technology=GAAS_1992.with_packet_bits(512))
+        assert big.speedup_vs_mesh == pytest.approx(base.speedup_vs_mesh)
+        assert big.speedup_vs_hypercube == pytest.approx(base.speedup_vs_hypercube)
+
+    def test_rounding_pins_down_helps_hypermesh(self):
+        tech = Technology(round_pins_down=True)
+        cmp_ = section4_comparison(technology=tech)
+        base = section4_comparison()
+        # Rounding hurts mesh (12.8 -> 12) and hypercube (4.92 -> 4) but not
+        # the hypermesh (32 stays 32): speedups grow.
+        assert cmp_.speedup_vs_mesh > base.speedup_vs_mesh
+        assert cmp_.speedup_vs_hypercube > base.speedup_vs_hypercube

@@ -1,0 +1,48 @@
+"""Table regeneration across machine sizes (not just the 4K headline)."""
+
+import pytest
+
+from repro.models import table_1a, table_1b, table_2a, table_2b
+
+
+SIZES = [16, 64, 256, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestSizeSweep:
+    def test_table_1a_consistent(self, n):
+        rows = {r["network"]: r for r in table_1a(n)}
+        side = int(round(n**0.5))
+        assert rows["2D mesh"]["crossbars"] == n
+        assert rows["2D hypermesh"]["crossbars"] == 2 * side
+        assert rows["2D hypermesh"]["diameter"] == 2
+        assert rows["hypercube"]["diameter"] == n.bit_length() - 1
+
+    def test_table_1b_ordering(self, n):
+        rows = {r["network"]: r for r in table_1b(n)}
+        # At N = 16 the hypercube's degree (5) ties the mesh's; beyond that
+        # its log N + 1 ports make its links strictly narrower.
+        assert (
+            rows["2D hypermesh"]["link_bw"]
+            > rows["2D mesh"]["link_bw"]
+            >= rows["hypercube"]["link_bw"]
+        )
+
+    def test_table_2a_hypermesh_bound(self, n):
+        rows = {r["network"]: r for r in table_2a(n)}
+        assert rows["2D hypermesh"]["total_steps"] == (n.bit_length() - 1) + 3
+
+    def test_table_2b_hypermesh_fastest(self, n):
+        rows = {r["network"]: r["comm_time"] for r in table_2b(n)}
+        assert rows["2D hypermesh"] == min(rows.values())
+
+
+class TestDegenerateSizes:
+    def test_smallest_square(self):
+        rows = table_2a(4)
+        assert len(rows) == 3
+
+    def test_non_square_rejected_everywhere(self):
+        for fn in (table_1a, table_1b, table_2a, table_2b):
+            with pytest.raises(ValueError):
+                fn(32)

@@ -1,0 +1,82 @@
+"""Unit tests for the communication-time model."""
+
+import pytest
+
+from repro.core.complexity import NetworkKind
+from repro.hardware import GAAS_1992
+from repro.models import StepConvention, fft_comm_time, fft_steps, network_step_time
+
+
+class TestFftSteps:
+    def test_paper_convention_4096(self):
+        assert fft_steps(NetworkKind.MESH_2D, 4096) == 160
+        assert fft_steps(NetworkKind.HYPERCUBE, 4096) == 24
+        assert fft_steps(NetworkKind.HYPERMESH_2D, 4096) == 15
+
+    def test_paper_convention_without_bitrev(self):
+        assert fft_steps(NetworkKind.MESH_2D, 4096, include_bitrev=False) == 128
+        assert fft_steps(NetworkKind.HYPERCUBE, 4096, include_bitrev=False) == 12
+        assert fft_steps(NetworkKind.HYPERMESH_2D, 4096, include_bitrev=False) == 12
+
+    def test_constructive_convention(self):
+        c = StepConvention.CONSTRUCTIVE
+        assert fft_steps(NetworkKind.MESH_2D, 4096, convention=c) == 252
+        assert fft_steps(NetworkKind.TORUS_2D, 4096, convention=c) == 158
+        assert fft_steps(NetworkKind.HYPERCUBE, 4096, convention=c) == 24
+        # Odd log N: constructive hypercube bitrev saves a step.
+        assert fft_steps(NetworkKind.HYPERCUBE, 32, convention=c) == 9
+        assert fft_steps(NetworkKind.HYPERCUBE, 32) == 10
+
+    def test_square_required_for_2d(self):
+        with pytest.raises(ValueError):
+            fft_steps(NetworkKind.MESH_2D, 32)
+
+
+class TestStepTime:
+    def test_section4_step_times(self):
+        assert network_step_time(
+            NetworkKind.MESH_2D, 4096, GAAS_1992
+        ) == pytest.approx(50e-9)
+        assert network_step_time(
+            NetworkKind.HYPERCUBE, 4096, GAAS_1992
+        ) == pytest.approx(130e-9, rel=1e-2)
+        assert network_step_time(
+            NetworkKind.HYPERMESH_2D, 4096, GAAS_1992
+        ) == pytest.approx(20e-9)
+
+    def test_propagation_delay_charged(self):
+        tech = GAAS_1992.with_propagation_delay(20e-9)
+        assert network_step_time(
+            NetworkKind.HYPERMESH_2D, 4096, tech
+        ) == pytest.approx(40e-9)
+
+    def test_pe_port_ablation(self):
+        # Without the PE port the mesh divides K by 4: faster steps.
+        with_pe = network_step_time(NetworkKind.MESH_2D, 4096, GAAS_1992)
+        without = network_step_time(
+            NetworkKind.MESH_2D, 4096, GAAS_1992, include_pe_port=False
+        )
+        assert without == pytest.approx(with_pe * 4 / 5)
+
+    def test_torus_same_as_mesh(self):
+        assert network_step_time(
+            NetworkKind.TORUS_2D, 4096, GAAS_1992
+        ) == network_step_time(NetworkKind.MESH_2D, 4096, GAAS_1992)
+
+
+class TestCommTime:
+    def test_equation_2_mesh(self):
+        t = fft_comm_time(NetworkKind.MESH_2D, 4096, GAAS_1992)
+        assert t.total == pytest.approx(8e-6)
+
+    def test_equation_3_hypercube(self):
+        t = fft_comm_time(NetworkKind.HYPERCUBE, 4096, GAAS_1992)
+        assert t.total == pytest.approx(3.12e-6, rel=1e-2)
+
+    def test_equation_4_hypermesh(self):
+        t = fft_comm_time(NetworkKind.HYPERMESH_2D, 4096, GAAS_1992)
+        assert t.total == pytest.approx(0.3e-6)
+
+    def test_total_is_steps_times_step_time(self):
+        t = fft_comm_time(NetworkKind.HYPERCUBE, 1024, GAAS_1992)
+        assert t.total == pytest.approx(t.steps * t.step_time)

@@ -1,0 +1,50 @@
+"""Unit tests for the universality slowdown comparison."""
+
+import math
+
+import pytest
+
+from repro.models import (
+    empirical_random_routing_steps,
+    hypercube_slowdown,
+    hypermesh_slowdown,
+    slowdown_table,
+)
+
+
+class TestClosedForms:
+    def test_hypercube_log_n(self):
+        assert hypercube_slowdown(4096) == 12
+
+    def test_hypermesh_log_over_loglog(self):
+        assert hypermesh_slowdown(4096) == pytest.approx(12 / math.log2(12))
+
+    def test_advantage_grows(self):
+        rows = slowdown_table([2**k for k in (4, 8, 12, 16, 20)])
+        advantages = [r.advantage for r in rows]
+        assert advantages == sorted(advantages)
+
+    def test_advantage_is_loglog(self):
+        rows = slowdown_table([2**k for k in (8, 12, 16, 20)])
+        for row in rows:
+            log_n = math.log2(row.num_pes)
+            assert row.advantage == pytest.approx(math.log2(log_n))
+
+    def test_tiny_sizes(self):
+        assert hypermesh_slowdown(2) == 1.0
+
+
+class TestEmpirical:
+    def test_hypermesh_routes_random_perms_faster(self):
+        result = empirical_random_routing_steps(256, trials=3)
+        assert result["hypermesh_mean_steps"] < result["hypercube_mean_steps"]
+
+    def test_dims_reported(self):
+        result = empirical_random_routing_steps(256, trials=1)
+        assert result["hypercube_dims"] == 8
+        assert result["hypermesh_dims"] == 2  # base-16 2D shape for 256
+
+    def test_deterministic_seed(self):
+        a = empirical_random_routing_steps(64, trials=2, seed=5)
+        b = empirical_random_routing_steps(64, trials=2, seed=5)
+        assert a == b

@@ -1,0 +1,68 @@
+"""Unit tests for wall-clock pricing and pipeline throughput."""
+
+import pytest
+
+from repro.core import map_fft
+from repro.hardware import GAAS_1992
+from repro.models.wallclock import mapping_time, pipeline_throughput, schedule_time
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+
+
+class TestScheduleTime:
+    def test_one_hypermesh_step_is_20ns(self):
+        mapping = map_fft(Hypermesh2D(64))
+        t = schedule_time(mapping.stage_schedules[0], GAAS_1992)
+        assert t == pytest.approx(20e-9)
+
+    def test_whole_bitrev(self):
+        mapping = map_fft(Hypermesh2D(64))
+        t = schedule_time(mapping.bitrev_schedule, GAAS_1992)
+        assert t == pytest.approx(60e-9)
+
+
+class TestMappingTime:
+    def test_equation_4_from_executed_schedules(self):
+        timed = mapping_time(map_fft(Hypermesh2D(64)), GAAS_1992)
+        assert timed.total_time == pytest.approx(0.3e-6)
+        assert timed.butterfly_time == pytest.approx(12 * 20e-9)
+        assert timed.bitrev_time == pytest.approx(3 * 20e-9)
+
+    def test_equation_3_from_executed_schedules(self):
+        timed = mapping_time(map_fft(Hypercube(12)), GAAS_1992)
+        assert timed.total_time == pytest.approx(3.12e-6, rel=1e-2)
+
+    def test_skipped_bitrev_costs_nothing(self):
+        timed = mapping_time(
+            map_fft(Hypercube(6), include_bit_reversal=False), GAAS_1992
+        )
+        assert timed.bitrev_time == 0.0
+
+    def test_propagation_delay_charged(self):
+        tech = GAAS_1992.with_propagation_delay(20e-9)
+        timed = mapping_time(map_fft(Hypermesh2D(64)), tech)
+        assert timed.total_time == pytest.approx(15 * 40e-9)
+
+
+class TestThroughput:
+    def test_hypermesh_beats_hypercube_and_mesh(self):
+        rates = {}
+        for topo in (Mesh2D(8), Hypercube(6), Hypermesh2D(8)):
+            rates[type(topo).__name__] = pipeline_throughput(
+                map_fft(topo), GAAS_1992
+            )
+        assert rates["Hypermesh2D"] > rates["Hypercube"] > rates["Mesh2D"]
+
+    def test_throughput_exceeds_inverse_latency(self):
+        # Pipelining can only help: rate >= 1 / latency.
+        mapping = map_fft(Hypermesh2D(8))
+        rate = pipeline_throughput(mapping, GAAS_1992)
+        latency = mapping_time(mapping, GAAS_1992).total_time
+        assert rate >= 1.0 / latency - 1e-6
+
+    def test_hypermesh_bottleneck_is_per_port_load(self):
+        # 64 PEs: each node injects once per stage into one of its two
+        # nets; 6 stages + 3 bitrev phases -> bottleneck <= 9 per port.
+        mapping = map_fft(Hypermesh2D(8))
+        rate = pipeline_throughput(mapping, GAAS_1992)
+        step = 128 / 6.4e9  # KL/2 links at side 8 too
+        assert rate >= 1.0 / (9 * step) - 1e-6

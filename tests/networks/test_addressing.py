@@ -1,0 +1,220 @@
+"""Unit tests for the bit/digit addressing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.networks.addressing import (
+    bit,
+    bit_reversal_permutation,
+    bit_reverse,
+    bit_reverse_array,
+    digit,
+    digit_distance,
+    flip_bit,
+    from_mixed_radix,
+    gray_code,
+    gray_decode,
+    hamming_distance,
+    ilog2,
+    is_power_of_two,
+    set_bit,
+    swap_bits,
+    to_mixed_radix,
+    with_digit,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers_are_accepted(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_zero_is_rejected(self):
+        assert not is_power_of_two(0)
+
+    def test_negative_is_rejected(self):
+        assert not is_power_of_two(-4)
+
+    @pytest.mark.parametrize("value", [3, 5, 6, 7, 9, 12, 100, 1023])
+    def test_non_powers_are_rejected(self, value):
+        assert not is_power_of_two(value)
+
+    def test_ilog2_exact(self):
+        for k in range(20):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("value", [0, -1, 3, 6, 100])
+    def test_ilog2_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            ilog2(value)
+
+
+class TestBitOps:
+    def test_bit_extraction(self):
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 3) == 1
+        assert bit(0b1010, 4) == 0
+
+    def test_bit_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            bit(5, -1)
+
+    def test_set_bit_on(self):
+        assert set_bit(0b1000, 1, 1) == 0b1010
+
+    def test_set_bit_off(self):
+        assert set_bit(0b1010, 3, 0) == 0b0010
+
+    def test_set_bit_idempotent(self):
+        assert set_bit(0b1010, 1, 1) == 0b1010
+
+    def test_set_bit_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    def test_flip_bit_toggles(self):
+        assert flip_bit(0b100, 2) == 0
+        assert flip_bit(0, 2) == 0b100
+
+    def test_flip_bit_involution(self):
+        for v in range(32):
+            for i in range(5):
+                assert flip_bit(flip_bit(v, i), i) == v
+
+    def test_swap_bits_distinct(self):
+        assert swap_bits(0b01, 0, 1) == 0b10
+
+    def test_swap_bits_equal_bits_noop(self):
+        assert swap_bits(0b11, 0, 1) == 0b11
+        assert swap_bits(0b00, 0, 1) == 0b00
+
+    def test_swap_bits_involution(self):
+        for v in range(64):
+            assert swap_bits(swap_bits(v, 1, 4), 1, 4) == v
+
+
+class TestBitReverse:
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [(0, 3, 0), (1, 3, 4), (2, 3, 2), (3, 3, 6), (4, 3, 1), (6, 3, 3), (0b0001, 4, 0b1000)],
+    )
+    def test_known_values(self, value, width, expected):
+        assert bit_reverse(value, width) == expected
+
+    def test_is_involution(self):
+        for width in range(1, 8):
+            for v in range(1 << width):
+                assert bit_reverse(bit_reverse(v, width), width) == v
+
+    def test_width_zero(self):
+        assert bit_reverse(0, 0) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bit_reverse(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_reverse(-1, 3)
+
+    def test_array_matches_scalar(self):
+        for width in range(0, 9):
+            table = bit_reverse_array(width)
+            expected = [bit_reverse(i, width) for i in range(1 << width)]
+            assert table.tolist() == expected
+
+    def test_permutation_is_involution(self):
+        perm = bit_reversal_permutation(64)
+        assert np.array_equal(perm[perm], np.arange(64))
+
+    def test_permutation_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bit_reversal_permutation(12)
+
+
+class TestHammingAndGray:
+    def test_hamming_basic(self):
+        assert hamming_distance(0b101, 0b010) == 3
+        assert hamming_distance(7, 7) == 0
+
+    def test_hamming_symmetric(self):
+        for a in range(16):
+            for b in range(16):
+                assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    def test_gray_adjacent_codes_differ_in_one_bit(self):
+        for v in range(255):
+            assert hamming_distance(gray_code(v), gray_code(v + 1)) == 1
+
+    def test_gray_roundtrip(self):
+        for v in range(512):
+            assert gray_decode(gray_code(v)) == v
+
+    def test_gray_is_bijection_on_range(self):
+        codes = {gray_code(v) for v in range(256)}
+        assert codes == set(range(256))
+
+    def test_gray_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            gray_decode(-1)
+
+
+class TestMixedRadix:
+    def test_roundtrip_square(self):
+        radices = (4, 4)
+        for v in range(16):
+            assert from_mixed_radix(to_mixed_radix(v, radices), radices) == v
+
+    def test_roundtrip_mixed(self):
+        radices = (3, 5, 2)
+        for v in range(30):
+            assert from_mixed_radix(to_mixed_radix(v, radices), radices) == v
+
+    def test_msd_first_ordering(self):
+        # Row-major: value 7 on a 4x4 grid is row 1, col 3.
+        assert to_mixed_radix(7, (4, 4)) == (1, 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            to_mixed_radix(16, (4, 4))
+        with pytest.raises(ValueError):
+            to_mixed_radix(-1, (4, 4))
+
+    def test_bad_radix_rejected(self):
+        with pytest.raises(ValueError):
+            to_mixed_radix(0, (4, 0))
+
+    def test_from_mixed_radix_validates_digits(self):
+        with pytest.raises(ValueError):
+            from_mixed_radix((4, 0), (4, 4))
+        with pytest.raises(ValueError):
+            from_mixed_radix((0,), (4, 4))
+
+    def test_digit_accessor(self):
+        assert digit(7, 0, (4, 4)) == 1
+        assert digit(7, 1, (4, 4)) == 3
+
+    def test_with_digit_replaces(self):
+        assert with_digit(7, 0, 2, (4, 4)) == 11  # (2, 3)
+        assert with_digit(7, 1, 0, (4, 4)) == 4  # (1, 0)
+
+    def test_with_digit_validates(self):
+        with pytest.raises(ValueError):
+            with_digit(7, 0, 4, (4, 4))
+
+    def test_digit_distance_counts_differing_digits(self):
+        assert digit_distance(0, 15, (4, 4)) == 2  # (0,0) vs (3,3)
+        assert digit_distance(0, 3, (4, 4)) == 1  # (0,0) vs (0,3)
+        assert digit_distance(5, 5, (4, 4)) == 0
+
+    def test_digit_distance_triangle_inequality(self):
+        radices = (3, 3)
+        for a in range(9):
+            for b in range(9):
+                for c in range(9):
+                    assert digit_distance(a, c, radices) <= digit_distance(
+                        a, b, radices
+                    ) + digit_distance(b, c, radices)

@@ -1,0 +1,104 @@
+"""Unit tests for the Benes rearrangeable network."""
+
+import numpy as np
+import pytest
+
+from repro.networks import BenesNetwork, OmegaNetwork
+from repro.routing import (
+    Permutation,
+    bit_reversal,
+    perfect_shuffle,
+    vector_reversal,
+)
+
+
+class TestStructure:
+    def test_stage_count(self):
+        assert BenesNetwork(2).num_stages == 1
+        assert BenesNetwork(8).num_stages == 5
+        assert BenesNetwork(64).num_stages == 11
+
+    def test_switches_per_stage(self):
+        assert BenesNetwork(16).switches_per_stage == 8
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(6)
+
+    def test_rejects_single_port(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(1)
+
+
+class TestRearrangeability:
+    """Any permutation in one pass — the theorem, verified by simulation."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_identity(self, n):
+        bn = BenesNetwork(n)
+        routing = bn.route(Permutation.identity(n))
+        assert np.array_equal(bn.simulate(routing), np.arange(n))
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_bit_reversal_passes(self, n):
+        """The permutation that *blocks* the Omega network."""
+        bn = BenesNetwork(n)
+        perm = bit_reversal(n)
+        assert np.array_equal(bn.simulate(bn.route(perm)), perm.destinations)
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_perfect_shuffle_passes(self, n):
+        bn = BenesNetwork(n)
+        perm = perfect_shuffle(n)
+        assert np.array_equal(bn.simulate(bn.route(perm)), perm.destinations)
+
+    def test_vector_reversal_passes(self):
+        bn = BenesNetwork(32)
+        perm = vector_reversal(32)
+        assert np.array_equal(bn.simulate(bn.route(perm)), perm.destinations)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_permutations(self, seed):
+        n = 32
+        bn = BenesNetwork(n)
+        perm = Permutation.random(n, np.random.default_rng(seed))
+        assert np.array_equal(bn.simulate(bn.route(perm)), perm.destinations)
+
+    def test_settings_shape(self):
+        bn = BenesNetwork(8)
+        routing = bn.route(Permutation.identity(8))
+        assert routing.num_stages == 5
+        assert all(len(stage) == 4 for stage in routing.settings)
+
+
+class TestValidation:
+    def test_size_mismatch_route(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(8).route(Permutation.identity(4))
+
+    def test_size_mismatch_simulate(self):
+        routing = BenesNetwork(4).route(Permutation.identity(4))
+        with pytest.raises(ValueError):
+            BenesNetwork(8).simulate(routing)
+
+
+class TestTaxonomy:
+    """The Section I taxonomy, quantified: blocking Omega vs rearrangeable
+    Benes vs rearrangeable hypermesh."""
+
+    def test_benes_passes_what_omega_blocks(self):
+        n = 16
+        perm = bit_reversal(n)
+        assert not OmegaNetwork(n).is_admissible(perm)
+        bn = BenesNetwork(n)
+        assert np.array_equal(bn.simulate(bn.route(perm)), perm.destinations)
+
+    def test_cost_of_rearrangeability(self):
+        # Benes buys universality with 2 log N - 1 stages; the hypermesh
+        # with 3 *steps* over log N-deep hardware — Section II's pitch.
+        n = 64
+        assert BenesNetwork(n).num_stages == 11
+        assert OmegaNetwork(n).num_stages == 6
+        from repro.routing import route_permutation_3step
+
+        assert route_permutation_3step(bit_reversal(n)).num_steps <= 3

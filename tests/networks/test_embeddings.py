@@ -1,0 +1,93 @@
+"""Unit tests for the classical embeddings."""
+
+import pytest
+
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus, Torus2D
+from repro.networks.embeddings import (
+    dilation,
+    hypermesh_hosts_with_dilation,
+    mesh2d_into_hypercube,
+    ring_into_hypercube,
+)
+
+
+class TestRingEmbedding:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 5])
+    def test_dilation_one(self, dim):
+        mapping = ring_into_hypercube(dim)
+        host = Hypercube(dim)
+        n = len(mapping)
+        for i in range(n):
+            assert host.distance(mapping[i], mapping[(i + 1) % n]) == 1
+
+    def test_is_bijection(self):
+        mapping = ring_into_hypercube(4)
+        assert sorted(mapping) == list(range(16))
+
+
+class TestMeshEmbedding:
+    @pytest.mark.parametrize("rb,cb", [(1, 1), (2, 2), (2, 3), (3, 3)])
+    def test_dilation_one_for_torus(self, rb, cb):
+        mapping = mesh2d_into_hypercube(rb, cb)
+        guest = Torus((1 << rb, 1 << cb))
+        host = Hypercube(rb + cb)
+        assert dilation(guest, host, mapping) == 1
+
+    def test_mesh_subsumed_by_torus(self):
+        mapping = mesh2d_into_hypercube(2, 2)
+        assert dilation(Mesh2D(4), Hypercube(4), mapping) == 1
+
+    def test_is_bijection(self):
+        mapping = mesh2d_into_hypercube(2, 3)
+        assert sorted(mapping) == list(range(32))
+
+
+class TestDilationMetric:
+    def test_identity_embedding(self):
+        h = Hypercube(3)
+        assert dilation(h, h, list(range(8))) == 1
+
+    def test_bad_embedding_detected(self):
+        # Map ring nodes in natural binary order: wrap edge 7 -> 0 stretches.
+        host = Hypercube(3)
+        guest = Torus((8,))
+        stretch = dilation(guest, host, list(range(8)))
+        assert stretch == 3  # 7 = 0b111 vs 0 differ in all bits
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError):
+            dilation(Hypercube(2), Hypercube(2), [0, 0, 1, 2])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            dilation(Hypercube(2), Hypercube(2), [0, 1, 2])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            dilation(Hypercube(2), Hypercube(2), [0, 1, 2, 7])
+
+
+class TestHypermeshHosting:
+    @pytest.mark.parametrize("side", [2, 4])
+    def test_mesh_dilation_at_most_two(self, side):
+        assert hypermesh_hosts_with_dilation(Mesh2D(side), side) <= 2
+
+    @pytest.mark.parametrize("side", [2, 4])
+    def test_torus_dilation_at_most_two(self, side):
+        assert hypermesh_hosts_with_dilation(Torus2D(side), side) <= 2
+
+    def test_hypercube_dilation_at_most_two(self):
+        assert hypermesh_hosts_with_dilation(Hypercube(4), 4) <= 2
+
+    def test_row_major_mesh_dilation_exactly_one(self):
+        # Mesh neighbours share a row or a column: a single net hop.
+        assert hypermesh_hosts_with_dilation(Mesh2D(4), 4) == 1
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hypermesh_hosts_with_dilation(Mesh2D(4), 8)
+
+    def test_everything_hosts_in_hypermesh_cheaply(self):
+        """The diameter-2 argument: any 16-node guest fits at dilation <= 2."""
+        for guest in (Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)):
+            assert hypermesh_hosts_with_dilation(guest, 4) <= 2

@@ -1,0 +1,76 @@
+"""Unit tests for the binary hypercube."""
+
+import pytest
+
+from repro.networks import Hypercube
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert Hypercube(4).num_nodes == 16
+
+    def test_with_nodes(self):
+        assert Hypercube.with_nodes(64).dimension == 6
+
+    def test_with_nodes_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            Hypercube.with_nodes(12)
+
+    def test_rejects_dimension_zero(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+
+class TestAdjacency:
+    def test_neighbors_flip_one_bit(self):
+        h = Hypercube(3)
+        assert sorted(h.neighbors(0b000)) == [0b001, 0b010, 0b100]
+        assert sorted(h.neighbors(0b101)) == [0b001, 0b100, 0b111]
+
+    def test_neighbor_along(self):
+        h = Hypercube(4)
+        assert h.neighbor_along(0b0000, 2) == 0b0100
+        assert h.neighbor_along(0b0100, 2) == 0b0000
+
+    def test_neighbor_along_validates_dim(self):
+        with pytest.raises(ValueError):
+            Hypercube(3).neighbor_along(0, 3)
+
+    def test_degree_equals_dimension(self):
+        h = Hypercube(5)
+        assert all(len(h.neighbors(n)) == 5 for n in h.nodes())
+
+    def test_adjacency_symmetric(self):
+        h = Hypercube(4)
+        for node in h.nodes():
+            for nb in h.neighbors(node):
+                assert node in h.neighbors(nb)
+
+    def test_link_count(self):
+        # n 2^(n-1) undirected links.
+        assert Hypercube(4).num_links() == 32
+        assert Hypercube(6).num_links() == 192
+
+
+class TestDistance:
+    def test_hamming(self):
+        h = Hypercube(4)
+        assert h.distance(0b0000, 0b1111) == 4
+        assert h.distance(0b1010, 0b1010) == 0
+        assert h.distance(0b1000, 0b0001) == 2
+
+    def test_diameter(self):
+        assert Hypercube(12).diameter == 12
+
+    def test_antipodal_pair_realizes_diameter(self):
+        h = Hypercube(5)
+        assert h.distance(0, h.num_nodes - 1) == h.diameter
+
+
+class TestHardware:
+    def test_degree_includes_pe_port(self):
+        # 4K hypercube: degree 13 nodes (Section IV).
+        assert Hypercube(12).node_degree == 13
+
+    def test_one_crossbar_per_pe(self):
+        assert Hypercube(12).num_crossbars == 4096

@@ -1,0 +1,121 @@
+"""Unit tests for the mesh topology."""
+
+import pytest
+
+from repro.networks import Mesh, Mesh2D
+from repro.networks.base import ChannelModel
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert Mesh((3, 5)).num_nodes == 15
+
+    def test_mesh2d_is_square(self):
+        m = Mesh2D(4)
+        assert m.num_nodes == 16
+        assert m.side == 4
+        assert m.radices == (4, 4)
+
+    def test_rejects_empty_radices(self):
+        with pytest.raises(ValueError):
+            Mesh(())
+
+    def test_rejects_degenerate_extent(self):
+        with pytest.raises(ValueError):
+            Mesh((4, 1))
+
+    def test_channel_model(self):
+        assert Mesh2D(3).channel_model is ChannelModel.POINT_TO_POINT
+
+
+class TestCoordinates:
+    def test_row_major(self):
+        m = Mesh2D(4)
+        assert m.coordinates(0) == (0, 0)
+        assert m.coordinates(5) == (1, 1)
+        assert m.coordinates(15) == (3, 3)
+
+    def test_node_at_roundtrip(self):
+        m = Mesh((3, 4, 2))
+        for node in m.nodes():
+            assert m.node_at(m.coordinates(node)) == node
+
+    def test_row_col_alias(self):
+        assert Mesh2D(4).row_col(7) == (1, 3)
+
+    def test_validate_node(self):
+        with pytest.raises(ValueError):
+            Mesh2D(4).coordinates(16)
+
+
+class TestAdjacency:
+    def test_corner_has_two_neighbors(self):
+        m = Mesh2D(4)
+        assert sorted(m.neighbors(0)) == [1, 4]
+
+    def test_interior_has_four_neighbors(self):
+        m = Mesh2D(4)
+        assert sorted(m.neighbors(5)) == [1, 4, 6, 9]
+
+    def test_edge_has_three_neighbors(self):
+        m = Mesh2D(4)
+        assert sorted(m.neighbors(1)) == [0, 2, 5]
+
+    def test_adjacency_is_symmetric(self):
+        m = Mesh((3, 4))
+        for node in m.nodes():
+            for nb in m.neighbors(node):
+                assert node in m.neighbors(nb)
+
+    def test_no_wraparound(self):
+        m = Mesh2D(4)
+        assert 3 not in m.neighbors(0)
+        assert 12 not in m.neighbors(0)
+
+    def test_links_each_once(self):
+        m = Mesh2D(3)
+        links = list(m.links())
+        assert len(links) == len(set(links))
+        assert all(u < v for u, v in links)
+
+    def test_link_count_formula(self):
+        # s x s mesh: 2 s (s-1) links.
+        for s in (2, 3, 4, 5):
+            assert Mesh2D(s).num_links() == 2 * s * (s - 1)
+
+
+class TestDistance:
+    def test_manhattan(self):
+        m = Mesh2D(4)
+        assert m.distance(0, 15) == 6
+        assert m.distance(0, 3) == 3
+        assert m.distance(5, 5) == 0
+
+    def test_distance_symmetric(self):
+        m = Mesh2D(4)
+        for a in m.nodes():
+            for b in m.nodes():
+                assert m.distance(a, b) == m.distance(b, a)
+
+    def test_diameter_formula(self):
+        assert Mesh2D(4).diameter == 6
+        assert Mesh2D(8).diameter == 14
+        assert Mesh((3, 5)).diameter == 6
+
+    def test_diameter_matches_paper_4k(self):
+        # 64x64: 2(sqrt(N)-1) = 126.
+        assert Mesh2D(64).diameter == 126
+
+
+class TestHardware:
+    def test_degree_includes_pe_port(self):
+        assert Mesh2D(4).node_degree == 5
+
+    def test_degree_extent_two(self):
+        assert Mesh((2, 2)).node_degree == 3
+
+    def test_one_crossbar_per_pe(self):
+        assert Mesh2D(8).num_crossbars == 64
+
+    def test_mixed_dimensions_degree(self):
+        assert Mesh((2, 5)).node_degree == 4  # 1 + 2 + PE

@@ -1,0 +1,94 @@
+"""Unit tests for the torus (k-ary n-cube) topology."""
+
+import pytest
+
+from repro.networks import Hypercube, Torus, Torus2D
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert Torus((3, 4)).num_nodes == 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Torus(())
+
+    def test_rejects_extent_one(self):
+        with pytest.raises(ValueError):
+            Torus((4, 1))
+
+
+class TestAdjacency:
+    def test_corner_has_four_neighbors_with_wraparound(self):
+        t = Torus2D(4)
+        assert sorted(t.neighbors(0)) == [1, 3, 4, 12]
+
+    def test_adjacency_symmetric(self):
+        t = Torus((3, 4))
+        for node in t.nodes():
+            for nb in t.neighbors(node):
+                assert node in t.neighbors(nb)
+
+    def test_all_nodes_same_degree(self):
+        t = Torus2D(5)
+        degrees = {len(t.neighbors(n)) for n in t.nodes()}
+        assert degrees == {4}
+
+    def test_extent_two_no_duplicate_link(self):
+        # 2-ary dimensions must not create parallel edges.
+        t = Torus((2, 2))
+        for node in t.nodes():
+            nbs = t.neighbors(node)
+            assert len(nbs) == len(set(nbs))
+            assert len(nbs) == 2
+
+    def test_2ary_ncube_isomorphic_to_hypercube(self):
+        t = Torus((2, 2, 2))
+        h = Hypercube(3)
+        for node in t.nodes():
+            assert sorted(t.neighbors(node)) == sorted(h.neighbors(node))
+
+    def test_link_count(self):
+        # s x s torus, s > 2: 2 s^2 links.
+        assert Torus2D(4).num_links() == 32
+        assert Torus2D(5).num_links() == 50
+
+
+class TestDistance:
+    def test_wraparound_shortens(self):
+        t = Torus2D(4)
+        assert t.distance(0, 3) == 1  # around the ring
+        assert t.distance(0, 15) == 2
+
+    def test_distance_symmetric(self):
+        t = Torus2D(4)
+        for a in t.nodes():
+            for b in t.nodes():
+                assert t.distance(a, b) == t.distance(b, a)
+
+    def test_diameter_formula(self):
+        assert Torus2D(4).diameter == 4
+        assert Torus2D(5).diameter == 4
+        assert Torus((3, 7)).diameter == 4
+
+    def test_diameter_64(self):
+        assert Torus2D(64).diameter == 64
+
+
+class TestHardware:
+    def test_degree_includes_pe_port(self):
+        assert Torus2D(4).node_degree == 5
+
+    def test_degree_extent_two_dims(self):
+        assert Torus((2, 2)).node_degree == 3
+
+    def test_one_crossbar_per_pe(self):
+        assert Torus2D(4).num_crossbars == 16
+
+    def test_coordinates_roundtrip(self):
+        t = Torus((3, 4))
+        for node in t.nodes():
+            assert t.node_at(t.coordinates(node)) == node
+
+    def test_row_col(self):
+        assert Torus2D(4).row_col(13) == (3, 1)

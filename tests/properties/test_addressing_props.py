@@ -1,0 +1,80 @@
+"""Property-based tests for addressing primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks.addressing import (
+    bit_reverse,
+    from_mixed_radix,
+    gray_code,
+    gray_decode,
+    hamming_distance,
+    swap_bits,
+    to_mixed_radix,
+)
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@given(st.integers(0, 14), st.data())
+def test_bit_reverse_involution(width, data):
+    value = data.draw(st.integers(0, (1 << width) - 1))
+    assert bit_reverse(bit_reverse(value, width), width) == value
+
+
+@given(st.integers(1, 14), st.data())
+def test_bit_reverse_is_bijection_sample(width, data):
+    a = data.draw(st.integers(0, (1 << width) - 1))
+    b = data.draw(st.integers(0, (1 << width) - 1))
+    if a != b:
+        assert bit_reverse(a, width) != bit_reverse(b, width)
+
+
+@given(st.integers(0, 2**20))
+def test_gray_roundtrip(value):
+    assert gray_decode(gray_code(value)) == value
+
+
+@given(st.integers(0, 2**20 - 1))
+def test_gray_neighbors(value):
+    assert hamming_distance(gray_code(value), gray_code(value + 1)) == 1
+
+
+@given(st.integers(0, 2**16), st.integers(0, 15), st.integers(0, 15))
+def test_swap_bits_involution(value, i, j):
+    assert swap_bits(swap_bits(value, i, j), i, j) == value
+
+
+@given(st.integers(0, 2**16), st.integers(0, 2**16), st.integers(0, 2**16))
+def test_hamming_triangle_inequality(a, b, c):
+    assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+
+@st.composite
+def radices_and_value(draw):
+    radices = tuple(
+        draw(st.integers(1, 9)) for _ in range(draw(st.integers(1, 5)))
+    )
+    total = 1
+    for r in radices:
+        total *= r
+    value = draw(st.integers(0, total - 1))
+    return radices, value
+
+
+@given(radices_and_value())
+def test_mixed_radix_roundtrip(case):
+    radices, value = case
+    digits = to_mixed_radix(value, radices)
+    assert from_mixed_radix(digits, radices) == value
+    assert len(digits) == len(radices)
+    assert all(0 <= d < r for d, r in zip(digits, radices))
+
+
+@given(radices_and_value())
+def test_mixed_radix_ordering(case):
+    # Lexicographic digit order (MSD first) must match numeric order.
+    radices, value = case
+    if value > 0:
+        assert to_mixed_radix(value - 1, radices) < to_mixed_radix(value, radices)

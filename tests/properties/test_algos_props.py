@@ -1,0 +1,91 @@
+"""Property-based tests for the collective algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algos import (
+    parallel_allreduce,
+    parallel_broadcast,
+    parallel_prefix_sum,
+    transpose_schedule,
+)
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+def value_vectors(widths=(1, 2, 3, 4)):
+    return st.sampled_from(widths).flatmap(
+        lambda w: arrays(
+            np.float64,
+            (1 << w,),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        )
+    )
+
+
+@given(value_vectors())
+def test_scan_matches_cumsum(values):
+    topo = Hypercube(values.size.bit_length() - 1)
+    result = parallel_prefix_sum(topo, values)
+    assert np.allclose(result.inclusive, np.cumsum(values), atol=1e-6)
+
+
+@given(value_vectors())
+def test_scan_total_is_sum(values):
+    topo = Hypercube(values.size.bit_length() - 1)
+    result = parallel_prefix_sum(topo, values)
+    assert result.total == np.float64(values.sum()) or abs(
+        result.total - values.sum()
+    ) <= 1e-6 * max(1.0, abs(values.sum()))
+
+
+@given(value_vectors())
+def test_allreduce_sum_and_max_agree_with_numpy(values):
+    topo = Hypercube(values.size.bit_length() - 1)
+    assert np.allclose(
+        parallel_allreduce(topo, values).values, values.sum(), atol=1e-6
+    )
+    assert np.allclose(
+        parallel_allreduce(topo, values, op=np.maximum).values, values.max()
+    )
+
+
+@given(value_vectors(), st.data())
+def test_broadcast_from_any_root(values, data):
+    topo = Hypercube(values.size.bit_length() - 1)
+    root = data.draw(st.integers(0, values.size - 1))
+    result = parallel_broadcast(topo, values, root=root)
+    assert np.allclose(result.values, values[root])
+
+
+@given(st.sampled_from([2, 4]), st.integers(0, 2**32 - 1))
+def test_transpose_schedule_moves_matrices(side, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=side * side)
+    for topo in (
+        Mesh2D(side),
+        Hypercube((side * side).bit_length() - 1),
+        Hypermesh2D(side),
+    ):
+        sched = transpose_schedule(topo)
+        sched.validate()
+        out = sched.logical.apply(data)
+        assert np.allclose(
+            out.reshape(side, side), data.reshape(side, side).T
+        )
+
+
+@given(st.sampled_from([2, 4, 8]))
+def test_collectives_cost_the_butterfly_bill(side):
+    n = side * side
+    hc = Hypercube(n.bit_length() - 1)
+    hm = Hypermesh2D(side)
+    zeros = np.zeros(n)
+    log_n = n.bit_length() - 1
+    for topo in (hc, hm):
+        assert parallel_allreduce(topo, zeros).data_transfer_steps == log_n
+        assert parallel_prefix_sum(topo, zeros).data_transfer_steps == log_n

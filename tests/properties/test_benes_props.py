@@ -1,0 +1,52 @@
+"""Property-based tests: the Benes network is rearrangeable (every
+permutation routes), and its switch settings are always well-formed."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import BenesNetwork
+from repro.routing import Permutation
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@st.composite
+def benes_cases(draw, max_width=5):
+    width = draw(st.integers(1, max_width))
+    n = 1 << width
+    perm = Permutation(draw(st.permutations(list(range(n)))))
+    return BenesNetwork(n), perm
+
+
+@given(benes_cases())
+def test_every_permutation_routes(case):
+    bn, perm = case
+    routing = bn.route(perm)
+    assert np.array_equal(bn.simulate(routing), perm.destinations)
+
+
+@given(benes_cases())
+def test_settings_well_formed(case):
+    bn, perm = case
+    routing = bn.route(perm)
+    assert routing.num_stages == 2 * (bn.num_ports.bit_length() - 1) - 1
+    for stage in routing.settings:
+        assert len(stage) == bn.num_ports // 2
+        assert all(isinstance(s, bool) for s in stage)
+
+
+@given(benes_cases(max_width=4))
+def test_inverse_also_routes(case):
+    bn, perm = case
+    inv = perm.inverse()
+    assert np.array_equal(bn.simulate(bn.route(inv)), inv.destinations)
+
+
+@given(benes_cases(max_width=4))
+def test_routing_is_deterministic(case):
+    bn, perm = case
+    a = bn.route(perm)
+    b = bn.route(perm)
+    assert a.settings == b.settings

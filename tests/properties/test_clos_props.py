@@ -1,0 +1,69 @@
+"""Property-based tests for the hypermesh 3-step Clos routing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import Hypermesh2D
+from repro.routing import (
+    Permutation,
+    is_col_internal,
+    is_row_internal,
+    route_permutation_3step,
+)
+from repro.sim.schedule import schedule_from_phases
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@st.composite
+def square_permutations(draw, max_side=8):
+    side = draw(st.integers(2, max_side))
+    perm = draw(st.permutations(list(range(side * side))))
+    return side, Permutation(perm)
+
+
+@given(square_permutations())
+def test_decomposition_is_exact(case):
+    side, perm = case
+    route = route_permutation_3step(perm, Hypermesh2D(side))
+    assert route.composed() == perm
+
+
+@given(square_permutations())
+def test_at_most_three_net_internal_phases(case):
+    side, perm = case
+    route = route_permutation_3step(perm, Hypermesh2D(side))
+    assert 1 <= route.num_steps <= 3
+    for phase in route.phases:
+        assert is_row_internal(phase, side) or is_col_internal(phase, side)
+
+
+@given(square_permutations(max_side=6))
+def test_phases_replay_through_hardware_validator(case):
+    side, perm = case
+    hm = Hypermesh2D(side)
+    route = route_permutation_3step(perm, hm)
+    sched = schedule_from_phases(hm, route.phases)
+    sched.validate()  # one permutation per net per step, one hop per move
+    assert sched.logical == perm
+    assert sched.num_steps <= 3
+
+
+@given(st.integers(2, 8), st.integers(0, 2**32 - 1))
+def test_worst_case_demands(side, seed):
+    # Adversarial shape: send every row to a single destination row block
+    # (all packets of row r target row (r + 1) % side), maximally loading
+    # the row-to-row demand graph diagonals.
+    n = side * side
+    rng = np.random.default_rng(seed)
+    dest = np.empty(n, dtype=np.int64)
+    for r in range(side):
+        cols = rng.permutation(side)
+        for c in range(side):
+            dest[r * side + c] = ((r + 1) % side) * side + cols[c]
+    perm = Permutation(dest)
+    route = route_permutation_3step(perm, Hypermesh2D(side))
+    assert route.composed() == perm
+    assert route.num_steps <= 3

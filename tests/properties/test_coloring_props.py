@@ -1,0 +1,68 @@
+"""Property-based tests for bipartite edge coloring (König optimality)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import bipartite_edge_coloring, validate_edge_coloring
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@st.composite
+def bipartite_multigraphs(draw):
+    num_left = draw(st.integers(1, 10))
+    num_right = draw(st.integers(1, 10))
+    num_edges = draw(st.integers(0, 60))
+    edges = [
+        (
+            draw(st.integers(0, num_left - 1)),
+            draw(st.integers(0, num_right - 1)),
+        )
+        for _ in range(num_edges)
+    ]
+    return num_left, num_right, edges
+
+
+def _delta(num_left, num_right, edges):
+    dl = np.zeros(num_left, int)
+    dr = np.zeros(num_right, int)
+    for u, v in edges:
+        dl[u] += 1
+        dr[v] += 1
+    return int(max(dl.max(initial=0), dr.max(initial=0)))
+
+
+@given(bipartite_multigraphs())
+def test_coloring_is_proper(graph):
+    num_left, num_right, edges = graph
+    colors, _ = bipartite_edge_coloring(num_left, num_right, edges)
+    validate_edge_coloring(num_left, num_right, edges, colors)
+
+
+@given(bipartite_multigraphs())
+def test_uses_exactly_delta_colors(graph):
+    num_left, num_right, edges = graph
+    colors, k = bipartite_edge_coloring(num_left, num_right, edges)
+    assert k == _delta(num_left, num_right, edges)
+    if len(edges):
+        assert colors.max() < k
+
+
+@given(st.integers(1, 12), st.integers(1, 8), st.integers(0, 2**32 - 1))
+def test_regular_demand_from_permutations(n, d, seed):
+    # d superimposed random perfect matchings: Delta = d exactly.
+    rng = np.random.default_rng(seed)
+    edges = []
+    for _ in range(d):
+        perm = rng.permutation(n)
+        edges.extend((u, int(perm[u])) for u in range(n))
+    colors, k = bipartite_edge_coloring(n, n, edges)
+    assert k == d
+    validate_edge_coloring(n, n, edges, colors)
+    # Each color class must itself be a perfect matching.
+    for c in range(k):
+        class_edges = [e for e, col in zip(edges, colors) if col == c]
+        assert len({u for u, _ in class_edges}) == len(class_edges)
+        assert len({v for _, v in class_edges}) == len(class_edges)

@@ -1,0 +1,56 @@
+"""Property-based tests for deflection routing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import Hypercube, Torus2D
+from repro.routing import Permutation
+from repro.sim.deflection import route_deflection
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@st.composite
+def deflection_cases(draw):
+    kind = draw(st.sampled_from(["torus", "hypercube"]))
+    if kind == "torus":
+        side = draw(st.sampled_from([2, 4]))
+        topo = Torus2D(side)
+    else:
+        dim = draw(st.integers(2, 4))
+        topo = Hypercube(dim)
+    perm = Permutation(draw(st.permutations(list(range(topo.num_nodes)))))
+    return topo, perm
+
+
+@given(deflection_cases())
+def test_always_delivers_and_validates(case):
+    topo, perm = case
+    result = route_deflection(topo, perm)
+    result.schedule.validate()
+    assert result.schedule.logical == perm
+
+
+@given(deflection_cases())
+def test_hops_bounded_below_by_distances(case):
+    topo, perm = case
+    result = route_deflection(topo, perm)
+    minimal = sum(topo.distance(i, perm[i]) for i in range(topo.num_nodes))
+    assert result.total_hops >= minimal
+    assert 0 < result.efficiency <= 1.0
+
+
+@given(deflection_cases())
+def test_bufferless_invariant(case):
+    # In-flight packets never wait: step s moves exactly the packets still
+    # in flight, so the per-step move counts are non-increasing and the
+    # first step moves everyone who started off their destination.
+    topo, perm = case
+    result = route_deflection(topo, perm)
+    start = sum(1 for i in range(topo.num_nodes) if perm[i] != i)
+    if result.per_step_moves:
+        assert result.per_step_moves[0] == start
+    for a, b in zip(result.per_step_moves, result.per_step_moves[1:]):
+        assert b <= a

@@ -1,0 +1,77 @@
+"""Property-based tests for the FFT implementations (reference + parallel)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.fft import fft_dif, ifft_dif, parallel_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+def complex_vectors(log_n_min=1, log_n_max=6):
+    def build(width):
+        n = 1 << width
+        reals = arrays(
+            np.float64,
+            (2, n),
+            elements=st.floats(-1e3, 1e3, allow_nan=False, width=64),
+        )
+        return reals.map(lambda a: a[0] + 1j * a[1])
+
+    return st.integers(log_n_min, log_n_max).flatmap(build)
+
+
+@given(complex_vectors())
+def test_reference_matches_numpy(x):
+    assert np.allclose(fft_dif(x), np.fft.fft(x), atol=1e-6)
+
+
+@given(complex_vectors())
+def test_reference_roundtrip(x):
+    assert np.allclose(ifft_dif(fft_dif(x)), x, atol=1e-6)
+
+
+@given(complex_vectors(log_n_max=5))
+def test_linearity(x):
+    y = np.roll(x, 1)
+    assert np.allclose(
+        fft_dif(x + 2 * y), fft_dif(x) + 2 * fft_dif(y), atol=1e-6
+    )
+
+
+@given(complex_vectors(log_n_min=2, log_n_max=4))
+def test_parallel_hypercube_matches_numpy(x):
+    topo = Hypercube((x.size).bit_length() - 1)
+    result = parallel_fft(topo, x)
+    assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-6)
+
+
+@given(complex_vectors(log_n_min=2, log_n_max=4).filter(lambda x: x.size in (4, 16)))
+def test_parallel_2d_layouts_match_numpy(x):
+    side = int(round(x.size**0.5))
+    expected = np.fft.fft(x)
+    for topo in (Mesh2D(side), Hypermesh2D(side)):
+        result = parallel_fft(topo, x)
+        assert np.allclose(result.spectrum, expected, atol=1e-6)
+
+
+@given(complex_vectors(log_n_min=2, log_n_max=4))
+def test_all_topologies_agree_with_each_other(x):
+    # Different networks compute the *same* flow graph: identical rounding.
+    topo = Hypercube((x.size).bit_length() - 1)
+    a = parallel_fft(topo, x).spectrum
+    b = fft_dif(x)
+    assert np.allclose(a, b, atol=1e-9)
+
+
+@given(complex_vectors(log_n_min=2, log_n_max=4))
+def test_step_counts_independent_of_data(x):
+    topo = Hypercube((x.size).bit_length() - 1)
+    r1 = parallel_fft(topo, x)
+    r2 = parallel_fft(topo, np.zeros_like(x))
+    assert r1.data_transfer_steps == r2.data_transfer_steps
+    assert r1.computation_steps == r2.computation_steps

@@ -1,0 +1,62 @@
+"""Property-based tests for h-relation decomposition and blocked FFT."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft import blocked_fft
+from repro.networks import Hypercube, Hypermesh2D
+from repro.routing import HRelation, decompose_h_relation
+from repro.routing.hrelation import validate_rounds
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@st.composite
+def h_relations(draw):
+    num_pes = draw(st.integers(1, 10))
+    num_demands = draw(st.integers(0, 50))
+    demands = tuple(
+        (
+            draw(st.integers(0, num_pes - 1)),
+            draw(st.integers(0, num_pes - 1)),
+        )
+        for _ in range(num_demands)
+    )
+    return HRelation(num_pes, demands)
+
+
+@given(h_relations())
+def test_decomposition_valid_and_koenig_optimal(rel):
+    rounds = decompose_h_relation(rel)
+    validate_rounds(rel, rounds)
+    assert len(rounds) == rel.h
+
+
+@given(h_relations())
+def test_every_moving_packet_scheduled_once(rel):
+    rounds = decompose_h_relation(rel)
+    scheduled = [k for round_ in rounds for k, _, _ in round_]
+    moving = [k for k, (s, d) in enumerate(rel.demands) if s != d]
+    assert sorted(scheduled) == sorted(moving)
+
+
+@given(st.sampled_from([1, 2, 4, 8]), st.integers(0, 2**32 - 1))
+def test_blocked_fft_matches_numpy_hypercube(m, seed):
+    rng = np.random.default_rng(seed)
+    n = 16 * m
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    result = blocked_fft(Hypercube(4), x)
+    assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-9)
+    assert result.block_size == m
+
+
+@given(st.sampled_from([1, 4, 16]), st.integers(0, 2**32 - 1))
+def test_blocked_fft_hypermesh_bitrev_bound(m, seed):
+    rng = np.random.default_rng(seed)
+    n = 16 * m
+    x = rng.normal(size=n)
+    result = blocked_fft(Hypermesh2D(4), x)
+    assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-9)
+    assert result.bitrev_steps <= 3 * m

@@ -1,0 +1,63 @@
+"""Property-based tests for the Omega network."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import OmegaNetwork
+from repro.routing import Permutation, bit_permutation
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+@st.composite
+def omega_and_permutation(draw, max_width=5):
+    width = draw(st.integers(1, max_width))
+    n = 1 << width
+    perm = Permutation(draw(st.permutations(list(range(n)))))
+    return OmegaNetwork(n), perm
+
+
+@given(omega_and_permutation())
+def test_admissible_traces_deliver(case):
+    om, perm = case
+    trace = om.route(perm)
+    if trace.admissible:
+        assert np.array_equal(trace.positions[-1], perm.destinations)
+
+
+@given(omega_and_permutation())
+def test_passes_bounded(case):
+    om, perm = case
+    passes = om.passes_required(perm)
+    assert 1 <= passes <= om.num_ports
+    if om.is_admissible(perm):
+        assert passes == 1
+
+
+@given(omega_and_permutation(max_width=4))
+def test_conflict_iff_not_admissible(case):
+    om, perm = case
+    trace = om.route(perm)
+    assert trace.admissible == om.is_admissible(perm)
+
+
+@given(st.integers(1, 5), st.data())
+def test_single_destination_bit_changes_admissible(width, data):
+    # Complement-only BPC permutations (dest = src ^ mask) are classic
+    # admissible patterns (each stage's switches all set the same output).
+    n = 1 << width
+    mask = data.draw(st.integers(0, n - 1))
+    perm = bit_permutation(n, list(range(width)), complement_mask=mask)
+    assert OmegaNetwork(n).is_admissible(perm)
+
+
+@given(st.integers(2, 5))
+def test_positions_are_always_permutations_per_stage_when_admissible(width):
+    n = 1 << width
+    perm = bit_permutation(n, list(range(width)), complement_mask=n - 1)
+    trace = OmegaNetwork(n).route(perm)
+    assert trace.admissible
+    for row in trace.positions:
+        assert sorted(row.tolist()) == list(range(n))

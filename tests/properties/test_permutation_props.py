@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the permutation algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import Permutation
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+def permutations(max_n: int = 64):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.permutations(list(range(n)))
+    ).map(Permutation)
+
+
+@given(permutations())
+def test_inverse_composes_to_identity(p):
+    assert p.compose(p.inverse()).is_identity()
+    assert p.inverse().compose(p).is_identity()
+
+
+@given(permutations())
+def test_double_inverse_is_self(p):
+    assert p.inverse().inverse() == p
+
+
+@given(st.integers(1, 48).flatmap(
+    lambda n: st.tuples(
+        st.permutations(list(range(n))),
+        st.permutations(list(range(n))),
+        st.permutations(list(range(n))),
+    )
+))
+def test_composition_associative(triple):
+    a, b, c = (Permutation(x) for x in triple)
+    assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+
+@given(permutations())
+def test_identity_is_neutral(p):
+    e = Permutation.identity(p.n)
+    assert p.compose(e) == p
+    assert e.compose(p) == p
+
+
+@given(st.integers(1, 48).flatmap(
+    lambda n: st.tuples(
+        st.permutations(list(range(n))), st.permutations(list(range(n)))
+    )
+))
+def test_inverse_of_composition(pair):
+    a, b = (Permutation(x) for x in pair)
+    assert a.compose(b).inverse() == b.inverse().compose(a.inverse())
+
+
+@given(permutations())
+def test_cycles_partition_non_fixed_points(p):
+    cycle_members = [x for cycle in p.cycles() for x in cycle]
+    assert len(cycle_members) == len(set(cycle_members))
+    assert sorted(cycle_members + p.fixed_points().tolist()) == list(range(p.n))
+
+
+@given(permutations())
+def test_apply_preserves_multiset(p):
+    data = np.arange(p.n) * 10
+    out = p.apply(data)
+    assert sorted(out.tolist()) == sorted(data.tolist())
+
+
+@given(permutations())
+def test_apply_matches_index_semantics(p):
+    data = np.arange(p.n)
+    out = p.apply(data)
+    for i in range(p.n):
+        assert out[p[i]] == data[i]
+
+
+@given(permutations())
+def test_involution_iff_square_is_identity(p):
+    assert p.is_involution() == p.compose(p).is_identity()
+
+
+@given(st.integers(0, 6))
+def test_bpc_family_closed_under_composition(width):
+    from repro.routing import bit_permutation
+
+    n = 1 << width
+    rng = np.random.default_rng(width)
+    src1 = rng.permutation(width).tolist()
+    src2 = rng.permutation(width).tolist()
+    p = bit_permutation(n, src1, int(rng.integers(n)))
+    q = bit_permutation(n, src2, int(rng.integers(n)))
+    assert p.compose(q).is_bpc()
+
+
+@given(st.integers(1, 6), st.data())
+def test_bpc_spec_roundtrip(width, data):
+    from repro.routing import bit_permutation
+
+    n = 1 << width
+    sources = data.draw(st.permutations(list(range(width))))
+    mask = data.draw(st.integers(0, n - 1))
+    p = bit_permutation(n, sources, mask)
+    spec = p.bpc_spec()
+    assert spec is not None
+    recovered_sources, recovered_mask = spec
+    assert list(recovered_sources) == list(sources)
+    assert recovered_mask == mask

@@ -1,0 +1,80 @@
+"""Property-based tests for schedules and adaptive routing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bit_reversal_schedule, map_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.routing import Permutation
+from repro.sim import route_permutation
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+TOPOLOGY_BUILDERS = {
+    "mesh": lambda side: Mesh2D(side),
+    "torus": lambda side: Torus2D(side),
+    "hypercube": lambda side: Hypercube((side * side).bit_length() - 1),
+    "hypermesh": lambda side: Hypermesh2D(side),
+}
+
+
+@st.composite
+def topology_and_permutation(draw):
+    side = draw(st.sampled_from([2, 4]))
+    kind = draw(st.sampled_from(sorted(TOPOLOGY_BUILDERS)))
+    topo = TOPOLOGY_BUILDERS[kind](side)
+    perm = Permutation(draw(st.permutations(list(range(topo.num_nodes)))))
+    return topo, perm
+
+
+@given(topology_and_permutation())
+def test_adaptive_routing_delivers_and_validates(case):
+    topo, perm = case
+    routed = route_permutation(topo, perm)
+    routed.schedule.validate()
+    assert routed.schedule.final_positions() == perm.destinations.tolist()
+
+
+@given(topology_and_permutation())
+def test_steps_bounded_by_distance_plus_congestion(case):
+    topo, perm = case
+    routed = route_permutation(topo, perm)
+    max_distance = max(topo.distance(i, perm[i]) for i in range(topo.num_nodes))
+    # Steps are at least the distance bound and at most distance + total
+    # blocking (each blocked proposal delays completion by at most a step).
+    assert routed.stats.steps >= max_distance
+    assert routed.stats.steps <= max_distance + routed.stats.blocked_moves + 1
+
+
+@given(topology_and_permutation())
+def test_hops_equal_sum_of_route_lengths_for_minimal_routers(case):
+    topo, perm = case
+    routed = route_permutation(topo, perm)
+    total_distance = sum(topo.distance(i, perm[i]) for i in range(topo.num_nodes))
+    # Deterministic minimal-path routers never detour.
+    assert routed.stats.total_hops == total_distance
+
+
+@given(st.sampled_from([2, 4, 8]))
+def test_fft_mapping_validates_on_every_network(side):
+    n = side * side
+    for topo in (
+        Mesh2D(side),
+        Torus2D(side),
+        Hypercube(n.bit_length() - 1),
+        Hypermesh2D(side),
+    ):
+        mapping = map_fft(topo)
+        mapping.validate()
+        assert mapping.num_stages == n.bit_length() - 1
+
+
+@given(st.sampled_from([2, 4, 8]))
+def test_bitrev_schedule_is_involution_everywhere(side):
+    n = side * side
+    for topo in (Mesh2D(side), Hypercube(n.bit_length() - 1), Hypermesh2D(side)):
+        sched = bit_reversal_schedule(topo)
+        assert sched.logical.is_involution()

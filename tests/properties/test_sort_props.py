@@ -1,0 +1,62 @@
+"""Property-based tests for the parallel bitonic sort."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.sort import parallel_bitonic_sort
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+def key_vectors(widths=(1, 2, 3, 4, 5, 6)):
+    return st.sampled_from(widths).flatmap(
+        lambda w: arrays(
+            np.float64,
+            (1 << w,),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        )
+    )
+
+
+@given(key_vectors())
+def test_hypercube_sorts(keys):
+    topo = Hypercube(keys.size.bit_length() - 1)
+    result = parallel_bitonic_sort(topo, keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+@given(key_vectors(widths=(2, 4, 6)))
+def test_2d_layouts_sort(keys):
+    side = int(round(keys.size**0.5))
+    expected = np.sort(keys)
+    for topo in (Mesh2D(side), Hypermesh2D(side)):
+        result = parallel_bitonic_sort(topo, keys)
+        assert np.array_equal(result.keys, expected)
+
+
+@given(key_vectors())
+def test_output_is_permutation_of_input(keys):
+    topo = Hypercube(keys.size.bit_length() - 1)
+    result = parallel_bitonic_sort(topo, keys)
+    assert sorted(result.keys.tolist()) == sorted(keys.tolist())
+
+
+@given(st.integers(1, 6), st.integers(0, 2**32 - 1))
+def test_integer_keys_with_heavy_duplicates(width, seed):
+    n = 1 << width
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 3, size=n)
+    result = parallel_bitonic_sort(Hypercube(width), keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+@given(key_vectors(widths=(2, 4)))
+def test_step_counts_independent_of_key_values(keys):
+    side = int(round(keys.size**0.5))
+    r1 = parallel_bitonic_sort(Mesh2D(side), keys)
+    r2 = parallel_bitonic_sort(Mesh2D(side), np.zeros_like(keys))
+    assert r1.data_transfer_steps == r2.data_transfer_steps

@@ -1,0 +1,120 @@
+"""Metamorphic tests of the hardware validator itself.
+
+The whole reproduction leans on ``CommSchedule.validate``; these tests
+check the checker: start from a known-valid schedule and apply a targeted
+corruption — the validator must reject every one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import map_fft
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.routing import Permutation
+from repro.sim import route_permutation
+from repro.sim.schedule import CommSchedule, ScheduleError
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+def _valid_schedule(seed: int, kind: str) -> CommSchedule:
+    rng = np.random.default_rng(seed)
+    topo = {"mesh": Mesh2D(4), "cube": Hypercube(4), "hm": Hypermesh2D(4)}[kind]
+    perm = Permutation.random(16, rng)
+    return route_permutation(topo, perm).schedule
+
+
+@given(st.integers(0, 50), st.sampled_from(["mesh", "cube", "hm"]))
+def test_valid_schedules_validate(seed, kind):
+    _valid_schedule(seed, kind).validate()
+
+
+@given(st.integers(0, 30), st.sampled_from(["mesh", "cube", "hm"]), st.data())
+def test_dropping_a_step_is_caught(seed, kind, data):
+    sched = _valid_schedule(seed, kind)
+    if sched.num_steps == 0:
+        return
+    drop = data.draw(st.integers(0, sched.num_steps - 1))
+    steps = sched.steps[:drop] + sched.steps[drop + 1 :]
+    if not sched.steps[drop]:
+        return  # dropping an empty step changes nothing
+    corrupted = CommSchedule(sched.topology, sched.logical, steps)
+    with pytest.raises(ScheduleError):
+        corrupted.validate()
+
+
+@given(st.integers(0, 30), st.sampled_from(["mesh", "cube"]), st.data())
+def test_teleporting_a_packet_is_caught(seed, kind, data):
+    sched = _valid_schedule(seed, kind)
+    if sched.num_steps == 0:
+        return
+    s = data.draw(st.integers(0, sched.num_steps - 1))
+    if not sched.steps[s]:
+        return
+    pid = data.draw(st.sampled_from(sorted(sched.steps[s])))
+    # Send the packet to a node far from wherever it is: distance >= 2
+    # from every node it could occupy guarantees a non-adjacent hop.
+    topo = sched.topology
+    target = data.draw(st.integers(0, topo.num_nodes - 1))
+    steps = list(map(dict, sched.steps))
+    if steps[s][pid] == target:
+        return
+    # Compute current position to ensure the move is illegal.
+    pos = pid
+    for t in range(s):
+        pos = steps[t].get(pid, pos)
+    if target == pos or target in topo.neighbors(pos):
+        return  # still a legal hop; not a corruption
+    steps[s][pid] = target
+    corrupted = CommSchedule(topo, sched.logical, tuple(steps))
+    with pytest.raises(ScheduleError):
+        corrupted.validate()
+
+
+@given(st.integers(0, 30))
+def test_duplicated_link_use_is_caught(seed):
+    # Take a hypercube exchange (every link busy) and reroute one packet
+    # onto a neighbour's link in the same step.
+    cube = Hypercube(3)
+    mapping = map_fft(cube, include_bit_reversal=False)
+    sched = mapping.stage_schedules[seed % 3]
+    steps = list(map(dict, sched.steps))
+    # Packets 0 and 1 sit at nodes 0 and 1. Make packet 1 take node 0's
+    # move target after hopping through 0? Simpler: both 0 and its partner
+    # use the same directed link by sending packet from the partner's
+    # neighbour — craft directly instead:
+    bit = int(sched.logical[0]).bit_length() - 1
+    partner = 1 << bit
+    # Force packet `partner` to move to the same target as packet 0.
+    steps[0][partner] = steps[0][0]
+    corrupted = CommSchedule(cube, sched.logical, tuple(steps))
+    with pytest.raises(ScheduleError):
+        corrupted.validate()
+
+
+@given(st.integers(0, 30), st.data())
+def test_wrong_logical_permutation_is_caught(seed, data):
+    sched = _valid_schedule(seed, "mesh")
+    n = sched.logical.n
+    other = Permutation.random(n, np.random.default_rng(seed + 999))
+    if other == sched.logical:
+        return
+    corrupted = CommSchedule(sched.topology, other, sched.steps)
+    with pytest.raises(ScheduleError):
+        corrupted.validate()
+
+
+def test_hypermesh_double_injection_is_caught():
+    hm = Hypermesh2D(4)
+    # Build a 2-step schedule where node 0 injects two packets into its
+    # row net at step 1.
+    logical = Permutation.from_mapping({0: 2, 1: 3, 2: 0, 3: 1}, 16)
+    # p1 first moves to node 0; then p0 and p1 both leave node 0 through
+    # the row net in the same step — a port violation.
+    steps = ({1: 0}, {0: 2, 1: 3}, {2: 0, 3: 1})
+    corrupted = CommSchedule(hm, logical, steps)
+    with pytest.raises(ScheduleError, match="injects two"):
+        corrupted.validate()

@@ -1,0 +1,150 @@
+"""Unit tests for the standard permutation families."""
+
+import numpy as np
+import pytest
+
+from repro.networks.addressing import bit_reverse
+from repro.routing import (
+    ascend_schedule,
+    bit_permutation,
+    bit_reversal,
+    butterfly_exchange,
+    descend_schedule,
+    inverse_shuffle,
+    matrix_transpose,
+    perfect_shuffle,
+    vector_reversal,
+)
+
+
+class TestBitPermutation:
+    def test_identity_spec(self):
+        p = bit_permutation(8, [0, 1, 2])
+        assert p.is_identity()
+
+    def test_complement_only(self):
+        p = bit_permutation(8, [0, 1, 2], complement_mask=0b101)
+        assert p[0] == 0b101
+        assert p[0b101] == 0
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError):
+            bit_permutation(8, [0, 0, 2])
+
+    def test_rejects_bad_mask(self):
+        with pytest.raises(ValueError):
+            bit_permutation(8, [0, 1, 2], complement_mask=8)
+
+
+class TestBitReversal:
+    def test_matches_scalar(self):
+        p = bit_reversal(16)
+        for i in range(16):
+            assert p[i] == bit_reverse(i, 4)
+
+    def test_is_involution(self):
+        assert bit_reversal(64).is_involution()
+
+    def test_size_two_is_identity(self):
+        assert bit_reversal(2).is_identity()
+
+
+class TestButterflyExchange:
+    @pytest.mark.parametrize("dim", range(4))
+    def test_flips_one_bit(self, dim):
+        p = butterfly_exchange(16, dim)
+        for i in range(16):
+            assert p[i] == i ^ (1 << dim)
+
+    def test_is_involution(self):
+        assert butterfly_exchange(32, 3).is_involution()
+
+    def test_no_fixed_points(self):
+        assert butterfly_exchange(16, 0).fixed_points().size == 0
+
+    def test_rejects_out_of_range_dim(self):
+        with pytest.raises(ValueError):
+            butterfly_exchange(16, 4)
+
+
+class TestShuffles:
+    def test_perfect_shuffle_doubles_mod(self):
+        n = 16
+        p = perfect_shuffle(n)
+        for i in range(n - 1):
+            assert p[i] == (2 * i) % (n - 1)
+        assert p[n - 1] == n - 1
+
+    def test_shuffle_inverse_roundtrip(self):
+        n = 32
+        assert perfect_shuffle(n).compose(inverse_shuffle(n)).is_identity()
+
+    def test_shuffle_order_is_log_n(self):
+        # Applying the shuffle log2(n) times returns to identity.
+        n = 16
+        p = perfect_shuffle(n)
+        acc = p
+        for _ in range(3):
+            acc = acc.compose(p)
+        assert acc.is_identity()
+
+
+class TestVectorReversal:
+    def test_reverses(self):
+        p = vector_reversal(8)
+        for i in range(8):
+            assert p[i] == 7 - i
+
+    def test_corner_swap_is_in_it(self):
+        # The packets the paper's mesh lower bound tracks.
+        n = 16
+        p = vector_reversal(n)
+        assert p[0] == n - 1 and p[n - 1] == 0
+
+
+class TestMatrixTranspose:
+    def test_square(self):
+        p = matrix_transpose(2, 2)
+        # (0,1) -> (1,0): index 1 -> index 2.
+        assert p[1] == 2 and p[2] == 1 and p[0] == 0 and p[3] == 3
+
+    def test_rectangular_roundtrip(self):
+        p = matrix_transpose(3, 4)
+        q = matrix_transpose(4, 3)
+        assert p.compose(q).is_identity()
+
+    def test_moves_data_like_numpy(self):
+        rows, cols = 3, 5
+        p = matrix_transpose(rows, cols)
+        data = np.arange(rows * cols)
+        out = p.apply(data)
+        assert np.array_equal(
+            out.reshape(cols, rows), data.reshape(rows, cols).T
+        )
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            matrix_transpose(0, 3)
+
+
+class TestSchedules:
+    def test_descend_composes_to_identity(self):
+        # Each exchange is an involution; composing all gives XOR with
+        # (n-1) mask... actually the composition is x ^ (2^w - 1).
+        n = 16
+        acc = None
+        for p in descend_schedule(n):
+            acc = p if acc is None else acc.compose(p)
+        assert acc is not None
+        for i in range(n):
+            assert acc[i] == i ^ (n - 1)
+
+    def test_descend_order(self):
+        scheds = descend_schedule(16)
+        assert [p[0] for p in scheds] == [8, 4, 2, 1]
+
+    def test_ascend_is_reverse_of_descend(self):
+        assert ascend_schedule(16) == list(reversed(descend_schedule(16)))
+
+    def test_length_is_log_n(self):
+        assert len(descend_schedule(64)) == 6

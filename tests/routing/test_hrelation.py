@@ -1,0 +1,93 @@
+"""Unit tests for h-relation decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.routing import HRelation, decompose_h_relation
+from repro.routing.hrelation import validate_rounds
+
+
+class TestHRelation:
+    def test_degree_counts_max_fanin_fanout(self):
+        rel = HRelation(4, ((0, 1), (0, 2), (3, 1)))
+        assert rel.h == 2  # PE 0 sends 2; PE 1 receives 2
+
+    def test_self_demands_free(self):
+        rel = HRelation(4, ((0, 0), (1, 1)))
+        assert rel.h == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            HRelation(4, ((0, 4),))
+        with pytest.raises(ValueError):
+            HRelation(4, ((-1, 0),))
+
+
+class TestDecompose:
+    def test_empty(self):
+        assert decompose_h_relation(HRelation(4, ())) == []
+
+    def test_permutation_is_one_round(self):
+        rel = HRelation(4, ((0, 1), (1, 2), (2, 3), (3, 0)))
+        rounds = decompose_h_relation(rel)
+        assert len(rounds) == 1
+        validate_rounds(rel, rounds)
+
+    def test_round_count_equals_degree(self):
+        # PE 0 broadcasts to everyone: h = 3 sends.
+        rel = HRelation(4, ((0, 1), (0, 2), (0, 3)))
+        rounds = decompose_h_relation(rel)
+        assert len(rounds) == 3
+        validate_rounds(rel, rounds)
+
+    def test_gather_pattern(self):
+        rel = HRelation(4, ((1, 0), (2, 0), (3, 0)))
+        rounds = decompose_h_relation(rel)
+        assert len(rounds) == 3
+        validate_rounds(rel, rounds)
+
+    def test_self_demands_dropped(self):
+        rel = HRelation(4, ((0, 0), (1, 2), (2, 1)))
+        rounds = decompose_h_relation(rel)
+        assert len(rounds) == 1
+        scheduled = {k for round_ in rounds for k, _, _ in round_}
+        assert scheduled == {1, 2}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_relations_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        demands = tuple(
+            (int(rng.integers(8)), int(rng.integers(8))) for _ in range(40)
+        )
+        rel = HRelation(8, demands)
+        rounds = decompose_h_relation(rel)
+        assert len(rounds) == rel.h  # König optimality
+        validate_rounds(rel, rounds)
+
+    def test_block_exchange_relation(self):
+        # Every PE sends m packets to one partner: m rounds exactly.
+        m = 5
+        demands = tuple((src, src ^ 1) for src in range(4) for _ in range(m))
+        rel = HRelation(4, demands)
+        rounds = decompose_h_relation(rel)
+        assert rel.h == m
+        assert len(rounds) == m
+        validate_rounds(rel, rounds)
+
+
+class TestValidator:
+    def test_catches_double_send(self):
+        rel = HRelation(4, ((0, 1), (0, 2)))
+        bad = [[(0, 0, 1), (1, 0, 2)]]
+        with pytest.raises(ValueError, match="sends twice"):
+            validate_rounds(rel, bad)
+
+    def test_catches_dropped_packet(self):
+        rel = HRelation(4, ((0, 1), (2, 3)))
+        with pytest.raises(ValueError, match="drops or invents"):
+            validate_rounds(rel, [[(0, 0, 1)]])
+
+    def test_catches_wrong_endpoints(self):
+        rel = HRelation(4, ((0, 1),))
+        with pytest.raises(ValueError, match="wrong endpoints"):
+            validate_rounds(rel, [[(0, 0, 2)]])

@@ -1,0 +1,117 @@
+"""Unit tests for the adaptive routing engine."""
+
+import numpy as np
+import pytest
+
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.routing import Permutation, bit_reversal, vector_reversal
+from repro.sim import replay_schedule, route_permutation
+from repro.sim.schedule import ScheduleError
+
+
+class TestBasicRouting:
+    def test_identity_takes_zero_steps(self):
+        result = route_permutation(Mesh2D(3), Permutation.identity(9))
+        assert result.stats.steps == 0
+        assert result.schedule.num_steps == 0
+        result.schedule.validate()
+
+    def test_neighbor_swap_mesh(self):
+        perm = Permutation.from_mapping({0: 1, 1: 0}, 9)
+        result = route_permutation(Mesh2D(3), perm)
+        assert result.stats.steps == 1
+        result.schedule.validate()
+
+    def test_recorded_schedule_always_validates(self, rng):
+        for topo in (Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)):
+            perm = Permutation.random(16, rng)
+            result = route_permutation(topo, perm)
+            result.schedule.validate()
+            assert result.schedule.logical == perm
+
+    def test_steps_at_least_max_distance(self, rng):
+        topo = Mesh2D(4)
+        perm = Permutation.random(16, rng)
+        result = route_permutation(topo, perm)
+        lower = max(
+            topo.distance(i, perm[i]) for i in range(16)
+        )
+        assert result.stats.steps >= lower
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            route_permutation(Mesh2D(3), Permutation.identity(8))
+
+
+class TestStats:
+    def test_hops_equal_total_distance_when_uncongested(self):
+        # A single moving packet accrues exactly its distance in hops.
+        perm = Permutation.from_mapping({0: 8, 8: 0}, 9)
+        result = route_permutation(Mesh2D(3), perm)
+        assert result.stats.total_hops == 2 * Mesh2D(3).distance(0, 8)
+
+    def test_delivered_counts_everyone(self, rng):
+        perm = Permutation.random(16, rng)
+        result = route_permutation(Hypercube(4), perm)
+        assert result.stats.delivered == 16
+
+    def test_average_parallelism(self):
+        perm = Permutation.from_mapping({0: 1, 1: 0}, 4)
+        result = route_permutation(Mesh2D(2), perm)
+        assert result.stats.average_parallelism == 2.0
+
+    def test_blocked_moves_counted_under_congestion(self):
+        # Packets from (0,0) and (2,0) both turn at (1,0) and then compete
+        # for the directed link (1,0) -> (1,1) in the same step: one must
+        # lose arbitration.
+        perm = Permutation.from_mapping({0: 4, 4: 0, 6: 5, 5: 6}, 9)
+        result = route_permutation(Mesh2D(3), perm)
+        assert result.stats.blocked_moves > 0
+        assert result.stats.max_queue_depth > 1
+        result.schedule.validate()
+
+    def test_opposite_direction_movers_never_block(self):
+        # Vector reversal on a 1D path: east- and west-bound packets use
+        # opposite directed links, so greedy routing never blocks.
+        from repro.networks import Mesh
+
+        mesh = Mesh((8,))
+        result = route_permutation(mesh, vector_reversal(8))
+        assert result.stats.blocked_moves == 0
+        assert result.stats.steps == 7  # the corner-interchange distance
+
+
+class TestPaperFigures:
+    def test_mesh_bitrev_steps_4x4(self):
+        result = route_permutation(Mesh2D(4), bit_reversal(16))
+        # Lower bound: corner interchange 2(side-1) = 6.
+        assert result.stats.steps >= 6
+        result.schedule.validate()
+
+    def test_hypercube_bitrev_steps(self):
+        result = route_permutation(Hypercube(4), bit_reversal(16))
+        assert result.stats.steps >= 2  # distance bound for n=4 is ... >= 2
+        result.schedule.validate()
+
+    def test_hypermesh_routes_any_permutation_fast(self, rng):
+        # Greedy digit routing: close to diameter + small queueing.
+        result = route_permutation(Hypermesh2D(4), Permutation.random(16, rng))
+        assert result.stats.steps <= 16
+        result.schedule.validate()
+
+    def test_torus_bitrev_uses_wraparound(self):
+        plain = route_permutation(Mesh2D(8), bit_reversal(64))
+        wrapped = route_permutation(Torus2D(8), bit_reversal(64))
+        assert wrapped.stats.steps <= plain.stats.steps
+
+
+class TestGuards:
+    def test_max_steps_guard_fires(self):
+        perm = vector_reversal(16)
+        with pytest.raises(ScheduleError, match="undelivered"):
+            route_permutation(Mesh2D(4), perm, max_steps=1)
+
+    def test_replay_schedule_returns_steps(self):
+        perm = Permutation.from_mapping({0: 1, 1: 0}, 9)
+        sched = route_permutation(Mesh2D(3), perm).schedule
+        assert replay_schedule(sched) == sched.num_steps

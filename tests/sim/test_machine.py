@@ -1,0 +1,127 @@
+"""Unit tests for the SIMD compute/communicate machine."""
+
+import numpy as np
+import pytest
+
+from repro.networks import Hypercube
+from repro.routing import butterfly_exchange
+from repro.sim import Compute, Exchange, Permute, SimdMachine
+from repro.sim.schedule import schedule_from_phases
+
+
+def _exchange_schedule(cube, bit):
+    return schedule_from_phases(cube, [butterfly_exchange(cube.num_nodes, bit)])
+
+
+class TestExchange:
+    def test_received_holds_partner_value(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        captured = {}
+
+        def capture(values, received, idx):
+            captured["received"] = received.copy()
+            return values
+
+        program = [Exchange(_exchange_schedule(cube, 0)), Compute(capture)]
+        values = np.array([10.0, 20.0, 30.0, 40.0])
+        machine.run(program, values)
+        assert captured["received"].tolist() == [20.0, 10.0, 40.0, 30.0]
+
+    def test_exchange_does_not_move_values(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        values = np.arange(4.0)
+        result = machine.run([Exchange(_exchange_schedule(cube, 1))], values)
+        assert result.values.tolist() == values.tolist()
+
+    def test_step_accounting(self):
+        cube = Hypercube(3)
+        machine = SimdMachine(cube)
+        program = [
+            Exchange(_exchange_schedule(cube, 0)),
+            Exchange(_exchange_schedule(cube, 1)),
+        ]
+        result = machine.run(program, np.zeros(8))
+        assert result.data_transfer_steps == 2
+        assert result.computation_steps == 0
+
+
+class TestPermute:
+    def test_values_move(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        result = machine.run(
+            [Permute(_exchange_schedule(cube, 0))], np.array([1.0, 2.0, 3.0, 4.0])
+        )
+        assert result.values.tolist() == [2.0, 1.0, 4.0, 3.0]
+
+
+class TestCompute:
+    def test_counts_one_step(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        result = machine.run(
+            [Compute(lambda v, r, i: v + 1)], np.zeros(4)
+        )
+        assert result.computation_steps == 1
+        assert result.values.tolist() == [1.0] * 4
+
+    def test_pe_indices_passed(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        result = machine.run(
+            [Compute(lambda v, r, i: i.astype(float))], np.zeros(4)
+        )
+        assert result.values.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_shape_change_rejected(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        with pytest.raises(ValueError, match="changed the PE count"):
+            machine.run([Compute(lambda v, r, i: v[:2])], np.zeros(4))
+
+    def test_op_steps_breakdown(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        result = machine.run(
+            [
+                Exchange(_exchange_schedule(cube, 0), label="x0"),
+                Compute(lambda v, r, i: v, label="c"),
+            ],
+            np.zeros(4),
+        )
+        assert result.op_steps == [("x0", 1), ("c", 1)]
+
+
+class TestGuards:
+    def test_value_count_must_match_pes(self):
+        machine = SimdMachine(Hypercube(2))
+        with pytest.raises(ValueError, match="one value per PE"):
+            machine.run([], np.zeros(5))
+
+    def test_wrong_topology_schedule_rejected(self):
+        a, b = Hypercube(2), Hypercube(2)
+        machine = SimdMachine(a)
+        with pytest.raises(ValueError, match="different topology"):
+            machine.run([Exchange(_exchange_schedule(b, 0))], np.zeros(4))
+
+    def test_validate_flag_replays_schedules(self):
+        from repro.routing import Permutation
+        from repro.sim.schedule import CommSchedule
+
+        cube = Hypercube(2)
+        # A broken schedule: claims the exchange but moves nothing.
+        bogus = CommSchedule(cube, butterfly_exchange(4, 0), ())
+        machine = SimdMachine(cube, validate=True)
+        from repro.sim.schedule import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            machine.run([Exchange(bogus)], np.zeros(4))
+
+    def test_inputs_not_mutated(self):
+        cube = Hypercube(2)
+        machine = SimdMachine(cube)
+        values = np.arange(4.0)
+        machine.run([Compute(lambda v, r, i: v * 2)], values)
+        assert values.tolist() == [0.0, 1.0, 2.0, 3.0]

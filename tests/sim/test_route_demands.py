@@ -1,0 +1,116 @@
+"""Unit tests for h-relation routing in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.routing import HRelation, decompose_h_relation
+from repro.sim import route_demands, route_permutation
+from repro.sim.schedule import ScheduleError
+
+
+def _final_positions(result):
+    pos = {k: src for k, (src, _) in enumerate(result.demands)}
+    for step in result.steps:
+        for pid, node in step.items():
+            pos[pid] = node
+    return pos
+
+
+class TestDelivery:
+    def test_single_packet(self):
+        result = route_demands(Mesh2D(3), [(0, 8)])
+        assert result.stats.steps == 4
+        assert _final_positions(result)[0] == 8
+
+    def test_gather_many_to_one(self):
+        # Four packets converge on node 0 of a hypercube: deliveries
+        # serialize on node 0's incoming links as needed.
+        demands = [(15, 0), (14, 0), (13, 0), (11, 0)]
+        result = route_demands(Hypercube(4), demands)
+        final = _final_positions(result)
+        assert all(final[k] == 0 for k in range(4))
+
+    def test_broadcast_like_scatter(self):
+        demands = [(0, d) for d in (1, 2, 4, 8)]
+        result = route_demands(Hypercube(4), demands)
+        final = _final_positions(result)
+        assert sorted(final.values()) == [1, 2, 4, 8]
+        # Node 0 can send several packets in one step (distinct links), so
+        # this finishes in one step.
+        assert result.stats.steps == 1
+
+    def test_self_demands_free(self):
+        result = route_demands(Mesh2D(3), [(4, 4), (0, 1)])
+        assert result.stats.steps == 1
+        assert result.stats.delivered == 2
+
+    def test_hypermesh_h_relation(self):
+        # Two packets from the same node into the same row net serialize.
+        demands = [(0, 1), (0, 2)]
+        result = route_demands(Hypermesh2D(4), demands)
+        assert result.stats.steps == 2
+        assert result.stats.blocked_moves >= 1
+
+    def test_empty_demands(self):
+        result = route_demands(Torus2D(4), [])
+        assert result.stats.steps == 0
+
+
+class TestSerializationLowerBounds:
+    def test_h_sends_need_h_steps_point_to_point(self):
+        # Node 0 of a 1D path sends 3 packets east over one link.
+        from repro.networks import Mesh
+
+        mesh = Mesh((4,))
+        demands = [(0, 3), (0, 2), (0, 1)]
+        result = route_demands(mesh, demands)
+        assert result.stats.steps >= 3
+
+    def test_h_receives_need_h_steps(self):
+        from repro.networks import Mesh
+
+        mesh = Mesh((4,))
+        demands = [(0, 3), (1, 3), (2, 3)]
+        result = route_demands(mesh, demands)
+        assert result.stats.steps >= 3
+
+
+class TestAgainstRoundDecomposition:
+    def test_direct_routing_never_slower_than_rounds_bound(self, rng):
+        """Routing the whole m-relation at once pipelines across rounds:
+        measured steps <= (rounds) x (per-round step bound) on the
+        hypermesh."""
+        side = 4
+        hm = Hypermesh2D(side)
+        n = side * side
+        demands = []
+        for src in range(n):
+            for dst in rng.choice(n, size=3, replace=False):
+                demands.append((src, int(dst)))
+        rel = HRelation(n, tuple(demands))
+        rounds = decompose_h_relation(rel)
+        direct = route_demands(hm, demands)
+        assert direct.stats.steps <= len(rounds) * (hm.diameter + n)
+
+    def test_matches_permutation_routing_when_demand_is_permutation(self, rng):
+        from repro.routing import Permutation
+
+        perm = Permutation.random(16, rng)
+        topo = Torus2D(4)
+        via_perm = route_permutation(topo, perm)
+        via_demands = route_demands(
+            topo, [(i, int(perm[i])) for i in range(16)]
+        )
+        assert via_demands.stats.steps == via_perm.stats.steps
+        assert via_demands.stats.total_hops == via_perm.stats.total_hops
+
+
+class TestGuards:
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ValueError):
+            route_demands(Mesh2D(3), [(0, 9)])
+
+    def test_max_steps_guard(self):
+        with pytest.raises(ScheduleError):
+            route_demands(Mesh2D(3), [(0, 8)], max_steps=1)

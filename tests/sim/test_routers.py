@@ -1,0 +1,129 @@
+"""Unit tests for the per-topology routing disciplines."""
+
+import pytest
+
+from repro.networks import Hypercube, Hypermesh, Hypermesh2D, Mesh, Mesh2D, Torus, Torus2D
+from repro.sim import (
+    HypercubeEcubeRouter,
+    HypermeshDigitRouter,
+    MeshDimensionOrderRouter,
+    TorusDimensionOrderRouter,
+    router_for,
+)
+
+
+def _walk(router, topo, src, dst, limit=1000):
+    """Follow next_hop until arrival; return the path."""
+    path = [src]
+    cur = src
+    for _ in range(limit):
+        nxt = router.next_hop(cur, dst)
+        if nxt is None:
+            return path
+        assert nxt in topo.neighbors(cur), f"{cur} -> {nxt} not a hop"
+        path.append(nxt)
+        cur = nxt
+    raise AssertionError("router did not converge")
+
+
+class TestMeshRouter:
+    def test_routes_are_shortest(self):
+        mesh = Mesh2D(4)
+        router = MeshDimensionOrderRouter(mesh)
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                path = _walk(router, mesh, src, dst)
+                assert len(path) - 1 == mesh.distance(src, dst)
+
+    def test_dimension_order(self):
+        mesh = Mesh2D(4)
+        router = MeshDimensionOrderRouter(mesh)
+        # From (0,0) to (2,3): row corrected first (dimension 0).
+        assert router.next_hop(0, 11) == 4
+
+    def test_arrived_returns_none(self):
+        assert MeshDimensionOrderRouter(Mesh2D(3)).next_hop(4, 4) is None
+
+    def test_rectangular_mesh(self):
+        mesh = Mesh((2, 5))
+        router = MeshDimensionOrderRouter(mesh)
+        path = _walk(router, mesh, 0, 9)
+        assert len(path) - 1 == mesh.distance(0, 9)
+
+
+class TestTorusRouter:
+    def test_routes_are_shortest(self):
+        torus = Torus2D(5)
+        router = TorusDimensionOrderRouter(torus)
+        for src in (0, 7, 24):
+            for dst in torus.nodes():
+                path = _walk(router, torus, src, dst)
+                assert len(path) - 1 == torus.distance(src, dst)
+
+    def test_wraps_around_when_shorter(self):
+        torus = Torus2D(4)
+        router = TorusDimensionOrderRouter(torus)
+        # (0,0) -> (3,0): one hop backwards through the wrap link.
+        assert router.next_hop(0, 12) == 12
+
+    def test_tie_breaks_forward(self):
+        torus = Torus2D(4)
+        router = TorusDimensionOrderRouter(torus)
+        # distance 2 both ways; forward preferred.
+        assert router.next_hop(0, 8) == 4
+
+
+class TestEcubeRouter:
+    def test_routes_are_shortest(self):
+        cube = Hypercube(4)
+        router = HypercubeEcubeRouter(cube)
+        for src in (0, 5, 15):
+            for dst in cube.nodes():
+                path = _walk(router, cube, src, dst)
+                assert len(path) - 1 == cube.distance(src, dst)
+
+    def test_lowest_bit_first(self):
+        cube = Hypercube(4)
+        router = HypercubeEcubeRouter(cube)
+        assert router.next_hop(0b0000, 0b1010) == 0b0010
+
+    def test_arrived_returns_none(self):
+        assert HypercubeEcubeRouter(Hypercube(3)).next_hop(5, 5) is None
+
+
+class TestHypermeshRouter:
+    def test_routes_are_shortest(self):
+        hm = Hypermesh(3, 3)
+        router = HypermeshDigitRouter(hm)
+        for src in (0, 13, 26):
+            for dst in hm.nodes():
+                path = _walk(router, hm, src, dst)
+                assert len(path) - 1 == hm.distance(src, dst)
+
+    def test_corrects_digit_in_one_hop(self):
+        hm = Hypermesh2D(4)
+        router = HypermeshDigitRouter(hm)
+        # 0=(0,0) -> 15=(3,3): first hop fixes the row -> (3,0)=12.
+        assert router.next_hop(0, 15) == 12
+
+    def test_single_digit_difference_is_one_hop(self):
+        hm = Hypermesh2D(4)
+        router = HypermeshDigitRouter(hm)
+        assert router.next_hop(0, 3) == 3
+
+
+class TestRouterFor:
+    def test_dispatch(self):
+        assert isinstance(router_for(Mesh2D(3)), MeshDimensionOrderRouter)
+        assert isinstance(router_for(Torus2D(3)), TorusDimensionOrderRouter)
+        assert isinstance(router_for(Hypercube(3)), HypercubeEcubeRouter)
+        assert isinstance(router_for(Hypermesh2D(3)), HypermeshDigitRouter)
+
+    def test_torus_not_confused_with_mesh(self):
+        # Torus subclasses nothing of Mesh, but make the dispatch order
+        # explicit anyway.
+        assert isinstance(router_for(Torus((3, 3))), TorusDimensionOrderRouter)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            router_for(object())

@@ -1,0 +1,53 @@
+"""Unit tests for the schedule timeline renderers."""
+
+from repro.core import hypermesh_bit_reversal_schedule, map_fft
+from repro.networks import Hypercube, Hypermesh2D
+from repro.sim.tracing import render_occupancy, render_timeline
+
+
+class TestTimeline:
+    def test_rows_and_columns(self):
+        sched = hypermesh_bit_reversal_schedule(Hypermesh2D(4))
+        art = render_timeline(sched)
+        lines = art.splitlines()
+        assert len(lines) == 1 + 16  # header + one row per packet
+        # The header shows one column per step.
+        assert lines[0].count("s") >= sched.num_steps
+
+    def test_truncation(self):
+        sched = hypermesh_bit_reversal_schedule(Hypermesh2D(8))
+        art = render_timeline(sched, max_packets=5)
+        assert "more packets" in art
+        assert len(art.splitlines()) == 1 + 5 + 1
+
+    def test_stationary_packets_dotted(self):
+        sched = map_fft(Hypercube(2)).bitrev_schedule
+        art = render_timeline(sched)
+        # 4-point bit reversal fixes packets 0 and 3: dots in their rows.
+        row0 = art.splitlines()[1]
+        assert "." in row0
+
+    def test_destination_column_correct(self):
+        sched = hypermesh_bit_reversal_schedule(Hypermesh2D(4))
+        rows = render_timeline(sched).splitlines()[1:]
+        last_fields = [line.split()[-1] for line in rows]
+        # Packet 1's destination is bit_reverse(0001) = 1000 = node 8.
+        assert last_fields[1] == "8"
+
+
+class TestOccupancy:
+    def test_permutation_schedules_stay_at_one(self):
+        sched = hypermesh_bit_reversal_schedule(Hypermesh2D(4))
+        art = render_occupancy(sched)
+        # Clos phases are permutations of positions: occupancy 1 always.
+        assert "  1  #" in art.replace("            ", "  ")
+
+    def test_hypercube_bitrev_buffers_two(self):
+        sched = map_fft(Hypercube(4)).bitrev_schedule
+        art = render_occupancy(sched)
+        assert "##" in art  # swap midpoints hold 2 packets
+
+    def test_row_count(self):
+        sched = map_fft(Hypercube(3)).bitrev_schedule
+        art = render_occupancy(sched)
+        assert len(art.splitlines()) == 1 + sched.num_steps

@@ -1,0 +1,88 @@
+"""Smoke tests for the CLI (every subcommand runs and prints key figures)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.num_pes == 4096
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables", "--num-pes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1A" in out and "Table 2B" in out
+
+    def test_tables_4096_shows_published_times(self, capsys):
+        main(["tables"])
+        out = capsys.readouterr().out
+        assert "8.00 us" in out
+        assert "3.12 us" in out
+        assert "300.0 ns" in out
+
+    def test_section4(self, capsys):
+        main(["section4"])
+        out = capsys.readouterr().out
+        assert "26.7x vs mesh" in out
+        assert "10.4x vs hypercube" in out
+        assert "13.3x vs mesh" in out
+
+    def test_bisection(self, capsys):
+        main(["bisection"])
+        out = capsys.readouterr().out
+        assert "hypermesh / mesh" in out
+
+    def test_sweep(self, capsys):
+        main(["sweep", "--max-exponent", "5"])
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_figures(self, capsys):
+        main(["figures", "--side", "3"])
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "Fig. 3" in out
+
+    def test_fft(self, capsys):
+        main(["fft", "--side", "4"])
+        out = capsys.readouterr().out
+        assert out.count("numpy-agreement=True") == 3
+
+    def test_sort(self, capsys):
+        main(["sort", "--side", "4"])
+        out = capsys.readouterr().out
+        assert out.count("sorted=True") == 3
+
+    def test_omega(self, capsys):
+        main(["omega", "--num-ports", "16"])
+        out = capsys.readouterr().out
+        assert "admissible in one pass: True" in out
+        assert "hypermesh 3 steps" in out
+
+    def test_universality(self, capsys):
+        main(["universality", "--num-pes", "64"])
+        out = capsys.readouterr().out
+        assert "advantage" in out
+        assert "measured random-permutation routing" in out
+
+    def test_shapes(self, capsys):
+        main(["shapes"])
+        out = capsys.readouterr().out
+        assert "64^2" in out and "300.0 ns" in out
+
+    def test_report_writes_artifacts(self, tmp_path, capsys):
+        main(["report", "--output", str(tmp_path / "res"), "--num-pes", "64"])
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 8
+        written = sorted(p.name for p in (tmp_path / "res").iterdir())
+        assert "tables.txt" in written
+        assert "figures.txt" in written
+        content = (tmp_path / "res" / "tables.txt").read_text()
+        assert "Table 1A" in content

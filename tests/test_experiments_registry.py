@@ -1,0 +1,52 @@
+"""Unit tests for the executable experiment registry."""
+
+import pytest
+
+from repro.experiments import (
+    BENCH_ONLY,
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_lists_all(self):
+        ids = [eid for eid, _ in list_experiments()]
+        assert ids == list(EXPERIMENTS)
+        assert "E1" in ids and "E19" in ids
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_bench_only_ids_redirect(self):
+        for eid in BENCH_ONLY:
+            with pytest.raises(KeyError, match="pytest-benchmark"):
+                run_experiment(eid)
+
+    def test_case_insensitive(self):
+        assert run_experiment("e7").reproduced
+
+
+@pytest.mark.parametrize("eid", list(EXPERIMENTS))
+def test_every_registered_experiment_reproduces(eid):
+    result = run_experiment(eid)
+    assert result.experiment_id == eid
+    assert result.reproduced, f"{eid} failed: {result.details}"
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        from repro.cli import main
+
+        main(["experiment", "E5"])
+        out = capsys.readouterr().out
+        assert "reproduced: True" in out
+
+    def test_all(self, capsys):
+        from repro.cli import main
+
+        main(["experiment", "all"])
+        out = capsys.readouterr().out
+        assert out.count("REPRODUCED") == len(EXPERIMENTS)

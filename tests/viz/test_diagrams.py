@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.viz import (
+    render_butterfly_graph,
+    render_hypermesh_2d,
+    render_mesh_2d,
+    render_pe_node,
+)
+
+
+class TestHypermeshDiagram:
+    def test_mentions_nets(self):
+        art = render_hypermesh_2d(4)
+        assert "row net" in art
+        assert "column nets" in art
+        assert "8 nets" in art
+
+    def test_all_nodes_present(self):
+        art = render_hypermesh_2d(3)
+        for node in range(9):
+            assert f"[{node}]" in art.replace(" ", "")
+
+
+class TestMeshDiagram:
+    def test_link_count_in_header(self):
+        art = render_mesh_2d(3)
+        assert "12 links" in art
+
+    def test_contrast_with_hypermesh(self):
+        assert "---" in render_mesh_2d(3)
+        assert "===" in render_hypermesh_2d(3)
+
+
+class TestPeNode:
+    def test_ports_per_dimension(self):
+        art = render_pe_node(3)
+        assert "port dim 0" in art
+        assert "port dim 2" in art
+
+    def test_notes_eliminated_crossbar(self):
+        assert "no n x n crossbar" in render_pe_node(2)
+
+    def test_validates_dims(self):
+        with pytest.raises(ValueError):
+            render_pe_node(0)
+
+
+class TestButterflyDiagram:
+    def test_stage_headers(self):
+        art = render_butterfly_graph(8)
+        assert "stage 0 (bit 2)" in art
+        assert "stage 2 (bit 0)" in art
+        assert "bit-reversal" in art
+
+    def test_bitrev_column(self):
+        art = render_butterfly_graph(8)
+        # index 1 reverses to 4.
+        row = [line for line in art.splitlines() if line.startswith("1 ")][0]
+        assert row.rstrip().endswith("-> 4")
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            render_butterfly_graph(12)

@@ -1,0 +1,44 @@
+"""Unit tests for the multistage network renderers."""
+
+import pytest
+
+from repro.networks import BenesNetwork, OmegaNetwork
+from repro.routing import Permutation, bit_reversal
+from repro.viz import render_benes, render_omega
+
+
+class TestOmegaRendering:
+    def test_header(self):
+        art = render_omega(OmegaNetwork(8))
+        assert "8 ports" in art
+        assert "3 stages" in art
+        assert "blocking" in art
+
+    def test_switch_rows(self):
+        art = render_omega(OmegaNetwork(8))
+        assert art.count("-shuffle->") == 4
+
+
+class TestBenesRendering:
+    def test_without_routing_shows_unknown(self):
+        art = render_benes(BenesNetwork(8))
+        assert "(?)" in art
+        assert "rearrangeable" in art
+
+    def test_with_routing_shows_settings(self):
+        bn = BenesNetwork(8)
+        routing = bn.route(bit_reversal(8))
+        art = render_benes(bn, routing)
+        assert "(X)" in art or "(=)" in art
+        assert "(?)" not in art
+
+    def test_identity_routing_mostly_straight(self):
+        bn = BenesNetwork(4)
+        routing = bn.route(Permutation.identity(4))
+        art = render_benes(bn, routing)
+        assert art.count("(X)") == 0
+
+    def test_size_mismatch_rejected(self):
+        routing = BenesNetwork(4).route(Permutation.identity(4))
+        with pytest.raises(ValueError):
+            render_benes(BenesNetwork(8), routing)

@@ -1,0 +1,72 @@
+"""Unit tests for the text table/chart helpers."""
+
+import pytest
+
+from repro.viz import ascii_chart, format_bandwidth, format_rows, format_table, format_time
+
+
+class TestFormatTime:
+    def test_scales(self):
+        assert format_time(50e-9) == "50.0 ns"
+        assert format_time(3.12e-6) == "3.12 us"
+        assert format_time(2.5e-3) == "2.50 ms"
+        assert format_time(1.5) == "1.500 s"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_time(-1)
+
+
+class TestFormatBandwidth:
+    def test_scales(self):
+        assert format_bandwidth(2.56e9) == "2.56 Gbit/s"
+        assert format_bandwidth(200e6) == "200.0 Mbit/s"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bandwidth(-1)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [["xx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("--")
+        assert len(lines) == 4
+
+    def test_format_rows_selects_columns(self):
+        rows = [{"x": 1, "y": 2, "z": 3}]
+        out = format_rows(rows, ["z", "x"])
+        assert "3" in out and "1" in out and "2" not in out.splitlines()[-1]
+
+    def test_missing_keys_blank(self):
+        out = format_rows([{"x": 1}], ["x", "gone"])
+        assert "gone" in out
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart([1, 2, 3], {"alpha": [1, 2, 3], "beta": [3, 2, 1]})
+        assert "a" in out and "b" in out
+        assert "a = alpha" in out
+
+    def test_log_scale(self):
+        out = ascii_chart([1, 2], {"s": [1, 1000]}, log_y=True)
+        assert "1e+03" in out or "1000" in out
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [0]}, log_y=True)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1]})
+
+    def test_empty_x(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+
+    def test_title_included(self):
+        out = ascii_chart([1], {"s": [5]}, title="my chart")
+        assert out.splitlines()[0] == "my chart"
