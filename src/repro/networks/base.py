@@ -156,6 +156,38 @@ class HypergraphTopology(Topology):
         """Number of hypergraph nets."""
         return len(self.nets())
 
+    def shared_net(self, node_a: int, node_b: int) -> int | None:
+        """Identifier of a net containing both nodes, or ``None``.
+
+        ``None`` when the nodes share no net, and also when
+        ``node_a == node_b`` (a packet never traverses a net to stay put).
+        If several nets contain both nodes, the first net in
+        ``nets_of(node_b)`` order wins; on hypermeshes the shared net is
+        unique, so the tiebreak never fires there.
+
+        The generic implementation memoizes a ``neighbour -> net`` mapping
+        per node on first use, so the word-level simulator's hot loop pays
+        one dict probe instead of a set intersection per proposal.
+        Subclasses with closed-form structure (:class:`~repro.networks.
+        hypermesh.Hypermesh`) override it without any cache at all.
+        """
+        lookup: dict[int, dict[int, int]] | None
+        lookup = getattr(self, "_shared_net_cache", None)
+        if lookup is None:
+            lookup = {}
+            self._shared_net_cache = lookup
+        per_node = lookup.get(node_b)
+        if per_node is None:
+            self.validate_node(node_a)
+            per_node = {}
+            nets = self.nets()
+            for net in self.nets_of(node_b):
+                for member in nets[net]:
+                    if member != node_b:
+                        per_node.setdefault(member, net)
+            lookup[node_b] = per_node
+        return per_node.get(node_a)
+
     def to_networkx(self):
         """Clique-expansion ``networkx.Graph`` (each net becomes a clique).
 

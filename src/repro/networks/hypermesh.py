@@ -58,6 +58,9 @@ class Hypermesh(HypergraphTopology):
         self._base = base
         self._dims = dims
         self._radices = (base,) * dims
+        # Row-major digit strides (MSD first), for arithmetic digit access
+        # on hot paths that must not build coordinate tuples.
+        self._digit_strides = tuple(base ** (dims - 1 - d) for d in range(dims))
         self._nets: list[tuple[int, ...]] | None = None
 
     # ----------------------------------------------------------- structure
@@ -157,6 +160,34 @@ class Hypermesh(HypergraphTopology):
     def nets_of(self, node: int) -> tuple[int, ...]:
         """The ``n`` net identifiers ``node`` belongs to (one per dimension)."""
         return tuple(self.net_id(dim, node) for dim in range(self._dims))
+
+    def shared_net(self, node_a: int, node_b: int) -> int | None:
+        """Closed-form net lookup: two distinct nodes share a net exactly
+        when their addresses differ in a single digit, and that digit's
+        dimension names the net.  No cache needed, unlike the generic
+        :meth:`~repro.networks.base.HypergraphTopology.shared_net`; pure
+        digit arithmetic because the simulator calls this once per packet
+        hop."""
+        self.validate_node(node_a)
+        self.validate_node(node_b)
+        base = self._base
+        shared_dim = -1
+        a, b = node_a, node_b
+        for dim in range(self._dims - 1, -1, -1):  # LSD-first digit scan
+            a, da = divmod(a, base)
+            b, db = divmod(b, base)
+            if da != db:
+                if shared_dim != -1:
+                    return None  # differ in two digits: no common net
+                shared_dim = dim
+        if shared_dim == -1:
+            return None  # same node
+        # Rank of the fixed digits in row-major order == net_id's residual.
+        residual = 0
+        for dim, stride in enumerate(self._digit_strides):
+            if dim != shared_dim:
+                residual = residual * base + (node_a // stride) % base
+        return shared_dim * (self._num_nodes // base) + residual
 
     def num_nets(self) -> int:
         """``n * N / b`` hypergraph nets."""

@@ -2,6 +2,7 @@
 routing engine, and the SIMD compute/communicate machine."""
 
 from .engine import (
+    ARBITRATION_POLICIES,
     RoutedDemands,
     RoutedPermutation,
     replay_schedule,
@@ -14,9 +15,12 @@ from .routers import (
     HypermeshDigitRouter,
     MeshDimensionOrderRouter,
     Router,
+    TabulatedRouter,
     TorusDimensionOrderRouter,
+    route_path,
     router_for,
 )
+from .tracing import StepRecord, StepTracer, render_step_profile
 from .schedule import CommSchedule, ScheduleError, schedule_from_phases
 from .stats import RoutingStats
 from .analysis import (
@@ -38,7 +42,13 @@ __all__ = [
     "TorusDimensionOrderRouter",
     "HypercubeEcubeRouter",
     "HypermeshDigitRouter",
+    "TabulatedRouter",
+    "route_path",
     "router_for",
+    "ARBITRATION_POLICIES",
+    "StepTracer",
+    "StepRecord",
+    "render_step_profile",
     "route_permutation",
     "RoutedPermutation",
     "route_demands",

@@ -50,15 +50,25 @@ def channel_utilization(schedule: CommSchedule) -> Counter:
     """
     topo = schedule.topology
     hypergraph = topo.channel_model is ChannelModel.HYPERGRAPH_NET
+    if hypergraph and not isinstance(topo, HypergraphTopology):
+        # An explicit raise, not an assert: ``python -O`` strips asserts,
+        # which would turn the type confusion into an AttributeError below.
+        raise TypeError(
+            f"hypergraph channel model requires a HypergraphTopology, "
+            f"got {type(topo).__name__}"
+        )
     position = list(range(schedule.logical.n))
     usage: Counter = Counter()
     for step in schedule.steps:
         for pid, node in step.items():
             src = position[pid]
             if hypergraph:
-                assert isinstance(topo, HypergraphTopology)
-                nets = set(topo.nets_of(src)) & set(topo.nets_of(node))
-                net = min(nets)  # hypermesh nets share at most one net
+                net = topo.shared_net(src, node)
+                if net is None:
+                    raise ValueError(
+                        f"move {src} -> {node} crosses no net; "
+                        f"validate() the schedule first"
+                    )
                 usage[(net, src)] += 1
             else:
                 usage[(src, node)] += 1

@@ -18,13 +18,51 @@ statistics.  :func:`route_demands` generalizes to arbitrary multisets of
 ``(source, destination)`` packets — h-relations — under the very same
 channel constraints, which is how the blocked FFT's m-relation bit reversal
 can be *executed* rather than only planned.
+
+Arbitration policies
+--------------------
+
+Buffers are FIFO, but *channel arbitration* admits two disciplines, chosen
+with the ``arbitration`` keyword:
+
+``"overtaking"`` (default)
+    Every queued packet proposes its next hop each step, in node order then
+    FIFO position.  A packet behind a blocked head-of-line packet may
+    therefore leave first if its channel is free.  This is the seed engine's
+    behaviour and the baseline all published step counts use;
+    ``blocked_moves`` counts every denied proposal, including overtakers'.
+
+``"fifo"``
+    Head-of-line-respecting: the first denied packet in a queue blocks the
+    rest of that queue for the step, so departures respect arrival order
+    exactly.  ``blocked_moves`` counts only the head denial (the packets
+    behind it never reach a channel), and ``max_queue_depth`` measures
+    buffering under strict FIFO service.
+
+Engine internals and the equivalence guarantee
+----------------------------------------------
+
+The arbitration loop is indexed rather than scanned: an active-node
+worklist visits only nodes with queued packets, queues are intrusive
+doubly-linked lists giving O(1) grant/dequeue, next hops and hypermesh net
+ids are cached per packet position (routers are pure functions of
+``(current, dest)``, so each is computed once per hop instead of once per
+step), and ``max_queue_depth`` is maintained incrementally.  None of this
+changes behaviour: under the default policy the engine produces
+**bit-identical** schedules and statistics to the seed loop preserved in
+:mod:`repro.sim._reference`, which the equivalence suite asserts on every
+topology family.
+
+Instrumentation: pass ``on_step`` to observe each committed step, and read
+``RoutingStats.per_step_seconds`` for host-side per-step timing
+(:mod:`repro.sim.tracing` renders both).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Sequence
+from time import perf_counter
+from typing import Callable, Mapping, Sequence
 
 from ..networks.base import ChannelModel, HypergraphTopology, Topology
 from ..routing.permutation import Permutation
@@ -33,12 +71,22 @@ from .schedule import CommSchedule, ScheduleError
 from .stats import RoutingStats
 
 __all__ = [
+    "ARBITRATION_POLICIES",
+    "StepCallback",
     "RoutedPermutation",
     "RoutedDemands",
     "route_permutation",
     "route_demands",
     "replay_schedule",
 ]
+
+#: Channel-arbitration disciplines accepted by the engine.
+ARBITRATION_POLICIES = ("overtaking", "fifo")
+
+#: Signature of the ``on_step`` instrumentation hook: called after each
+#: committed step with ``(step_index, moves, stats)``.  ``moves`` is the
+#: engine's live step record — treat it as read-only.
+StepCallback = Callable[[int, Mapping[int, int], RoutingStats], None]
 
 
 @dataclass(frozen=True)
@@ -69,58 +117,129 @@ def _route_core(
     dests: Sequence[int],
     router: Router,
     max_steps: int,
+    *,
+    arbitration: str = "overtaking",
+    on_step: StepCallback | None = None,
 ) -> tuple[list[dict[int, int]], RoutingStats]:
-    """Shared arbitration loop for permutation and h-relation routing."""
+    """Shared indexed arbitration loop for permutation and h-relation routing."""
+    if arbitration not in ARBITRATION_POLICIES:
+        raise ValueError(
+            f"unknown arbitration policy {arbitration!r}; "
+            f"expected one of {ARBITRATION_POLICIES}"
+        )
+    fifo = arbitration == "fifo"
     n = topology.num_nodes
     hypergraph = topology.channel_model is ChannelModel.HYPERGRAPH_NET
+    if hypergraph and not isinstance(topology, HypergraphTopology):
+        raise TypeError(
+            f"hypergraph channel model requires a HypergraphTopology, "
+            f"got {type(topology).__name__}"
+        )
+    shared_net = topology.shared_net if hypergraph else None
+    next_hop = router.next_hop
 
+    npk = len(sources)
     position = list(sources)
-    queues: list[deque[int]] = [deque() for _ in range(n)]
+    dests = list(dests)
+
+    # Intrusive doubly-linked FIFO queue per node: O(1) append and unlink.
+    q_head = [-1] * n
+    q_tail = [-1] * n
+    q_len = [0] * n
+    q_prev = [-1] * npk
+    q_next = [-1] * npk
+
     in_flight = 0
-    for pid, (src, dst) in enumerate(zip(sources, dests)):
-        if src != dst:
-            queues[src].append(pid)
+    for pid in range(npk):
+        node = position[pid]
+        if node != dests[pid]:
+            tail = q_tail[node]
+            if tail == -1:
+                q_head[node] = pid
+            else:
+                q_next[tail] = pid
+                q_prev[pid] = tail
+            q_tail[node] = pid
+            q_len[node] += 1
             in_flight += 1
 
+    # Worklist of nodes holding packets, kept in ascending order so the
+    # proposal sweep visits them exactly as the seed's range(n) scan did.
+    active = [node for node in range(n) if q_len[node]]
+    in_active = bytearray(n)
+    for node in active:
+        in_active[node] = 1
+
+    # Per-packet caches: a deterministic router's next hop (and, on
+    # hypergraph networks, the net it rides) is a function of the packet's
+    # position, so compute it once per hop rather than once per step.
+    NO_HOP = -2  # router said "already home" — mirror seed's skip-forever
+    cached_next = [-1] * npk
+    cached_net = [-1] * npk
+
     stats = RoutingStats()
-    stats.delivered = len(sources) - in_flight
-    stats.max_queue_depth = max((len(q) for q in queues), default=0)
+    delivered = stats.delivered = npk - in_flight
+    stats.max_queue_depth = max(q_len, default=0)
     steps: list[dict[int, int]] = []
+    blocked = 0  # stats.blocked_moves, kept in a local off the hot path
 
     while in_flight:
+        t0 = perf_counter()
         if stats.steps >= max_steps:
             raise ScheduleError(
                 f"{in_flight} packets undelivered after {max_steps} steps"
             )
         moves: dict[int, int] = {}
-        used_links: set[tuple[int, int]] = set()
-        used_inject: set[tuple[int, int]] = set()
-        used_deliver: set[tuple[int, int]] = set()
+        # Channels claimed this step, encoded as ints for cheap set probes:
+        # directed link (node, nxt) -> node * n + nxt; net port pairs
+        # (net, node) -> net * n + node (separate inject/deliver sets).
+        used_links: set[int] = set()
+        used_inject: set[int] = set()
+        used_deliver: set[int] = set()
 
         # Propose in deterministic order: node index, then FIFO position.
-        for node in range(n):
-            for pid in queues[node]:
-                nxt = router.next_hop(node, dests[pid])
-                if nxt is None:
-                    continue  # already home (shouldn't be queued, but safe)
+        for node in active:
+            pid = q_head[node]
+            while pid != -1:
+                nxt = cached_next[pid]
+                if nxt == -1:
+                    hop = next_hop(node, dests[pid])
+                    if hop is None:
+                        nxt = cached_next[pid] = NO_HOP
+                    else:
+                        nxt = cached_next[pid] = hop
+                        if hypergraph:
+                            net = shared_net(node, hop)
+                            if net is None:
+                                raise ScheduleError(
+                                    f"router proposed non-net hop {node} -> {hop}"
+                                )
+                            cached_net[pid] = net
+                if nxt == NO_HOP:
+                    pid = q_next[pid]
+                    continue
                 if hypergraph:
-                    net = _shared_net_id(topology, node, nxt)
-                    if net is None:
-                        raise ScheduleError(
-                            f"router proposed non-net hop {node} -> {nxt}"
-                        )
-                    if (net, node) in used_inject or (net, nxt) in used_deliver:
-                        stats.blocked_moves += 1
+                    inject = cached_net[pid] * n + node
+                    deliver = cached_net[pid] * n + nxt
+                    if inject in used_inject or deliver in used_deliver:
+                        blocked += 1
+                        if fifo:
+                            break  # head of line holds the rest of the queue
+                        pid = q_next[pid]
                         continue
-                    used_inject.add((net, node))
-                    used_deliver.add((net, nxt))
+                    used_inject.add(inject)
+                    used_deliver.add(deliver)
                 else:
-                    link = (node, nxt)
+                    link = node * n + nxt
                     if link in used_links:
-                        stats.blocked_moves += 1
+                        blocked += 1
+                        if fifo:
+                            break
+                        pid = q_next[pid]
                         continue
                     used_links.add(link)
                 moves[pid] = nxt
+                pid = q_next[pid]
 
         if not moves:
             raise ScheduleError(
@@ -128,20 +247,69 @@ def _route_core(
             )
 
         # Apply the granted moves.
+        grew: list[int] = []
+        newly_active: list[int] = []
         for pid, nxt in moves.items():
-            queues[position[pid]].remove(pid)
+            node = position[pid]
+            prv, fol = q_prev[pid], q_next[pid]
+            if prv == -1:
+                q_head[node] = fol
+            else:
+                q_next[prv] = fol
+            if fol == -1:
+                q_tail[node] = prv
+            else:
+                q_prev[fol] = prv
+            q_prev[pid] = q_next[pid] = -1
+            q_len[node] -= 1
+
             position[pid] = nxt
+            cached_next[pid] = -1
             if nxt == dests[pid]:
-                stats.delivered += 1
+                delivered += 1
                 in_flight -= 1
             else:
-                queues[nxt].append(pid)
+                tail = q_tail[nxt]
+                if tail == -1:
+                    q_head[nxt] = pid
+                else:
+                    q_next[tail] = pid
+                    q_prev[pid] = tail
+                q_tail[nxt] = pid
+                q_len[nxt] += 1
+                grew.append(nxt)
+                if not in_active[nxt]:
+                    in_active[nxt] = 1
+                    newly_active.append(nxt)
+
+        # Refresh the worklist: drop drained nodes, merge in new arrivals.
+        still_active = []
+        for node in active:
+            if q_len[node]:
+                still_active.append(node)
+            else:
+                in_active[node] = 0
+        if newly_active:
+            newly_active.sort()
+            still_active += newly_active
+            still_active.sort()  # two sorted runs: Timsort merges in O(len)
+        active = still_active
+
         steps.append(moves)
         stats.steps += 1
         stats.total_hops += len(moves)
         stats.per_step_moves.append(len(moves))
-        depth = max((len(q) for q in queues), default=0)
-        stats.max_queue_depth = max(stats.max_queue_depth, depth)
+        stats.blocked_moves = blocked
+        stats.delivered = delivered
+        # Only queues that received a packet can set a new depth record.
+        max_depth = stats.max_queue_depth
+        for node in grew:
+            if q_len[node] > max_depth:
+                max_depth = q_len[node]
+        stats.max_queue_depth = max_depth
+        stats.per_step_seconds.append(perf_counter() - t0)
+        if on_step is not None:
+            on_step(stats.steps - 1, moves, stats)
 
     return steps, stats
 
@@ -152,6 +320,8 @@ def route_permutation(
     router: Router | None = None,
     *,
     max_steps: int | None = None,
+    arbitration: str = "overtaking",
+    on_step: StepCallback | None = None,
 ) -> RoutedPermutation:
     """Route one packet per node to ``perm[node]`` and record the schedule.
 
@@ -163,9 +333,16 @@ def route_permutation(
         Destination of the packet starting at each node.
     router:
         Routing discipline; defaults to the topology's canonical router.
+        Must be deterministic — a pure function of ``(current, dest)`` —
+        because the engine caches each packet's next hop per position.
     max_steps:
         Safety bound; defaults to ``10 * diameter + 10 * N`` which no
         deterministic minimal-path discipline on these topologies exceeds.
+    arbitration:
+        Channel-arbitration policy, ``"overtaking"`` (seed-identical
+        default) or ``"fifo"`` — see the module docstring.
+    on_step:
+        Optional :data:`StepCallback` invoked after every committed step.
 
     Raises
     ------
@@ -181,7 +358,13 @@ def route_permutation(
         max_steps = 10 * topology.diameter + 10 * n
 
     steps, stats = _route_core(
-        topology, list(range(n)), perm.destinations.tolist(), router, max_steps
+        topology,
+        list(range(n)),
+        perm.destinations.tolist(),
+        router,
+        max_steps,
+        arbitration=arbitration,
+        on_step=on_step,
     )
     schedule = CommSchedule(
         topology=topology, logical=perm, steps=tuple(steps)
@@ -195,6 +378,8 @@ def route_demands(
     router: Router | None = None,
     *,
     max_steps: int | None = None,
+    arbitration: str = "overtaking",
+    on_step: StepCallback | None = None,
 ) -> RoutedDemands:
     """Route an arbitrary packet multiset (an h-relation) adaptively.
 
@@ -205,6 +390,7 @@ def route_demands(
     as steps, exactly as the word model prescribes.
 
     The ``max_steps`` default scales with the relation's degree ``h``.
+    ``arbitration`` and ``on_step`` behave as in :func:`route_permutation`.
     """
     n = topology.num_nodes
     for src, dst in demands:
@@ -223,7 +409,15 @@ def route_demands(
 
     sources = [src for src, _ in demands]
     dests = [dst for _, dst in demands]
-    steps, stats = _route_core(topology, sources, dests, router, max_steps)
+    steps, stats = _route_core(
+        topology,
+        sources,
+        dests,
+        router,
+        max_steps,
+        arbitration=arbitration,
+        on_step=on_step,
+    )
     return RoutedDemands(
         demands=tuple((int(s), int(d)) for s, d in demands),
         steps=tuple(steps),
@@ -239,9 +433,16 @@ def replay_schedule(schedule: CommSchedule) -> int:
 
 
 def _shared_net_id(topology: Topology, a: int, b: int) -> int | None:
-    assert isinstance(topology, HypergraphTopology)
-    nets_a = set(topology.nets_of(a))
-    for net in topology.nets_of(b):
-        if net in nets_a:
-            return net
-    return None
+    """Net shared by two nodes (kept for callers of the seed-era helper).
+
+    The engine now uses the topology's own cached/closed-form
+    :meth:`~repro.networks.base.HypergraphTopology.shared_net`; this wrapper
+    survives so external code keyed to the old name keeps working, and it
+    raises :class:`TypeError` (not a strippable ``assert``) on non-hypergraph
+    topologies.
+    """
+    if not isinstance(topology, HypergraphTopology):
+        raise TypeError(
+            f"net lookup needs a HypergraphTopology, got {type(topology).__name__}"
+        )
+    return topology.shared_net(a, b)

@@ -35,6 +35,8 @@ __all__ = [
     "TorusDimensionOrderRouter",
     "HypercubeEcubeRouter",
     "HypermeshDigitRouter",
+    "TabulatedRouter",
+    "route_path",
     "router_for",
 ]
 
@@ -135,6 +137,72 @@ class HypermeshDigitRouter:
             if c != d:
                 return current + (d - c) * stride
         return None  # pragma: no cover - equality handled above
+
+
+class TabulatedRouter:
+    """Next-hop lookup table over any deterministic router.
+
+    Every router in this module is a pure function of ``(current, dest)``
+    (the module docstring's contract), so its answers can be memoized:
+    the first query for a pair computes the hop, later queries are one dict
+    probe.  Worth it for workloads that route many packets toward recurring
+    destinations — h-relation gathers, repeated benchmark sweeps on one
+    topology — where the stride arithmetic would otherwise be redone per
+    proposal.  Do **not** wrap a stateful/adaptive router: the table would
+    freeze its first answer.
+    """
+
+    def __init__(self, router: Router):
+        self._router = router
+        self._table: dict[tuple[int, int], int | None] = {}
+
+    @property
+    def router(self) -> Router:
+        """The wrapped routing discipline."""
+        return self._router
+
+    def __len__(self) -> int:
+        """Number of ``(current, dest)`` pairs tabulated so far."""
+        return len(self._table)
+
+    def next_hop(self, current: int, dest: int) -> int | None:
+        """Memoized :meth:`Router.next_hop`."""
+        key = (current, dest)
+        table = self._table
+        try:
+            return table[key]
+        except KeyError:
+            hop = self._router.next_hop(current, dest)
+            table[key] = hop
+            return hop
+
+
+def route_path(
+    router: Router, source: int, dest: int, *, limit: int | None = None
+) -> tuple[int, ...]:
+    """Full hop sequence ``source .. dest`` under a deterministic router.
+
+    The engine's per-packet next-hop cache is this path materialized lazily;
+    ``route_path`` computes it eagerly for tests, diagnostics, and distance
+    checks.  ``limit``, when given, caps the number of hops and raises
+    ``ValueError`` when exceeded, which catches routers that cycle instead
+    of converging.
+    """
+    path = [source]
+    current = source
+    while current != dest:
+        hop = router.next_hop(current, dest)
+        if hop is None:
+            raise ValueError(
+                f"router returned no hop at {current} short of dest {dest}"
+            )
+        path.append(hop)
+        current = hop
+        if limit is not None and len(path) - 1 > limit:
+            raise ValueError(
+                f"router exceeded {limit} hops routing {source} -> {dest}"
+            )
+    return tuple(path)
 
 
 def router_for(topology) -> Router:

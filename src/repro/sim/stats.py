@@ -22,9 +22,18 @@ class RoutingStats:
         word model assumes unbounded buffers; this reports how much was used.
     blocked_moves:
         Proposals denied by channel arbitration, summed over steps (a
-        congestion indicator).
+        congestion indicator).  Under the engine's ``"fifo"`` arbitration
+        policy only the head-of-line denial is counted — packets waiting
+        behind it never reach the channel, so they are not proposals.
     delivered:
         Packets that reached their destination.
+    per_step_moves:
+        Packets moved in each step (``len == steps``).
+    per_step_seconds:
+        Wall-clock seconds the engine spent computing each step — host-side
+        instrumentation, **not** part of the word model, and therefore
+        excluded from equality comparisons (two runs with identical routing
+        behaviour compare equal regardless of machine speed).
     """
 
     steps: int = 0
@@ -33,6 +42,7 @@ class RoutingStats:
     blocked_moves: int = 0
     delivered: int = 0
     per_step_moves: list[int] = field(default_factory=list)
+    per_step_seconds: list[float] = field(default_factory=list, compare=False)
 
     @property
     def average_parallelism(self) -> float:
@@ -40,3 +50,8 @@ class RoutingStats:
         if not self.per_step_moves:
             return 0.0
         return sum(self.per_step_moves) / len(self.per_step_moves)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total engine wall-clock time across all steps (0.0 if untimed)."""
+        return sum(self.per_step_seconds)

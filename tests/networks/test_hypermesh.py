@@ -81,6 +81,46 @@ class TestNets:
         assert sorted(col2) == [2, 6, 10, 14]
 
 
+class TestSharedNet:
+    def test_closed_form_matches_brute_force(self):
+        # The arithmetic override must agree with a net-membership scan on
+        # every node pair (including no-net and same-node pairs).
+        for hm in (Hypermesh2D(3), Hypermesh(3, 3), Hypermesh(2, 4)):
+            nets = hm.nets()
+            for a in hm.nodes():
+                for b in hm.nodes():
+                    got = hm.shared_net(a, b)
+                    expected = None
+                    if a != b:
+                        for nid in hm.nets_of(b):
+                            if a in nets[nid]:
+                                expected = nid
+                                break
+                    assert got == expected, (hm, a, b)
+
+    def test_closed_form_matches_generic_cache(self):
+        # Hypermesh overrides HypergraphTopology.shared_net; both paths must
+        # answer identically (the generic path is what any new hypergraph
+        # topology inherits).
+        from repro.networks.base import HypergraphTopology
+
+        hm = Hypermesh(3, 2)
+        for a in hm.nodes():
+            for b in hm.nodes():
+                assert hm.shared_net(a, b) == HypergraphTopology.shared_net(
+                    hm, a, b
+                )
+
+    def test_same_node_shares_no_net(self):
+        hm = Hypermesh2D(4)
+        assert hm.shared_net(5, 5) is None
+
+    def test_invalid_node_rejected(self):
+        hm = Hypermesh2D(4)
+        with pytest.raises(ValueError):
+            hm.shared_net(0, 99)
+
+
 class TestAdjacency:
     def test_neighbor_count(self):
         # n (b - 1) neighbours.

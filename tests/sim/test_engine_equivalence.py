@@ -1,0 +1,121 @@
+"""The engine-equivalence guarantee, enforced.
+
+The indexed arbitration engine in ``repro.sim.engine`` must produce
+**bit-identical** schedules and statistics to the seed loop preserved in
+``repro.sim._reference`` — same step dicts, same counters — on every
+topology family, for permutations and h-relations alike.  These tests are
+the contract the rebuild was done under; if one fails, the optimization
+changed observable routing behaviour and must be fixed, not the test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.networks import (
+    Hypercube,
+    Hypermesh,
+    Hypermesh2D,
+    Mesh,
+    Mesh2D,
+    Torus,
+    Torus2D,
+)
+from repro.routing import Permutation, bit_reversal
+from repro.sim._reference import reference_route_core
+from repro.sim.engine import _route_core
+from repro.sim.routers import router_for
+
+TOPOLOGIES = [
+    Mesh2D(4),
+    Torus2D(4),
+    Hypercube(4),
+    Hypermesh2D(4),
+    Mesh((3, 5)),
+    Torus((5, 3)),
+    Hypermesh(3, 3),
+]
+IDS = [f"{type(t).__name__}-{t.num_nodes}" for t in TOPOLOGIES]
+
+
+def both_engines(topology, sources, dests, max_steps=None):
+    router = router_for(topology)
+    if max_steps is None:
+        max_steps = 100 * (10 * topology.diameter + 10 * topology.num_nodes)
+    new = _route_core(topology, sources, dests, router, max_steps)
+    ref = reference_route_core(topology, sources, dests, router, max_steps)
+    return new, ref
+
+
+def assert_identical(new, ref):
+    new_steps, new_stats = new
+    ref_steps, ref_stats = ref
+    assert new_steps == ref_steps
+    # RoutingStats equality covers steps, total_hops, max_queue_depth,
+    # blocked_moves, delivered and per_step_moves (timing is excluded by
+    # design: the reference engine is untimed).
+    assert new_stats == ref_stats
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+def test_random_permutations_identical(topology, rng):
+    n = topology.num_nodes
+    for _ in range(3):
+        perm = Permutation.random(n, rng)
+        new, ref = both_engines(
+            topology, list(range(n)), perm.destinations.tolist()
+        )
+        assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+def test_bit_reversal_identical(topology):
+    n = topology.num_nodes
+    if n & (n - 1):
+        pytest.skip("bit reversal needs a power-of-two node count")
+    perm = bit_reversal(n)
+    new, ref = both_engines(topology, list(range(n)), perm.destinations.tolist())
+    assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+def test_random_h_relations_identical(topology, rng):
+    n = topology.num_nodes
+    for scale in (1, 3):
+        sources = rng.integers(0, n, size=scale * n).tolist()
+        dests = rng.integers(0, n, size=scale * n).tolist()
+        new, ref = both_engines(topology, sources, dests)
+        assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+def test_hotspot_gather_identical(topology, rng):
+    """All packets funnel to one node: maximal queueing and arbitration."""
+    n = topology.num_nodes
+    sources = list(range(n))
+    dests = [0] * n
+    new, ref = both_engines(topology, sources, dests)
+    assert_identical(new, ref)
+
+
+def test_sparse_demands_identical(rng):
+    """Few packets on a big network — the active-worklist path — still match."""
+    topology = Mesh2D(16)
+    n = topology.num_nodes
+    sources = rng.integers(0, n, size=12).tolist()
+    dests = rng.integers(0, n, size=12).tolist()
+    new, ref = both_engines(topology, sources, dests)
+    assert_identical(new, ref)
+
+
+def test_max_steps_guard_identical():
+    """Both engines refuse an exhausted step budget with ScheduleError."""
+    from repro.sim.schedule import ScheduleError
+
+    topology = Mesh2D(4)
+    perm = bit_reversal(16)
+    router = router_for(topology)
+    args = (topology, list(range(16)), perm.destinations.tolist(), router, 2)
+    with pytest.raises(ScheduleError, match="undelivered"):
+        _route_core(*args)
+    with pytest.raises(ScheduleError, match="undelivered"):
+        reference_route_core(*args)

@@ -114,3 +114,64 @@ class TestGuards:
     def test_max_steps_guard(self):
         with pytest.raises(ScheduleError):
             route_demands(Mesh2D(3), [(0, 8)], max_steps=1)
+
+
+class TestEdgeCases:
+    """Degenerate and boundary demand sets keep their stats invariants."""
+
+    def test_empty_demand_list(self):
+        result = route_demands(Hypercube(4), [])
+        assert result.demands == ()
+        assert result.steps == ()
+        assert result.stats.steps == 0
+        assert result.stats.delivered == 0
+        assert result.stats.total_hops == 0
+        assert result.stats.max_queue_depth == 0
+
+    def test_all_self_demands(self):
+        # Every packet already sits at its destination: no step is taken,
+        # yet all count as delivered.
+        demands = [(i, i) for i in range(9)]
+        result = route_demands(Mesh2D(3), demands)
+        assert result.stats.steps == 0
+        assert result.stats.delivered == 9
+        assert result.stats.total_hops == 0
+        assert result.steps == ()
+
+    def test_duplicate_demand_pairs_serialize(self):
+        # Three identical packets: same source, same destination, same
+        # deterministic path — they serialize head-to-tail over its links.
+        from repro.networks import Mesh
+
+        mesh = Mesh((4,))
+        result = route_demands(mesh, [(0, 3)] * 3)
+        assert result.stats.delivered == 3
+        # Deterministic minimal routing: hops == sum of packet distances.
+        assert result.stats.total_hops == 3 * mesh.distance(0, 3)
+        # Pipelined over the path: dist + (copies - 1) steps.
+        assert result.stats.steps == mesh.distance(0, 3) + 2
+        assert all(final == 3 for final in _final_positions(result).values())
+
+    def test_h_relation_exercises_scaled_max_steps_default(self):
+        # 40 packets over one link need 40 steps — more than the h=1
+        # default bound of 10*diameter + 10*N = 30, so delivery proves the
+        # default really scales with the relation's degree h.
+        from repro.networks import Mesh
+
+        mesh = Mesh((2,))
+        h = 40
+        result = route_demands(mesh, [(0, 1)] * h)
+        assert result.stats.steps == h
+        assert result.stats.steps > 10 * mesh.diameter + 10 * mesh.num_nodes
+        assert result.stats.delivered == h
+        assert result.stats.total_hops == h
+        assert result.stats.max_queue_depth == h
+
+    def test_mixed_self_and_moving_duplicates(self, rng):
+        demands = [(4, 4), (4, 4), (0, 8), (0, 8)]
+        result = route_demands(Mesh2D(3), demands)
+        assert result.stats.delivered == 4
+        assert result.stats.total_hops == 2 * Mesh2D(3).distance(0, 8)
+        final = _final_positions(result)
+        assert final[0] == 4 and final[1] == 4
+        assert final[2] == 8 and final[3] == 8

@@ -127,3 +127,71 @@ class TestRouterFor:
     def test_unknown_type_rejected(self):
         with pytest.raises(TypeError):
             router_for(object())
+
+
+class TestRoutePath:
+    def test_path_length_equals_distance(self):
+        from repro.sim import route_path
+
+        for topo in (Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)):
+            router = router_for(topo)
+            for src in range(topo.num_nodes):
+                for dst in (0, topo.num_nodes - 1):
+                    path = route_path(router, src, dst)
+                    assert path[0] == src and path[-1] == dst
+                    assert len(path) - 1 == topo.distance(src, dst)
+
+    def test_trivial_path(self):
+        from repro.sim import route_path
+
+        router = router_for(Mesh2D(3))
+        assert route_path(router, 4, 4) == (4,)
+
+    def test_limit_catches_cycling_router(self):
+        from repro.sim import route_path
+
+        class PingPong:
+            """Bounces between two nodes, never converging."""
+
+            def next_hop(self, current, dest):
+                return 1 if current == 0 else 0
+
+        with pytest.raises(ValueError, match="exceeded"):
+            route_path(PingPong(), 0, 5, limit=10)
+
+
+class TestTabulatedRouter:
+    def test_answers_match_wrapped_router(self):
+        from repro.sim import TabulatedRouter
+
+        topo = Torus2D(4)
+        inner = router_for(topo)
+        tab = TabulatedRouter(inner)
+        for src in range(16):
+            for dst in range(16):
+                assert tab.next_hop(src, dst) == inner.next_hop(src, dst)
+                # Second query hits the table, same answer.
+                assert tab.next_hop(src, dst) == inner.next_hop(src, dst)
+
+    def test_table_grows_per_distinct_pair(self):
+        from repro.sim import TabulatedRouter
+
+        tab = TabulatedRouter(router_for(Mesh2D(3)))
+        assert len(tab) == 0
+        tab.next_hop(0, 8)
+        tab.next_hop(0, 8)
+        assert len(tab) == 1
+        tab.next_hop(8, 0)
+        assert len(tab) == 2
+        assert tab.router is not None
+
+    def test_usable_as_engine_router(self, rng):
+        from repro.routing import Permutation
+        from repro.sim import TabulatedRouter, route_permutation
+
+        topo = Mesh2D(4)
+        perm = Permutation.random(16, rng)
+        plain = route_permutation(topo, perm)
+        tabulated = route_permutation(topo, perm, TabulatedRouter(router_for(topo)))
+        assert tabulated.schedule.steps == plain.schedule.steps
+        assert tabulated.stats == plain.stats

@@ -117,6 +117,41 @@ class TestHypergraphValidation:
         sched.validate()
 
 
+class TestBoundsChecks:
+    """Malformed ids raise the documented ScheduleError, never IndexError."""
+
+    def test_packet_id_beyond_range_rejected(self):
+        mesh = Mesh2D(2)
+        sched = CommSchedule(mesh, Permutation.identity(4), ({99: 1},))
+        with pytest.raises(ScheduleError, match="packet id 99"):
+            sched.validate()
+
+    def test_negative_packet_id_rejected(self):
+        # A negative id would silently alias pos[-1] without the check.
+        mesh = Mesh2D(2)
+        sched = CommSchedule(mesh, Permutation.identity(4), ({-1: 1},))
+        with pytest.raises(ScheduleError, match="packet id -1"):
+            sched.validate()
+
+    def test_node_beyond_topology_rejected(self):
+        mesh = Mesh2D(2)
+        sched = CommSchedule(mesh, Permutation.identity(4), ({0: 9},))
+        with pytest.raises(ScheduleError, match=r"node 9 outside"):
+            sched.validate()
+
+    def test_negative_node_rejected(self):
+        mesh = Mesh2D(2)
+        sched = CommSchedule(mesh, Permutation.identity(4), ({0: -2},))
+        with pytest.raises(ScheduleError, match=r"node -2 outside"):
+            sched.validate()
+
+    def test_hypergraph_bounds_checked_too(self):
+        hm = Hypermesh2D(2)
+        sched = CommSchedule(hm, Permutation.identity(4), ({7: 1},))
+        with pytest.raises(ScheduleError, match="packet id 7"):
+            sched.validate()
+
+
 class TestAccessors:
     def test_num_steps_and_hops(self):
         mesh = Mesh2D(2)

@@ -1,8 +1,15 @@
-"""Unit tests for the schedule timeline renderers."""
+"""Unit tests for the schedule timeline renderers and step tracing."""
 
 from repro.core import hypermesh_bit_reversal_schedule, map_fft
-from repro.networks import Hypercube, Hypermesh2D
-from repro.sim.tracing import render_occupancy, render_timeline
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.routing import bit_reversal
+from repro.sim import route_permutation
+from repro.sim.tracing import (
+    StepTracer,
+    render_occupancy,
+    render_step_profile,
+    render_timeline,
+)
 
 
 class TestTimeline:
@@ -51,3 +58,57 @@ class TestOccupancy:
         sched = map_fft(Hypercube(3)).bitrev_schedule
         art = render_occupancy(sched)
         assert len(art.splitlines()) == 1 + sched.num_steps
+
+
+class TestStepTracer:
+    def test_records_every_step(self):
+        tracer = StepTracer()
+        result = route_permutation(Mesh2D(4), bit_reversal(16), on_step=tracer)
+        assert len(tracer.records) == result.stats.steps
+        assert [rec.step for rec in tracer.records] == list(
+            range(result.stats.steps)
+        )
+        # The tracer's move snapshots are the schedule, seen live.
+        assert [rec.moves for rec in tracer.records] == list(
+            result.schedule.steps
+        )
+
+    def test_cumulative_counters_monotone(self):
+        tracer = StepTracer()
+        route_permutation(Mesh2D(4), bit_reversal(16), on_step=tracer)
+        delivered = [rec.delivered for rec in tracer.records]
+        blocked = [rec.blocked_moves for rec in tracer.records]
+        assert delivered == sorted(delivered) and delivered[-1] == 16
+        assert blocked == sorted(blocked)
+
+    def test_render_tabulates_all_steps(self):
+        tracer = StepTracer()
+        result = route_permutation(Mesh2D(4), bit_reversal(16), on_step=tracer)
+        art = tracer.render()
+        assert len(art.splitlines()) == 1 + result.stats.steps
+        assert art.splitlines()[0].startswith("step")
+
+
+class TestStepProfile:
+    def test_timed_profile_has_usec_column_and_total(self):
+        result = route_permutation(Mesh2D(4), bit_reversal(16))
+        art = render_step_profile(result.stats)
+        lines = art.splitlines()
+        assert "usec" in lines[0]
+        assert lines[-1].startswith("total ")
+        assert len(lines) == 1 + result.stats.steps + 1
+
+    def test_untimed_profile_omits_timing(self):
+        from repro.sim import RoutingStats
+
+        stats = RoutingStats(steps=2, per_step_moves=[4, 2])
+        art = render_step_profile(stats)
+        assert "usec" not in art
+        assert len(art.splitlines()) == 1 + 2
+
+    def test_bar_scales_with_moves(self):
+        from repro.sim import RoutingStats
+
+        stats = RoutingStats(steps=2, per_step_moves=[20, 1])
+        lines = render_step_profile(stats).splitlines()[1:]
+        assert lines[0].count("#") > lines[1].count("#")
