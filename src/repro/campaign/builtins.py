@@ -1,0 +1,99 @@
+"""Built-in campaign definitions.
+
+These are the sweeps the repo itself runs (``repro campaign run <name>``):
+the paper's evaluations are organized as grids over (machine size x topology
+x workload), and these specs encode them declaratively.
+"""
+
+from __future__ import annotations
+
+from .spec import CampaignSpec, TaskSpec
+
+__all__ = ["BUILTIN_CAMPAIGNS", "builtin_campaign", "list_builtin_campaigns"]
+
+#: Even powers of two only: every topology in the grid needs a square side
+#: (mesh/hypermesh) and a power-of-two node count (hypercube).
+ENGINE_SWEEP_SIZES = (64, 256, 1024, 4096)
+ENGINE_SWEEP_TOPOLOGIES = ("mesh2d", "hypercube", "hypermesh2d")
+ENGINE_SWEEP_WORKLOADS = ("dense-permutation", "bit-reversal", "sparse-hrelation")
+
+
+def _engine_sweep() -> CampaignSpec:
+    """3 topologies x 4 sizes x 3 workloads = 36 routing tasks (the PR 1
+    engine sweep, recast as a campaign grid)."""
+    return CampaignSpec.from_grid(
+        "engine-sweep",
+        "repro.sim.task:run_routing_task",
+        {
+            "topology": list(ENGINE_SWEEP_TOPOLOGIES),
+            "n": list(ENGINE_SWEEP_SIZES),
+            "workload": list(ENGINE_SWEEP_WORKLOADS),
+        },
+        base={"seed": 99, "arbitration": "overtaking"},
+        meta={
+            "description": "word-level routing engine sweep "
+            "(topology x N x workload), fixed seeds",
+        },
+    )
+
+
+def _engine_sweep_small() -> CampaignSpec:
+    """A 2-minute-class subset for CI smoke and local sanity checks."""
+    return CampaignSpec.from_grid(
+        "engine-sweep-small",
+        "repro.sim.task:run_routing_task",
+        {
+            "topology": ["mesh2d", "hypermesh2d"],
+            "n": [64, 256],
+            "workload": ["dense-permutation", "sparse-hrelation"],
+        },
+        base={"seed": 99, "arbitration": "overtaking"},
+        meta={"description": "small engine sweep for smoke tests"},
+    )
+
+
+def _experiments() -> CampaignSpec:
+    from ..experiments import EXPERIMENTS
+
+    return CampaignSpec(
+        "experiments",
+        tuple(
+            TaskSpec(
+                entry="repro.experiments:run_experiment_task",
+                params={"experiment_id": eid},
+                label=eid,
+            )
+            for eid in EXPERIMENTS
+        ),
+        meta={"description": "every registered EXPERIMENTS.md entry"},
+    )
+
+
+BUILTIN_CAMPAIGNS = {
+    "engine-sweep": _engine_sweep,
+    "engine-sweep-small": _engine_sweep_small,
+    "experiments": _experiments,
+}
+
+
+def list_builtin_campaigns() -> list[tuple[str, str]]:
+    """(name, description) pairs for the CLI listing."""
+    out = []
+    for name, factory in BUILTIN_CAMPAIGNS.items():
+        spec = factory()
+        out.append((name, f"{spec.meta.get('description', '')} ({len(spec)} tasks)"))
+    return out
+
+
+def builtin_campaign(name: str) -> CampaignSpec:
+    """Resolve a built-in campaign by name.
+
+    Raises ``KeyError`` with the available names for unknown campaigns.
+    """
+    try:
+        factory = BUILTIN_CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; built-ins: {sorted(BUILTIN_CAMPAIGNS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,141 @@
+"""Structured per-task metrics and campaign-level aggregation.
+
+Every task execution — successful, failed, or served from the store — is
+described by one :class:`TaskRecord`.  Records are what the executor emits,
+what the store persists (JSON blob + JSONL manifest line), and what the
+report layer aggregates, so the whole subsystem shares a single schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["TaskRecord", "CampaignSummary", "summarize", "STATUSES", "FAILURE_KINDS"]
+
+STATUSES = ("ok", "failed")
+#: How a failed task failed: the entry point raised, exceeded its per-task
+#: timeout and was killed, or took its whole worker process down with it.
+FAILURE_KINDS = ("exception", "timeout", "crash")
+
+
+@dataclass
+class TaskRecord:
+    """Outcome of one task attempt chain (retries collapse into one record)."""
+
+    task_hash: str
+    label: str
+    entry: str
+    params: dict
+    status: str
+    failure_kind: str | None = None
+    wall_seconds: float = 0.0
+    worker_id: int | None = None
+    attempts: int = 1
+    cache_hit: bool = False
+    payload: Any = None
+    traceback: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"status {self.status!r} not in {STATUSES}")
+        if self.failure_kind is not None and self.failure_kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"failure_kind {self.failure_kind!r} not in {FAILURE_KINDS}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "task_hash": self.task_hash,
+            "label": self.label,
+            "entry": self.entry,
+            "params": dict(self.params),
+            "status": self.status,
+            "failure_kind": self.failure_kind,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "worker_id": self.worker_id,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "payload": self.payload,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskRecord":
+        return cls(
+            task_hash=data["task_hash"],
+            label=data.get("label", ""),
+            entry=data.get("entry", "?:?"),
+            params=dict(data.get("params", {})),
+            status=data["status"],
+            failure_kind=data.get("failure_kind"),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            worker_id=data.get("worker_id"),
+            attempts=int(data.get("attempts", 1)),
+            cache_hit=bool(data.get("cache_hit", False)),
+            payload=data.get("payload"),
+            traceback=data.get("traceback"),
+        )
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate view of one campaign run."""
+
+    total: int = 0
+    ok: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.failed == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "retried": self.retried,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "task_seconds": round(self.task_seconds, 6),
+            "failures": list(self.failures),
+        }
+
+
+def summarize(
+    records: Iterable[TaskRecord], *, wall_seconds: float = 0.0
+) -> CampaignSummary:
+    """Fold task records into a :class:`CampaignSummary`.
+
+    ``wall_seconds`` is the end-to-end campaign wall clock (the executor
+    measures it); ``task_seconds`` is the sum of per-task walls, so their
+    ratio shows the effective parallelism of a run.
+    """
+    summary = CampaignSummary(wall_seconds=wall_seconds)
+    for record in records:
+        summary.total += 1
+        if record.ok:
+            summary.ok += 1
+        else:
+            summary.failed += 1
+            summary.failures.append(record.label or record.task_hash)
+        if record.cache_hit:
+            summary.cache_hits += 1
+        else:
+            summary.executed += 1
+            summary.task_seconds += record.wall_seconds
+        if record.attempts > 1:
+            summary.retried += 1
+    return summary

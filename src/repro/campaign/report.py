@@ -1,0 +1,96 @@
+"""Campaign reporting: status tables for humans, ``BENCH_*``-style JSON for
+the perf-trajectory artifacts at the repo root.
+
+The JSON shape mirrors ``BENCH_engine.json`` (a ``benchmark`` identifier, a
+flat ``rows`` list, and a summary block) so campaign artifacts slot into the
+same tooling that reads the existing benchmark files.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .metrics import TaskRecord, summarize
+from .spec import CampaignSpec
+
+__all__ = ["campaign_report", "format_status_table", "write_report"]
+
+
+def format_status_table(records: Sequence[TaskRecord]) -> str:
+    """Render one line per task: label, status, attempts, cache, wall."""
+    from ..viz import format_table
+
+    rows = []
+    for r in records:
+        status = r.status.upper()
+        if r.failure_kind:
+            status = f"{status}({r.failure_kind})"
+        rows.append(
+            [
+                r.label or r.task_hash,
+                status,
+                r.attempts,
+                "hit" if r.cache_hit else "run",
+                f"{r.wall_seconds * 1e3:.1f}",
+            ]
+        )
+    return format_table(["task", "status", "attempts", "cache", "wall ms"], rows)
+
+
+def campaign_report(
+    spec: CampaignSpec | None,
+    records: Iterable[TaskRecord],
+    *,
+    wall_seconds: float = 0.0,
+    extra: dict | None = None,
+) -> dict:
+    """Aggregate records into a ``BENCH_*``-compatible JSON document."""
+    records = list(records)
+    summary = summarize(records, wall_seconds=wall_seconds)
+    name = spec.name if spec is not None else "campaign"
+    report = {
+        "benchmark": f"repro.campaign::{name}",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": _cpu_count(),
+        },
+        "summary": summary.to_dict(),
+        "rows": [
+            {
+                "task": r.label or r.task_hash,
+                "task_hash": r.task_hash,
+                "status": r.status,
+                "failure_kind": r.failure_kind,
+                "attempts": r.attempts,
+                "cache_hit": r.cache_hit,
+                "wall_seconds": round(r.wall_seconds, 6),
+                "payload": r.payload,
+            }
+            for r in records
+        ],
+    }
+    if spec is not None:
+        report["spec_hash"] = spec.spec_hash
+        report["meta"] = dict(spec.meta)
+    if extra:
+        report.update(extra)
+    return report
+
+
+def _cpu_count() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    return path

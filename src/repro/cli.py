@@ -9,11 +9,19 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro figures           # ASCII Figs 1-3
     repro fft --side 8      # run a verified parallel FFT on all networks
     repro sort --side 4     # run a verified parallel bitonic sort
+    repro campaign run engine-sweep --workers 4   # parallel resumable sweep
+    repro campaign status engine-sweep            # done / failed / pending
+    repro campaign report engine-sweep            # BENCH-style JSON report
+
+Subcommands return a nonzero exit code when what they ran failed (an
+experiment that does not reproduce, a campaign task that fails), so the CLI
+composes with CI and shell scripts.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 import numpy as np
 
@@ -120,9 +128,24 @@ def _cmd_bisection(args: argparse.Namespace) -> None:
     print(f"hypermesh / h-cube = {r_hc:g}  (O(log N): log2(N) = {n.bit_length() - 1})")
 
 
-def _cmd_sweep(args: argparse.Namespace) -> None:
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .campaign import CampaignSpec, run_campaign
+
     sizes = [4**k for k in range(2, args.max_exponent + 1)]
-    rows = speedup_sweep(sizes)
+    # One task per machine size, submitted through the campaign executor:
+    # `--workers` fans the sizes out over worker processes and a crashing
+    # size surfaces as a failed task instead of killing the sweep.
+    spec = CampaignSpec.from_grid(
+        "speedup-sweep", "repro.models.speedup:sweep_task", {"n": sizes}
+    )
+    result = run_campaign(spec, workers=getattr(args, "workers", 1))
+    if not result.ok:
+        for record in result.records:
+            if not record.ok:
+                print(f"sweep task {record.label} failed:", file=sys.stderr)
+                print(record.traceback, file=sys.stderr)
+        return 1
+    rows = [(p["n"], p["vs_mesh"], p["vs_hypercube"]) for p in result.payloads()]
     print("== Hypermesh FFT speedup vs machine size (paper step convention) ==")
     print(
         format_table(
@@ -142,6 +165,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             title="speedup growth (log y; x = machine sizes 4^k)",
         )
     )
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> None:
@@ -276,24 +300,148 @@ def _cmd_shapes(args: argparse.Namespace) -> None:
     print("the 2D shape the paper picked is fastest (wide links + 3-step bitrev)")
 
 
-def _cmd_experiment(args: argparse.Namespace) -> None:
-    from .experiments import list_experiments, run_experiment
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS, run_all, run_experiment
 
     if args.experiment_id.lower() == "all":
+        # The registry sweep runs as a campaign: isolated worker processes,
+        # so one crashing experiment cannot take the sweep down.
+        result = run_all(workers=getattr(args, "workers", 1))
         failures = 0
-        for eid, title in list_experiments():
-            result = run_experiment(eid)
-            status = "REPRODUCED" if result.reproduced else "FAILED"
+        for record in result.records:
+            eid = record.params["experiment_id"]
+            title = EXPERIMENTS[eid][0]
+            reproduced = (
+                record.ok
+                and isinstance(record.payload, dict)
+                and record.payload.get("reproduced") is True
+            )
+            status = "REPRODUCED" if reproduced else "FAILED"
             print(f"{eid:4s} {status:10s} {title}")
-            failures += 0 if result.reproduced else 1
+            if not reproduced:
+                failures += 1
+                if record.traceback:
+                    print(record.traceback, file=sys.stderr)
         if failures:
-            raise SystemExit(f"{failures} experiments failed to reproduce")
-        return
-    result = run_experiment(args.experiment_id)
+            print(f"{failures} experiments failed to reproduce", file=sys.stderr)
+            return 1
+        return 0
+    try:
+        result = run_experiment(args.experiment_id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     print(f"{result.experiment_id}: {result.title}")
     print(f"reproduced: {result.reproduced}")
     for key, value in result.details.items():
         print(f"  {key}: {value}")
+    return 0 if result.reproduced else 1
+
+
+def _load_campaign_spec(ref: str):
+    """Resolve a campaign reference: a built-in name or a spec-JSON path."""
+    from pathlib import Path
+
+    from .campaign import CampaignSpec, builtin_campaign
+
+    if ref.endswith(".json") or Path(ref).exists():
+        return CampaignSpec.load(ref)
+    return builtin_campaign(ref)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, format_status_table, run_campaign
+
+    try:
+        spec = _load_campaign_spec(args.spec)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = ResultStore.for_campaign(spec.name, args.store)
+
+    def progress(record) -> None:
+        source = "cache" if record.cache_hit else f"worker {record.worker_id}"
+        print(f"  [{record.status:>6s}] {record.label}  ({source})")
+
+    print(
+        f"== campaign {spec.name}: {len(spec)} tasks, "
+        f"{args.workers} worker(s), store {store.root} =="
+    )
+    result = run_campaign(
+        spec,
+        store,
+        workers=args.workers,
+        task_timeout=args.timeout,
+        retries=args.retries,
+        reuse=not args.force,
+        progress=progress,
+    )
+    s = result.summary
+    print(format_status_table(result.records))
+    print(
+        f"{s.ok}/{s.total} ok, {s.failed} failed, {s.cache_hits} cache hits, "
+        f"{s.executed} executed in {s.wall_seconds:.2f}s "
+        f"(task time {s.task_seconds:.2f}s)"
+    )
+    if not result.ok:
+        for record in result.records:
+            if not record.ok:
+                print(f"-- {record.label} [{record.failure_kind}] --", file=sys.stderr)
+                print(record.traceback, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+
+    store = ResultStore.for_campaign(args.name, args.store)
+    spec = store.read_spec()
+    if spec is None:
+        print(f"error: no campaign named {args.name!r} under {args.store}",
+              file=sys.stderr)
+        return 2
+    records = {r.task_hash: r for r in store.records()}
+    ok = sum(1 for r in records.values() if r.ok)
+    failed = sum(1 for r in records.values() if not r.ok)
+    pending = [t for t in spec.tasks if t.task_hash not in records or
+               not records[t.task_hash].ok]
+    print(f"campaign {spec.name}: {len(spec)} tasks")
+    print(f"  ok: {ok}  failed: {failed}  "
+          f"to run on resume: {len(pending)}")
+    for task in pending:
+        record = records.get(task.task_hash)
+        why = f"failed ({record.failure_kind})" if record else "not started"
+        print(f"  pending: {task.label}  [{why}]")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .campaign import ResultStore, campaign_report, write_report
+
+    store = ResultStore.for_campaign(args.name, args.store)
+    spec = store.read_spec()
+    if spec is None:
+        print(f"error: no campaign named {args.name!r} under {args.store}",
+              file=sys.stderr)
+        return 2
+    report = campaign_report(spec, store.records())
+    if args.output:
+        path = write_report(report, args.output)
+        print(f"wrote {path}")
+    else:
+        print(json.dumps(report, indent=2, default=str))
+    return 0
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from .campaign import list_builtin_campaigns
+
+    for name, description in list_builtin_campaigns():
+        print(f"{name:20s} {description}")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
@@ -348,6 +496,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="speedup vs machine size")
     p.add_argument("--max-exponent", type=int, default=10, help="largest 4^k size")
+    p.add_argument("--workers", type=int, default=1,
+                   help="campaign worker processes for the size grid")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("figures", help="ASCII Figs 1-3")
@@ -386,7 +536,49 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one registered experiment by ID (or 'all')"
     )
     p.add_argument("experiment_id", help="e.g. E5, or 'all'")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for 'all' (isolated per experiment)")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel, resumable, content-addressed experiment campaigns",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pc = campaign_sub.add_parser(
+        "run", help="run a built-in campaign or a spec-JSON file"
+    )
+    pc.add_argument("spec", help="built-in name (see 'campaign list') or path")
+    pc.add_argument("--workers", type=int, default=1)
+    pc.add_argument("--timeout", type=float, default=None,
+                    help="per-task wall-clock budget in seconds")
+    pc.add_argument("--retries", type=int, default=1,
+                    help="extra attempts per failing task")
+    pc.add_argument("--store", default="results/campaigns",
+                    help="result-store root directory")
+    pc.add_argument("--force", action="store_true",
+                    help="re-execute tasks even when a stored success exists")
+    pc.add_argument("--resume", action="store_true",
+                    help="resume an interrupted run (the default; spelled "
+                         "out for scripts that want to be explicit)")
+    pc.set_defaults(func=_cmd_campaign_run)
+
+    pc = campaign_sub.add_parser("status", help="completed / failed / pending")
+    pc.add_argument("name")
+    pc.add_argument("--store", default="results/campaigns")
+    pc.set_defaults(func=_cmd_campaign_status)
+
+    pc = campaign_sub.add_parser(
+        "report", help="aggregate stored records into BENCH-style JSON"
+    )
+    pc.add_argument("name")
+    pc.add_argument("--store", default="results/campaigns")
+    pc.add_argument("--output", default=None, help="write JSON here")
+    pc.set_defaults(func=_cmd_campaign_report)
+
+    pc = campaign_sub.add_parser("list", help="list built-in campaigns")
+    pc.set_defaults(func=_cmd_campaign_list)
 
     p = sub.add_parser(
         "shapes", help="compare the 8^4 / 16^3 / 64^2 hypermesh shapes"
@@ -400,8 +592,7 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    return int(args.func(args) or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,7 +17,14 @@ from typing import Callable
 
 from .hardware.technology import GAAS_1992
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiment_task",
+    "run_all",
+    "list_experiments",
+]
 
 
 @dataclass
@@ -277,3 +284,45 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise KeyError(f"unknown experiment {experiment_id!r}")
     _, runner = EXPERIMENTS[eid]
     return runner()
+
+
+def run_experiment_task(params: dict) -> dict:
+    """Campaign entry point (``repro.experiments:run_experiment_task``).
+
+    Wraps :func:`run_experiment` in the JSON-dict-in / JSON-dict-out shape
+    the :mod:`repro.campaign` executor requires, so ``experiment all`` runs
+    each experiment in an isolated worker process: one experiment crashing
+    or hanging cannot take the rest of the sweep down.
+    """
+    import json
+
+    result = run_experiment(params["experiment_id"])
+    # Details may hold numpy scalars / tuples; degrade them to strings so
+    # the payload survives the store's JSON round trip unchanged.
+    details = json.loads(json.dumps(result.details, default=str))
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "reproduced": bool(result.reproduced),
+        "details": details,
+    }
+
+
+def run_all(*, workers: int = 1, store=None, progress=None):
+    """Run every registered experiment through the campaign executor.
+
+    Returns the :class:`repro.campaign.CampaignResult`; a failed *or*
+    non-reproduced experiment leaves its evidence in the per-task records.
+    Callers that need a process exit code should treat any record with
+    ``status != "ok"`` or ``payload["reproduced"] is not True`` as a
+    failure (the CLI does exactly this).
+    """
+    from .campaign import builtin_campaign, run_campaign
+
+    return run_campaign(
+        builtin_campaign("experiments"),
+        store,
+        workers=workers,
+        retries=0,
+        progress=progress,
+    )

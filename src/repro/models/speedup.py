@@ -27,6 +27,7 @@ __all__ = [
     "NetworkComparison",
     "section4_comparison",
     "speedup_sweep",
+    "sweep_task",
     "bitonic_comparison",
     "bitonic_steps",
 ]
@@ -160,6 +161,23 @@ def _require_square(num_pes: int) -> int:
     if log_n % 2:
         raise ValueError(f"2D layouts need an even power of two, got {num_pes}")
     return log_n // 2
+
+
+def sweep_task(params: dict) -> dict:
+    """Campaign entry point (``repro.models.speedup:sweep_task``).
+
+    One machine size of :func:`speedup_sweep` per task, so the ``repro
+    sweep`` CLI can fan sizes out over campaign workers.  Required params:
+    ``n``; optional ``include_bitrev`` / ``propagation_delay``.
+    """
+    n = int(params["n"])
+    rows = speedup_sweep(
+        [n],
+        include_bitrev=bool(params.get("include_bitrev", True)),
+        propagation_delay=float(params.get("propagation_delay", 0.0)),
+    )
+    _, vs_mesh, vs_hypercube = rows[0]
+    return {"n": n, "vs_mesh": vs_mesh, "vs_hypercube": vs_hypercube}
 
 
 def bitonic_comparison(

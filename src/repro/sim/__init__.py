@@ -20,6 +20,7 @@ from .routers import (
     route_path,
     router_for,
 )
+from .task import build_topology, build_workload, run_routing_task
 from .tracing import StepRecord, StepTracer, render_step_profile
 from .schedule import CommSchedule, ScheduleError, schedule_from_phases
 from .stats import RoutingStats
@@ -64,6 +65,9 @@ __all__ = [
     "route_two_phase",
     "DeflectionResult",
     "route_deflection",
+    "run_routing_task",
+    "build_topology",
+    "build_workload",
     "TrafficSummary",
     "bisection_crossings",
     "channel_utilization",

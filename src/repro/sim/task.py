@@ -1,0 +1,166 @@
+"""Picklable campaign entry point for the word-level routing engine.
+
+:func:`run_routing_task` is the bridge between :mod:`repro.campaign` and the
+simulator: a module-level function taking one JSON-serializable ``params``
+dict and returning a JSON-serializable metrics dict, so campaign workers can
+import it by dotted path (``"repro.sim.task:run_routing_task"``) under any
+multiprocessing start method.  Workloads are built from an explicit seed in
+``params``, which is part of the task's content hash — cache hits are only
+claimed for genuinely identical work.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+__all__ = [
+    "TOPOLOGY_BUILDERS",
+    "WORKLOAD_BUILDERS",
+    "build_topology",
+    "build_workload",
+    "run_routing_task",
+]
+
+
+def _square_side(n: int, topology: str) -> int:
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ValueError(f"{topology} needs a square node count, got n={n}")
+    return side
+
+
+def _mesh2d(n: int):
+    from ..networks import Mesh2D
+
+    return Mesh2D(_square_side(n, "mesh2d"))
+
+
+def _torus2d(n: int):
+    from ..networks import Torus2D
+
+    return Torus2D(_square_side(n, "torus2d"))
+
+
+def _hypercube(n: int):
+    from ..networks import Hypercube
+
+    if n & (n - 1) or n <= 0:
+        raise ValueError(f"hypercube needs a power-of-two node count, got n={n}")
+    return Hypercube(n.bit_length() - 1)
+
+
+def _hypermesh2d(n: int):
+    from ..networks import Hypermesh2D
+
+    return Hypermesh2D(_square_side(n, "hypermesh2d"))
+
+
+TOPOLOGY_BUILDERS = {
+    "mesh2d": _mesh2d,
+    "torus2d": _torus2d,
+    "hypercube": _hypercube,
+    "hypermesh2d": _hypermesh2d,
+}
+
+
+def build_topology(name: str, n: int):
+    """Instantiate a topology by grid name (``mesh2d``/``torus2d``/
+    ``hypercube``/``hypermesh2d``) and node count."""
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder(n)
+
+
+def _dense_permutation(n: int, rng: np.random.Generator):
+    from ..routing import Permutation
+
+    perm = Permutation.random(n, rng)
+    return list(range(n)), perm.destinations.tolist()
+
+
+def _bit_reversal(n: int, rng: np.random.Generator):
+    from ..routing import bit_reversal
+
+    return list(range(n)), bit_reversal(n).destinations.tolist()
+
+
+def _sparse_hrelation(n: int, rng: np.random.Generator):
+    # 2*sqrt(N) random packets: the regime where per-step overhead, not
+    # channel contention, dominates the engine's cost.
+    k = 2 * math.isqrt(n)
+    return (
+        rng.integers(0, n, size=k).tolist(),
+        rng.integers(0, n, size=k).tolist(),
+    )
+
+
+WORKLOAD_BUILDERS = {
+    "dense-permutation": _dense_permutation,
+    "bit-reversal": _bit_reversal,
+    "sparse-hrelation": _sparse_hrelation,
+}
+
+
+def build_workload(name: str, n: int, seed: int) -> tuple[list[int], list[int]]:
+    """Build a ``(sources, destinations)`` workload from an explicit seed.
+
+    The per-size seed offset matches the PR 1 benchmark convention
+    (``seed + n``) so campaign results are comparable with
+    ``BENCH_engine.json`` rows.
+    """
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOAD_BUILDERS)}"
+        ) from None
+    return builder(n, np.random.default_rng(seed + n))
+
+
+def run_routing_task(params: dict) -> dict:
+    """Route one (topology, n, workload) cell and return flat metrics.
+
+    Required ``params``: ``topology``, ``n``, ``workload``.  Optional:
+    ``seed`` (default 99), ``arbitration`` (default ``"overtaking"``),
+    ``max_steps`` (default the engine's own bound).
+    """
+    from .engine import route_demands
+
+    topology_name = params["topology"]
+    n = int(params["n"])
+    workload_name = params["workload"]
+    seed = int(params.get("seed", 99))
+    arbitration = params.get("arbitration", "overtaking")
+
+    topology = build_topology(topology_name, n)
+    sources, dests = build_workload(workload_name, n, seed)
+
+    t0 = time.perf_counter()
+    routed = route_demands(
+        topology,
+        list(zip(sources, dests)),
+        max_steps=params.get("max_steps"),
+        arbitration=arbitration,
+    )
+    route_seconds = time.perf_counter() - t0
+    stats = routed.stats
+    return {
+        "topology": topology_name,
+        "n": n,
+        "workload": workload_name,
+        "seed": seed,
+        "arbitration": arbitration,
+        "packets": len(sources),
+        "steps": stats.steps,
+        "total_hops": stats.total_hops,
+        "max_queue_depth": stats.max_queue_depth,
+        "delivered": stats.delivered,
+        "route_seconds": round(route_seconds, 6),
+    }

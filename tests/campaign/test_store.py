@@ -1,0 +1,81 @@
+"""ResultStore: blobs, manifest, corruption tolerance, resume skip-set."""
+
+import json
+
+from repro.campaign import CampaignSpec, ResultStore, TaskRecord, TaskSpec
+
+
+def _record(h="a" * 16, status="ok", **kw):
+    defaults = dict(
+        task_hash=h,
+        label="demo",
+        entry="m.x:f",
+        params={"n": 1},
+        status=status,
+        payload={"v": 1},
+    )
+    defaults.update(kw)
+    return TaskRecord(**defaults)
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = _record()
+        store.put_record(record)
+        loaded = store.load_record(record.task_hash)
+        assert loaded == record
+
+    def test_missing_record_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).load_record("f" * 16) is None
+
+    def test_manifest_appends_one_line_per_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_record(_record("1" * 16))
+        store.put_record(_record("2" * 16, status="failed",
+                                 failure_kind="exception", traceback="tb"))
+        lines = list(store.manifest())
+        assert [l["task_hash"] for l in lines] == ["1" * 16, "2" * 16]
+        assert lines[1]["status"] == "failed"
+
+    def test_completed_hashes_excludes_failures(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_record(_record("1" * 16))
+        store.put_record(_record("2" * 16, status="failed",
+                                 failure_kind="crash", traceback="tb"))
+        assert store.completed_hashes() == {"1" * 16}
+
+    def test_corrupt_blob_treated_as_absent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = _record()
+        store.put_record(record)
+        store._blob_path(record.task_hash).write_text("{torn")
+        assert store.load_record(record.task_hash) is None
+        assert store.completed_hashes() == set()
+
+    def test_torn_manifest_tail_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_record(_record())
+        with store.manifest_path.open("a") as fh:
+            fh.write('{"task_hash": "tr')  # torn write from a killed run
+        assert len(list(store.manifest())) == 1
+
+    def test_spec_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.read_spec() is None
+        spec = CampaignSpec("s", (TaskSpec("m.x:f", {"n": 1}),))
+        store.write_spec(spec)
+        assert store.read_spec() == spec
+
+    def test_for_campaign_layout(self, tmp_path):
+        store = ResultStore.for_campaign("demo", tmp_path)
+        assert store.root == tmp_path / "demo"
+        assert store.tasks_dir.is_dir()
+
+    def test_exotic_payload_degrades_to_string(self, tmp_path):
+        import numpy as np
+
+        store = ResultStore(tmp_path)
+        store.put_record(_record(payload={"v": np.float64(1.5), "t": (1, 2)}))
+        blob = json.loads(store._blob_path("a" * 16).read_text())
+        assert blob["payload"]["v"] in (1.5, "1.5")

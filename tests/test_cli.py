@@ -86,3 +86,77 @@ class TestCommands:
         assert "figures.txt" in written
         content = (tmp_path / "res" / "tables.txt").read_text()
         assert "Table 1A" in content
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        main(["sweep", "--max-exponent", "4"])
+        serial = capsys.readouterr().out
+        main(["sweep", "--max-exponent", "4", "--workers", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+
+class TestCampaignCommands:
+    def test_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine-sweep" in out and "experiments" in out
+
+    def test_run_status_report_cycle(self, tmp_path, capsys):
+        store = str(tmp_path)
+        rc = main(
+            ["campaign", "run", "engine-sweep-small",
+             "--workers", "2", "--store", store]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8/8 ok" in out and "8 executed" in out
+
+        # Second run: everything served from the content-addressed store.
+        assert main(["campaign", "run", "engine-sweep-small", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "8 cache hits, 0 executed" in out
+
+        assert main(["campaign", "status", "engine-sweep-small",
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "ok: 8  failed: 0" in out and "to run on resume: 0" in out
+
+        report_path = tmp_path / "BENCH_small.json"
+        assert main(["campaign", "report", "engine-sweep-small",
+                     "--store", store, "--output", str(report_path)]) == 0
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["benchmark"] == "repro.campaign::engine-sweep-small"
+        assert report["summary"]["ok"] == 8
+
+    def test_run_spec_file_with_injected_failure(self, tmp_path, capsys):
+        from repro.campaign import CampaignSpec, TaskSpec
+
+        spec = CampaignSpec(
+            "ci-smoke",
+            (
+                TaskSpec("repro.campaign.testing:echo_task", {"index": 0}),
+                TaskSpec("repro.campaign.testing:failing_task",
+                         {"message": "smoke-boom"}),
+                TaskSpec("repro.campaign.testing:echo_task", {"index": 2}),
+            ),
+        )
+        path = spec.save(tmp_path / "spec.json")
+        rc = main(
+            ["campaign", "run", str(path), "--workers", "2",
+             "--retries", "0", "--store", str(tmp_path / "store")]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "2/3 ok" in captured.out
+        assert "smoke-boom" in captured.err
+
+    def test_run_unknown_campaign(self, capsys):
+        assert main(["campaign", "run", "no-such-campaign"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_status_unknown_campaign(self, tmp_path, capsys):
+        rc = main(["campaign", "status", "ghost", "--store", str(tmp_path)])
+        assert rc == 2
+        assert "no campaign" in capsys.readouterr().err

@@ -36,17 +36,88 @@ def test_every_registered_experiment_reproduces(eid):
     assert result.reproduced, f"{eid} failed: {result.details}"
 
 
+class TestCampaignEntryPoint:
+    """The picklable bridge (repro.experiments:run_experiment_task) used by
+    `repro experiment all` workers."""
+
+    def test_payload_shape(self):
+        from repro.experiments import run_experiment_task
+
+        payload = run_experiment_task({"experiment_id": "E7"})
+        assert payload["experiment_id"] == "E7"
+        assert payload["reproduced"] is True
+        import json
+
+        json.dumps(payload)  # JSON-safe by construction
+
+    def test_run_all_through_campaign(self):
+        from repro.experiments import run_all
+
+        result = run_all(workers=2)
+        assert result.ok
+        assert len(result.records) == len(EXPERIMENTS)
+        assert all(r.payload["reproduced"] for r in result.records)
+
+
 class TestCli:
     def test_single_experiment(self, capsys):
         from repro.cli import main
 
-        main(["experiment", "E5"])
+        assert main(["experiment", "E5"]) == 0
         out = capsys.readouterr().out
         assert "reproduced: True" in out
 
     def test_all(self, capsys):
         from repro.cli import main
 
-        main(["experiment", "all"])
+        assert main(["experiment", "all"]) == 0
         out = capsys.readouterr().out
         assert out.count("REPRODUCED") == len(EXPERIMENTS)
+
+    def test_all_failure_gives_nonzero_exit_code(self, capsys, monkeypatch):
+        """A non-reproducing experiment must fail the *process*, not just
+        print FAILED: CI and scripts key off the exit code."""
+        import repro.experiments as experiments
+
+        def broken(params):
+            payload = experiments.run_experiment(params["experiment_id"])
+            return {
+                "experiment_id": payload.experiment_id,
+                "title": payload.title,
+                "reproduced": False,
+                "details": {},
+            }
+
+        monkeypatch.setattr(experiments, "run_experiment_task", broken)
+        from repro.cli import main
+
+        # workers run in-process children under fork; monkeypatching the
+        # parent is inherited, but keep workers=1 for determinism.
+        assert main(["experiment", "all"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "failed to reproduce" in captured.err
+
+    def test_crashing_experiment_isolated_not_fatal(self, capsys, monkeypatch):
+        import repro.experiments as experiments
+
+        real = experiments.run_experiment_task
+
+        def crashy(params):
+            if params["experiment_id"] == "E5":
+                raise RuntimeError("injected experiment crash")
+            return real(params)
+
+        monkeypatch.setattr(experiments, "run_experiment_task", crashy)
+        from repro.cli import main
+
+        assert main(["experiment", "all"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out.count("REPRODUCED") == len(EXPERIMENTS) - 1
+        assert "injected experiment crash" in captured.err
+
+    def test_unknown_id_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
