@@ -292,6 +292,10 @@ def _execute(
     ) -> None:
         nonlocal done
         task = tasks[index]
+        # Tasks that wrote an observability trace advertise it through a
+        # "trace_ref" payload key; lift it onto the record so reports can
+        # link each task to its trace without parsing payloads.
+        trace_ref = payload.get("trace_ref") if isinstance(payload, dict) else None
         record = TaskRecord(
             task_hash=task.task_hash,
             label=task.label,
@@ -304,6 +308,7 @@ def _execute(
             attempts=attempt,
             payload=payload,
             traceback=tb,
+            trace_ref=trace_ref,
         )
         records[index] = record
         done += 1

@@ -35,6 +35,10 @@ class TaskRecord:
     cache_hit: bool = False
     payload: Any = None
     traceback: str | None = None
+    #: Path to a JSONL observability trace the task wrote (see
+    #: docs/OBSERVABILITY.md).  The executor lifts it from a dict payload's
+    #: ``"trace_ref"`` key so reports can link tasks to their traces.
+    trace_ref: str | None = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -62,6 +66,7 @@ class TaskRecord:
             "cache_hit": self.cache_hit,
             "payload": self.payload,
             "traceback": self.traceback,
+            "trace_ref": self.trace_ref,
         }
 
     @classmethod
@@ -79,6 +84,7 @@ class TaskRecord:
             cache_hit=bool(data.get("cache_hit", False)),
             payload=data.get("payload"),
             traceback=data.get("traceback"),
+            trace_ref=data.get("trace_ref"),
         )
 
 

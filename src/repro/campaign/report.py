@@ -68,17 +68,44 @@ def campaign_report(
                 "attempts": r.attempts,
                 "cache_hit": r.cache_hit,
                 "wall_seconds": round(r.wall_seconds, 6),
+                "trace_ref": r.trace_ref,
                 "payload": r.payload,
             }
             for r in records
         ],
     }
+    congestion = _congestion_rollup(records)
+    if congestion:
+        report["congestion"] = congestion
     if spec is not None:
         report["spec_hash"] = spec.spec_hash
         report["meta"] = dict(spec.meta)
     if extra:
         report.update(extra)
     return report
+
+
+def _congestion_rollup(records: Sequence[TaskRecord]) -> list[dict]:
+    """Per-task link-utilization summaries for tasks that carried traces.
+
+    A traced routing task (``run_routing_task`` with ``trace`` set) reports
+    its most-congested channels in the payload's ``"top_links"`` key; this
+    lifts them next to the trace refs so a report reader sees *where* the
+    steps went without opening the JSONL files.
+    """
+    rows = []
+    for r in records:
+        top = r.payload.get("top_links") if isinstance(r.payload, dict) else None
+        if r.trace_ref is None and not top:
+            continue
+        rows.append(
+            {
+                "task": r.label or r.task_hash,
+                "trace_ref": r.trace_ref,
+                "top_links": top or [],
+            }
+        )
+    return rows
 
 
 def _cpu_count() -> int:

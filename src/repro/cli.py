@@ -12,6 +12,8 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro campaign run engine-sweep --workers 4   # parallel resumable sweep
     repro campaign status engine-sweep            # done / failed / pending
     repro campaign report engine-sweep            # BENCH-style JSON report
+    repro trace all --n 64 --summary              # JSONL observability traces
+    repro profile engine-hypermesh                # cProfile top-N as JSON
 
 Subcommands return a nonzero exit code when what they ran failed (an
 experiment that does not reproduce, a campaign task that fails), so the CLI
@@ -444,6 +446,91 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+_TRACE_TOPOLOGIES = ("mesh2d", "hypercube", "hypermesh2d")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Route one seeded workload per topology and write a JSONL trace."""
+    from pathlib import Path
+
+    from .obs import JsonlTraceFile, LinkUtilizationProbe, Tracer
+    from .sim.engine import route_demands
+    from .sim.task import TOPOLOGY_BUILDERS, build_topology, build_workload
+    from .viz.series import format_table
+
+    if args.target == "all":
+        targets = list(_TRACE_TOPOLOGIES)
+    elif args.target in TOPOLOGY_BUILDERS:
+        targets = [args.target]
+    else:
+        print(
+            f"error: unknown trace target {args.target!r}; expected 'all' or "
+            f"one of {sorted(TOPOLOGY_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    out = Path(args.out)
+    for name in targets:
+        path = (
+            out
+            if len(targets) == 1
+            else out.with_name(f"{out.stem}-{name}{out.suffix or '.jsonl'}")
+        )
+        topology = build_topology(name, args.n)
+        sources, dests = build_workload(args.workload, args.n, args.seed)
+        tracer = Tracer(
+            f"{name}/{args.workload}/n={args.n}/seed={args.seed}",
+            JsonlTraceFile(path),
+        )
+        probe = LinkUtilizationProbe(topology, sources, dests=dests, tracer=tracer)
+        routed = route_demands(
+            topology,
+            list(zip(sources, dests)),
+            arbitration=args.arbitration,
+            on_step=probe,
+        )
+        top = probe.finish()
+        tracer.close()
+        print(
+            f"wrote {path}  ({name}, n={args.n}, {args.workload}: "
+            f"{routed.stats.steps} steps, {routed.stats.total_hops} hops)"
+        )
+        if args.summary:
+            rows = [
+                [u.channel, u.packets, u.busy_steps, f"{u.utilization:.2f}"]
+                for u in top[:5]
+            ]
+            print(format_table(["channel", "packets", "busy steps", "util"], rows))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one registered benchmark; print top-N hot functions as JSON."""
+    import json
+
+    from .obs import list_profile_benchmarks, run_profile
+
+    if args.benchmark == "list":
+        for name, description in list_profile_benchmarks():
+            print(f"{name:18s} {description}")
+        return 0
+    try:
+        report = run_profile(args.benchmark, top=args.top)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     """Write every regenerated artifact into a results directory."""
     import contextlib
@@ -584,6 +671,41 @@ def build_parser() -> argparse.ArgumentParser:
         "shapes", help="compare the 8^4 / 16^3 / 64^2 hypermesh shapes"
     )
     p.set_defaults(func=_cmd_shapes)
+
+    p = sub.add_parser(
+        "trace",
+        help="route a seeded workload and write a JSONL observability trace",
+        description=(
+            "Write the docs/OBSERVABILITY.md event stream for one routed "
+            "workload.  TARGET is a topology (mesh2d, torus2d, hypercube, "
+            "hypermesh2d) or 'all' for the paper's three networks; with "
+            "'all', one trace file is written per topology."
+        ),
+    )
+    p.add_argument("target", help="topology name, or 'all'")
+    p.add_argument("--n", type=int, default=64, help="node count (default 64)")
+    p.add_argument(
+        "--workload",
+        default="bit-reversal",
+        help="bit-reversal | dense-permutation | sparse-hrelation",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--arbitration", default="overtaking",
+                   help="engine arbitration policy (overtaking | fifo)")
+    p.add_argument("--out", default="trace.jsonl",
+                   help="trace path ('all' appends -<topology> to the stem)")
+    p.add_argument("--summary", action="store_true",
+                   help="also print the top-5 most-congested links/nets")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="cProfile a registered benchmark, top-N hot functions as JSON",
+    )
+    p.add_argument("benchmark", help="benchmark name, or 'list'")
+    p.add_argument("--top", type=int, default=15, help="functions to report")
+    p.add_argument("--output", default=None, help="write the JSON here")
+    p.set_defaults(func=_cmd_profile)
 
     return parser
 

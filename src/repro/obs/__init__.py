@@ -1,0 +1,74 @@
+"""Unified observability: tracing, metrics, and profiling for every layer.
+
+``repro.obs`` is the one subsystem the simulator, the campaign executor,
+and the CLI all emit into, replacing the ad-hoc per-layer formats that
+grew around ``on_step`` hooks and per-task timings:
+
+* :mod:`repro.obs.events` — the event vocabulary (span/counter/engine/link
+  events with monotonic timestamps), the :class:`Tracer` front end, and
+  the registry the documented contract is checked against;
+* :mod:`repro.obs.collectors` — pluggable sinks: in-memory ring buffer,
+  append-only JSONL trace file (with :func:`read_trace` as the validating
+  reader), and an aggregate histogram;
+* :mod:`repro.obs.link_metrics` — per-step, per-link/net utilization and
+  queue occupancy derived from the engine's ``on_step`` hook (or a replayed
+  schedule via :func:`trace_schedule`);
+* :mod:`repro.obs.profile` — ``cProfile`` / ``perf_counter`` wrappers and
+  the registered workloads behind ``repro profile <benchmark>``.
+
+The instrumentation contract — every event type, field, and stability
+guarantee — is documented in ``docs/OBSERVABILITY.md`` and enforced
+against :data:`~repro.obs.events.EVENT_TYPES` by the docs CI job.
+"""
+
+from .collectors import Collector, Histogram, JsonlTraceFile, RingBuffer, read_trace
+from .events import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    Event,
+    EventType,
+    Tracer,
+    register_event_type,
+    validate_event,
+)
+from .link_metrics import (
+    ChannelUsage,
+    EngineStepProbe,
+    LinkUtilizationProbe,
+    StepRecord,
+    render_step_profile,
+    trace_schedule,
+)
+from .profile import (
+    PROFILE_BENCHMARKS,
+    list_profile_benchmarks,
+    profile_call,
+    run_profile,
+    timed,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Event",
+    "EventType",
+    "EVENT_TYPES",
+    "register_event_type",
+    "validate_event",
+    "Tracer",
+    "Collector",
+    "RingBuffer",
+    "JsonlTraceFile",
+    "Histogram",
+    "read_trace",
+    "StepRecord",
+    "EngineStepProbe",
+    "ChannelUsage",
+    "LinkUtilizationProbe",
+    "trace_schedule",
+    "render_step_profile",
+    "timed",
+    "profile_call",
+    "PROFILE_BENCHMARKS",
+    "list_profile_benchmarks",
+    "run_profile",
+]

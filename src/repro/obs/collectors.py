@@ -1,0 +1,195 @@
+"""Pluggable event sinks: where :class:`~repro.obs.events.Tracer` output goes.
+
+Three collectors cover the repo's needs:
+
+* :class:`RingBuffer` — bounded in-memory store for live consumers (the
+  step tracer, tests, progress displays);
+* :class:`JsonlTraceFile` — append-only JSON-Lines trace file, one event
+  per line, opened with ``trace.meta`` so a reader can check the schema
+  version before parsing the rest (:func:`read_trace` is that reader);
+* :class:`Histogram` — streaming aggregation of ``counter`` events into
+  power-of-two buckets, for when the distribution matters but the
+  individual samples do not.
+
+All collectors share the two-method :class:`Collector` interface
+(``emit(event)`` / ``close()``), so a tracer can fan one event stream out
+to any combination of them.
+
+    >>> from repro.obs.events import Tracer
+    >>> ring, hist = RingBuffer(capacity=2), Histogram()
+    >>> ticks = iter(range(10))
+    >>> tr = Tracer("demo", ring, hist, clock=lambda: float(next(ticks)))
+    >>> for depth in (1, 1, 5):
+    ...     _ = tr.counter("queue_depth", depth)
+    >>> len(ring)  # capacity 2: only the newest two events survive
+    2
+    >>> hist.summary()["queue_depth"]["count"]
+    3
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterator
+
+from .events import SCHEMA_VERSION, Event, validate_event
+
+__all__ = [
+    "Collector",
+    "RingBuffer",
+    "JsonlTraceFile",
+    "Histogram",
+    "read_trace",
+]
+
+
+class Collector:
+    """Base event sink: subclasses implement :meth:`emit`.
+
+    ``close()`` is a no-op by default; file-backed sinks override it.
+    Collectors are context managers so ``with`` blocks flush them.
+    """
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further :meth:`emit` calls are undefined."""
+
+    def __enter__(self) -> "Collector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RingBuffer(Collector):
+    """In-memory sink keeping the last ``capacity`` events (all if None)."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._events: deque[Event] = deque(maxlen=capacity)
+
+    @property
+    def events(self) -> list[Event]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+
+class JsonlTraceFile(Collector):
+    """Append-only JSONL trace writer: one event object per line.
+
+    The file is created (parents included) on construction and written
+    incrementally, so a run killed mid-flight leaves a readable prefix —
+    the same durability convention as the campaign store's manifest.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w")
+
+    def emit(self, event: Event) -> None:
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_trace(path: str | Path, *, strict: bool = True) -> list[Event]:
+    """Parse a JSONL trace back into :class:`Event` objects.
+
+    The first event must be ``trace.meta`` with a ``schema`` no newer than
+    this library's :data:`~repro.obs.events.SCHEMA_VERSION`; in strict mode
+    (default) every event is additionally validated against the registry,
+    so a trace that parses is a trace that honours the documented contract.
+    """
+    path = Path(path)
+    events: list[Event] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = Event.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace line") from exc
+            if strict:
+                validate_event(event)
+            events.append(event)
+    if not events or events[0].type != "trace.meta":
+        raise ValueError(f"{path}: trace does not open with a trace.meta event")
+    schema = events[0].data.get("schema")
+    if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trace schema {schema!r} is newer than supported "
+            f"version {SCHEMA_VERSION}"
+        )
+    return events
+
+
+class Histogram(Collector):
+    """Aggregate ``counter`` events into per-name power-of-two buckets.
+
+    Buckets are ``0`` and ``[2^k, 2^(k+1))`` labelled by their lower bound,
+    which keeps the summary small at any sample count while preserving the
+    shape of heavy-tailed distributions (queue depths, step times in
+    microseconds).  Negative values all land in the ``"<0"`` bucket.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, dict[str, Any]] = {}
+
+    @staticmethod
+    def _bucket(value: float) -> str:
+        if value < 0:
+            return "<0"
+        if value < 1:
+            return "0"
+        return str(1 << int(value).bit_length() - 1)
+
+    def emit(self, event: Event) -> None:
+        if event.type != "counter":
+            return
+        name = event.data["name"]
+        value = event.data["value"]
+        entry = self._stats.setdefault(
+            name,
+            {"count": 0, "min": value, "max": value, "sum": 0.0, "buckets": {}},
+        )
+        entry["count"] += 1
+        entry["min"] = min(entry["min"], value)
+        entry["max"] = max(entry["max"], value)
+        entry["sum"] += value
+        bucket = self._bucket(value)
+        entry["buckets"][bucket] = entry["buckets"].get(bucket, 0) + 1
+
+    def summary(self) -> dict[str, dict[str, Any]]:
+        """Per-counter aggregates: count/min/max/mean plus bucket counts."""
+        out = {}
+        for name, entry in self._stats.items():
+            out[name] = {
+                "count": entry["count"],
+                "min": entry["min"],
+                "max": entry["max"],
+                "mean": entry["sum"] / entry["count"],
+                "buckets": dict(entry["buckets"]),
+            }
+        return out

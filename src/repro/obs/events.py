@@ -1,0 +1,359 @@
+"""Structured observability events: the vocabulary every layer emits.
+
+This module is the *single source of truth* for the instrumentation
+contract documented in ``docs/OBSERVABILITY.md``: every event the
+simulator, the campaign executor, or the CLI can emit is registered in
+:data:`EVENT_TYPES` with its exact field set and stability level, and the
+docs CI job fails if the document and the registry drift apart.
+
+An event is a ``(type, ts, data)`` triple:
+
+* ``type`` — a dotted name registered in :data:`EVENT_TYPES`;
+* ``ts`` — seconds since the owning :class:`Tracer` started, taken from a
+  monotonic clock (``time.perf_counter`` unless the tracer was given
+  another clock);
+* ``data`` — a flat, JSON-serializable mapping whose keys must match the
+  registered field set exactly.
+
+:class:`Tracer` is the emission front end: it stamps timestamps, manages
+nested spans, and fans events out to the attached collectors
+(:mod:`repro.obs.collectors`).  Doctest (a deterministic clock makes the
+timestamps reproducible)::
+
+    >>> from repro.obs.collectors import RingBuffer
+    >>> ring = RingBuffer()
+    >>> ticks = iter(range(100))
+    >>> tr = Tracer("demo", ring, clock=lambda: float(next(ticks)))
+    >>> with tr.span("route"):
+    ...     _ = tr.counter("packets", 3)
+    >>> [e.type for e in ring]
+    ['trace.meta', 'span.begin', 'counter', 'span.end']
+    >>> ring.events[-1].data["dur"]
+    2.0
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Event",
+    "EventType",
+    "EVENT_TYPES",
+    "register_event_type",
+    "validate_event",
+    "Tracer",
+]
+
+#: Version stamped into every trace's ``trace.meta`` event.  Bumped whenever
+#: a *stable* event type changes incompatibly (field removed or renamed);
+#: adding a new event type or a new ``experimental`` field does not bump it.
+SCHEMA_VERSION = 1
+
+#: Stability levels an event type may declare (see docs/OBSERVABILITY.md).
+STABILITY_LEVELS = ("stable", "experimental")
+
+# Field type vocabulary: spec string -> accepted Python types.  ``bool`` is
+# deliberately rejected where ``int`` is expected (JSON round-trips would
+# otherwise silently widen flags into counters).
+_FIELD_TYPES: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (float, int),
+    "str": (str,),
+    "int|null": (int, type(None)),
+}
+
+
+def _type_ok(spec: str, value: Any) -> bool:
+    accepted = _FIELD_TYPES[spec]
+    if isinstance(value, bool):
+        return bool in accepted
+    return isinstance(value, accepted)
+
+
+@dataclass(frozen=True)
+class EventType:
+    """Declaration of one event type: name, fields, stability, meaning.
+
+    ``fields`` maps each field name to ``"<type> — <description>"`` where
+    ``<type>`` is one of ``int``, ``float``, ``str``, ``int|null``.  Every
+    declared field is required; undeclared fields are rejected — the
+    contract is exact, not minimum.
+    """
+
+    name: str
+    doc: str
+    fields: Mapping[str, str] = field(default_factory=dict)
+    stability: str = "stable"
+
+    def __post_init__(self) -> None:
+        if self.stability not in STABILITY_LEVELS:
+            raise ValueError(
+                f"stability {self.stability!r} not in {STABILITY_LEVELS}"
+            )
+        for fname, spec in self.fields.items():
+            type_part = spec.split(" ", 1)[0]
+            if type_part not in _FIELD_TYPES:
+                raise ValueError(
+                    f"field {fname!r} of {self.name!r} declares unknown type "
+                    f"{type_part!r}; known: {sorted(_FIELD_TYPES)}"
+                )
+
+    def field_type(self, fname: str) -> str:
+        """The type spec (``"int"``, ``"float"``, ...) of one field."""
+        return self.fields[fname].split(" ", 1)[0]
+
+
+#: The event-type registry, keyed by event name.  docs/OBSERVABILITY.md is
+#: checked against exactly this mapping by ``tools/check_docs.py``.
+EVENT_TYPES: dict[str, EventType] = {}
+
+
+def register_event_type(event_type: EventType) -> EventType:
+    """Add an event type to the registry (duplicate names are an error)."""
+    if event_type.name in EVENT_TYPES:
+        raise ValueError(f"event type {event_type.name!r} already registered")
+    EVENT_TYPES[event_type.name] = event_type
+    return event_type
+
+
+for _et in (
+    EventType(
+        "trace.meta",
+        "First event of every trace: identifies the schema and the run.",
+        {
+            "schema": "int — trace schema version (see SCHEMA_VERSION)",
+            "name": "str — human-readable name of the traced run",
+            "clock": "str — clock the timestamps come from",
+        },
+    ),
+    EventType(
+        "span.begin",
+        "A named scope opened (nesting is expressed through `parent`).",
+        {
+            "span": "int — span identifier, unique within the trace",
+            "name": "str — span name",
+            "parent": "int|null — enclosing span id, null at top level",
+        },
+    ),
+    EventType(
+        "span.end",
+        "The matching scope closed.",
+        {
+            "span": "int — span identifier from the span.begin event",
+            "name": "str — span name (repeated for grep-ability)",
+            "dur": "float — seconds between begin and end",
+        },
+    ),
+    EventType(
+        "counter",
+        "A named scalar observation at one instant.",
+        {
+            "name": "str — counter name",
+            "value": "float — observed value (ints allowed)",
+        },
+    ),
+    EventType(
+        "engine.step",
+        "One committed data-transfer step of the word-level engine.",
+        {
+            "step": "int — zero-based step index",
+            "moves": "int — packets moved this step",
+            "delivered": "int — packets delivered so far (cumulative)",
+            "blocked": "int — arbitration denials so far (cumulative)",
+            "max_queue_depth": "int — deepest node buffer seen so far",
+        },
+    ),
+    EventType(
+        "link.util",
+        "Per-step channel utilization: busy channels over channel capacity.",
+        {
+            "step": "int — zero-based step index",
+            "busy": "int — channels that carried at least one packet",
+            "capacity": "int — directed links (point-to-point) or nets "
+            "(hypergraph) in the topology",
+            "utilization": "float — busy / capacity, in [0, 1]",
+        },
+    ),
+    EventType(
+        "link.queue",
+        "Per-step buffer occupancy across nodes (undelivered packets).",
+        {
+            "step": "int — zero-based step index",
+            "max_depth": "int — packets at the most crowded node",
+            "mean_depth": "float — mean packets per occupied node",
+        },
+    ),
+    EventType(
+        "link.total",
+        "End-of-run totals for one channel (emitted once per used channel).",
+        {
+            "channel": "str — 'u->v' for a directed link, 'net:k' for a net",
+            "packets": "int — packets the channel carried over the run",
+            "busy_steps": "int — steps in which it carried at least one",
+            "steps": "int — total steps the run took",
+            "utilization": "float — busy_steps / steps, in [0, 1]",
+        },
+    ),
+):
+    register_event_type(_et)
+del _et
+
+
+@dataclass(frozen=True)
+class Event:
+    """One emitted observation: registered ``type``, monotonic ``ts``
+    (seconds since the tracer started), and the type's exact ``data``."""
+
+    type: str
+    ts: float
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flatten to the JSONL wire form: ``{"type", "ts", **data}``."""
+        out: dict[str, Any] = {"type": self.type, "ts": self.ts}
+        out.update(self.data)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Event":
+        """Inverse of :meth:`to_dict` (used by the trace reader)."""
+        rest = {k: v for k, v in data.items() if k not in ("type", "ts")}
+        return cls(type=data["type"], ts=float(data["ts"]), data=rest)
+
+
+def validate_event(event: Event) -> Event:
+    """Check an event against the registry; raise ``ValueError`` on drift.
+
+    Enforced: the type is registered, the data keys equal the declared
+    field set exactly, and each value matches its declared type.
+
+        >>> validate_event(Event("counter", 0.0, {"name": "x", "value": 1}))
+        Event(type='counter', ts=0.0, data={'name': 'x', 'value': 1})
+        >>> validate_event(Event("counter", 0.0, {"name": "x"}))
+        Traceback (most recent call last):
+        ...
+        ValueError: event 'counter' field mismatch: missing {'value'}
+    """
+    spec = EVENT_TYPES.get(event.type)
+    if spec is None:
+        raise ValueError(
+            f"unregistered event type {event.type!r}; known: "
+            f"{sorted(EVENT_TYPES)}"
+        )
+    declared = set(spec.fields)
+    got = set(event.data)
+    if declared != got:
+        missing = declared - got
+        extra = got - declared
+        parts = []
+        if missing:
+            parts.append(f"missing {missing}")
+        if extra:
+            parts.append(f"unexpected {extra}")
+        raise ValueError(
+            f"event {event.type!r} field mismatch: {', '.join(parts)}"
+        )
+    for fname in declared:
+        if not _type_ok(spec.field_type(fname), event.data[fname]):
+            raise ValueError(
+                f"event {event.type!r} field {fname!r} expects "
+                f"{spec.field_type(fname)}, got {event.data[fname]!r}"
+            )
+    return event
+
+
+class Tracer:
+    """Emission front end: stamps timestamps, nests spans, fans out.
+
+    Parameters
+    ----------
+    name:
+        Run identifier, recorded in the opening ``trace.meta`` event.
+    *collectors:
+        Sinks (:class:`~repro.obs.collectors.Collector`) every event is
+        delivered to, in order.
+    clock:
+        Monotonic zero-argument callable; timestamps are relative to its
+        value at construction.  Defaults to ``time.perf_counter``.
+        Injectable so tests and doctests are deterministic.
+    strict:
+        When true (the default), every emitted event is validated against
+        :data:`EVENT_TYPES` — an unregistered type or a field mismatch
+        raises immediately instead of producing an off-contract trace.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *collectors,
+        clock: Callable[[], float] = perf_counter,
+        strict: bool = True,
+    ) -> None:
+        self.name = name
+        self.collectors = list(collectors)
+        self._clock = clock
+        self._t0 = clock()
+        self._strict = strict
+        self._next_span = 0
+        self._span_stack: list[int] = []
+        self.emit(
+            "trace.meta",
+            schema=SCHEMA_VERSION,
+            name=name,
+            clock=getattr(clock, "__name__", "custom"),
+        )
+
+    def now(self) -> float:
+        """Seconds since the tracer started, on the tracer's clock."""
+        return self._clock() - self._t0
+
+    def emit(self, type_name: str, **data: Any) -> Event:
+        """Build, validate (in strict mode) and dispatch one event."""
+        event = Event(type=type_name, ts=self.now(), data=data)
+        if self._strict:
+            validate_event(event)
+        for collector in self.collectors:
+            collector.emit(event)
+        return event
+
+    def counter(self, name: str, value: float) -> Event:
+        """Emit a ``counter`` event."""
+        return self.counter_event(name, value)
+
+    # Kept as a separate method so subclasses can override emission without
+    # losing the public ``counter`` signature.
+    def counter_event(self, name: str, value: float) -> Event:
+        return self.emit("counter", name=name, value=value)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[int]:
+        """Context manager emitting ``span.begin`` / ``span.end`` around the
+        body; nesting is tracked so children carry their parent's id."""
+        span_id = self._next_span
+        self._next_span += 1
+        parent = self._span_stack[-1] if self._span_stack else None
+        begin = self.emit("span.begin", span=span_id, name=name, parent=parent)
+        self._span_stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            self._span_stack.pop()
+            self.emit(
+                "span.end", span=span_id, name=name, dur=self.now() - begin.ts
+            )
+
+    def close(self) -> None:
+        """Close every attached collector (flushes file-backed sinks)."""
+        for collector in self.collectors:
+            collector.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,347 @@
+"""Per-step, per-channel utilization and occupancy from the engine's hook.
+
+The paper's headline claims are congestion claims: the hypermesh wins
+because every row/column net moves a full partial permutation per step
+while the mesh serializes over narrow links (Tables 2A/2B, Section IV).
+This module turns the engine's ``on_step`` stream into exactly that
+attribution: which channels carried packets at which steps, how busy the
+network was, and where queues built up.
+
+Two probes consume ``on_step(step, moves, stats)``:
+
+* :class:`EngineStepProbe` — the canonical step recorder (cumulative
+  deliveries/blocks per step); :class:`repro.sim.tracing.StepTracer` is
+  its backward-compatible alias.
+* :class:`LinkUtilizationProbe` — tracks every packet's position, charges
+  each move to the directed link (point-to-point) or net (hypergraph) it
+  rode, and emits ``link.util`` / ``link.queue`` events per step plus
+  ``link.total`` per channel at :meth:`~LinkUtilizationProbe.finish`.
+
+:func:`trace_schedule` replays an already-built
+:class:`~repro.sim.schedule.CommSchedule` through the same probe, so
+constructively planned traffic (the FFT's butterfly phases, the 3-step
+Clos bit reversal) gets the identical attribution as adaptively routed
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..networks.base import ChannelModel, HypergraphTopology, Topology
+from .events import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports obs)
+    from ..sim.schedule import CommSchedule
+    from ..sim.stats import RoutingStats
+
+__all__ = [
+    "StepRecord",
+    "EngineStepProbe",
+    "ChannelUsage",
+    "LinkUtilizationProbe",
+    "trace_schedule",
+    "render_step_profile",
+]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One committed engine step, as observed through ``on_step``."""
+
+    step: int
+    moves: dict[int, int]
+    delivered: int
+    blocked_moves: int
+
+
+class EngineStepProbe:
+    """Collects :class:`StepRecord` events from the engine's ``on_step`` hook.
+
+    Pass an instance as the ``on_step`` argument of
+    :func:`~repro.sim.engine.route_permutation` /
+    :func:`~repro.sim.engine.route_demands`.  Unlike the returned schedule,
+    the probe sees cumulative statistics at each step boundary (deliveries
+    and blocked proposals so far), which is what a live progress display or
+    a convergence watchdog needs.
+
+    When constructed with a :class:`~repro.obs.events.Tracer`, every step is
+    mirrored as an ``engine.step`` event, so the same hook feeds both the
+    in-memory records and any attached trace file.
+    """
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self.records: list[StepRecord] = []
+        self.tracer = tracer
+
+    def __call__(self, step: int, moves, stats: "RoutingStats") -> None:
+        """The ``on_step`` entry point: snapshot the step."""
+        self.records.append(
+            StepRecord(
+                step=step,
+                moves=dict(moves),
+                delivered=stats.delivered,
+                blocked_moves=stats.blocked_moves,
+            )
+        )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "engine.step",
+                step=step,
+                moves=len(moves),
+                delivered=stats.delivered,
+                blocked=stats.blocked_moves,
+                max_queue_depth=stats.max_queue_depth,
+            )
+
+    def render(self) -> str:
+        """Tabulate the recorded steps: moves, cumulative deliveries/blocks."""
+        lines = ["step  moves  delivered  blocked(cum)"]
+        for rec in self.records:
+            lines.append(
+                f"{rec.step:4d}  {len(rec.moves):5d}  {rec.delivered:9d}"
+                f"  {rec.blocked_moves:12d}"
+            )
+        return "\n".join(lines)
+
+
+def render_step_profile(stats: "RoutingStats") -> str:
+    """Per-step engine profile from :class:`~repro.sim.stats.RoutingStats`:
+    packets moved and, when the run was timed, wall-clock microseconds per
+    step.  The '#' bar scales with moves — congestion collapse shows up as
+    the bar narrowing long before the run ends."""
+    timed = len(stats.per_step_seconds) == len(stats.per_step_moves)
+    peak = max(stats.per_step_moves, default=0)
+    header = "step  moves" + ("      usec" if timed else "")
+    lines = [header]
+    for t, moved in enumerate(stats.per_step_moves):
+        bar = "#" * max(1, round(20 * moved / peak)) if peak else ""
+        cells = f"{t:4d}  {moved:5d}"
+        if timed:
+            cells += f"  {stats.per_step_seconds[t] * 1e6:8.1f}"
+        lines.append(cells + "  " + bar)
+    if timed and stats.per_step_seconds:
+        lines.append(f"total {stats.elapsed_seconds * 1e3:.3f} ms")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChannelUsage:
+    """End-of-run totals for one channel (a directed link or a net)."""
+
+    channel: str
+    packets: int
+    busy_steps: int
+    steps: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of steps in which the channel carried a packet."""
+        return self.busy_steps / self.steps if self.steps else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "channel": self.channel,
+            "packets": self.packets,
+            "busy_steps": self.busy_steps,
+            "steps": self.steps,
+            "utilization": round(self.utilization, 6),
+        }
+
+
+class LinkUtilizationProbe:
+    """Attribute every move to the channel that carried it, step by step.
+
+    Parameters
+    ----------
+    topology:
+        The network being routed on; decides whether moves are charged to
+        directed links (``"u->v"``) or hypergraph nets (``"net:k"``), and
+        supplies the channel capacity for the utilization denominator.
+    sources:
+        Starting node of each packet, indexed by packet id.  Defaults to
+        the identity placement (packet ``i`` at node ``i``), which is what
+        :func:`~repro.sim.engine.route_permutation` and
+        :class:`~repro.sim.schedule.CommSchedule` use.
+    dests:
+        Optional destination of each packet.  When given, delivered packets
+        stop counting toward buffer occupancy (``link.queue``); without it
+        every packet's position counts.
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer`; when attached the probe
+        emits ``link.util`` and ``link.queue`` per step (plus
+        ``engine.step`` when the engine hands it live stats) and
+        ``link.total`` per channel at :meth:`finish`.
+
+    The probe is an ``on_step`` callable, so it plugs straight into the
+    engine; :func:`trace_schedule` drives it from a recorded schedule
+    instead.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        sources: Sequence[int] | None = None,
+        *,
+        dests: Sequence[int] | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.topology = topology
+        self.tracer = tracer
+        self._hypergraph = topology.channel_model is ChannelModel.HYPERGRAPH_NET
+        if self._hypergraph:
+            if not isinstance(topology, HypergraphTopology):
+                raise TypeError(
+                    f"hypergraph channel model requires a HypergraphTopology, "
+                    f"got {type(topology).__name__}"
+                )
+            self._capacity = topology.num_nets()
+        else:
+            self._capacity = 2 * topology.num_links()  # directed links
+        self._positions = (
+            list(sources) if sources is not None else list(topology.nodes())
+        )
+        self._dests = list(dests) if dests is not None else None
+        if self._dests is not None and len(self._dests) != len(self._positions):
+            raise ValueError(
+                f"{len(self._positions)} sources but {len(self._dests)} dests"
+            )
+        self._packets: dict[str, int] = {}
+        self._busy: dict[str, int] = {}
+        self.steps_observed = 0
+        self._finished = False
+
+    # ------------------------------------------------------------- channels
+    def channel_of(self, node: int, nxt: int) -> str:
+        """Label of the channel a ``node -> nxt`` move rides."""
+        if self._hypergraph:
+            net = self.topology.shared_net(node, nxt)
+            if net is None:
+                raise ValueError(f"no net carries the move {node} -> {nxt}")
+            return f"net:{net}"
+        return f"{node}->{nxt}"
+
+    # ------------------------------------------------------------- the hook
+    def __call__(
+        self,
+        step: int,
+        moves: Mapping[int, int],
+        stats: "RoutingStats | None" = None,
+    ) -> None:
+        """``on_step`` entry point: charge each move, advance positions."""
+        used_this_step: set[str] = set()
+        for pid, nxt in moves.items():
+            node = self._positions[pid]
+            channel = self.channel_of(node, nxt)
+            self._packets[channel] = self._packets.get(channel, 0) + 1
+            used_this_step.add(channel)
+            self._positions[pid] = nxt
+        for channel in used_this_step:
+            self._busy[channel] = self._busy.get(channel, 0) + 1
+        self.steps_observed += 1
+
+        if self.tracer is not None:
+            if stats is not None:
+                self.tracer.emit(
+                    "engine.step",
+                    step=step,
+                    moves=len(moves),
+                    delivered=stats.delivered,
+                    blocked=stats.blocked_moves,
+                    max_queue_depth=stats.max_queue_depth,
+                )
+            busy = len(used_this_step)
+            self.tracer.emit(
+                "link.util",
+                step=step,
+                busy=busy,
+                capacity=self._capacity,
+                utilization=busy / self._capacity if self._capacity else 0.0,
+            )
+            occupancy = self._occupancy()
+            self.tracer.emit(
+                "link.queue",
+                step=step,
+                max_depth=max(occupancy.values(), default=0),
+                mean_depth=(
+                    sum(occupancy.values()) / len(occupancy) if occupancy else 0.0
+                ),
+            )
+
+    def _occupancy(self) -> dict[int, int]:
+        """Undelivered packets per occupied node (all packets if no dests)."""
+        counts: dict[int, int] = {}
+        for pid, node in enumerate(self._positions):
+            if self._dests is not None and node == self._dests[pid]:
+                continue
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------- results
+    def usage(self) -> list[ChannelUsage]:
+        """Per-channel totals so far, most-travelled channel first."""
+        rows = [
+            ChannelUsage(
+                channel=channel,
+                packets=self._packets[channel],
+                busy_steps=self._busy.get(channel, 0),
+                steps=self.steps_observed,
+            )
+            for channel in self._packets
+        ]
+        rows.sort(key=lambda u: (-u.packets, -u.busy_steps, u.channel))
+        return rows
+
+    def top_congested(self, k: int = 5) -> list[ChannelUsage]:
+        """The ``k`` channels that carried the most packets."""
+        return self.usage()[:k]
+
+    @property
+    def total_packets_moved(self) -> int:
+        """Moves charged so far (equals the engine's ``total_hops``)."""
+        return sum(self._packets.values())
+
+    def finish(self) -> list[ChannelUsage]:
+        """Emit one ``link.total`` event per used channel and return the
+        totals.  Idempotent: the events are emitted only once."""
+        rows = self.usage()
+        if self.tracer is not None and not self._finished:
+            for row in rows:
+                self.tracer.emit(
+                    "link.total",
+                    channel=row.channel,
+                    packets=row.packets,
+                    busy_steps=row.busy_steps,
+                    steps=row.steps,
+                    utilization=round(row.utilization, 6),
+                )
+        self._finished = True
+        return rows
+
+
+def trace_schedule(
+    schedule: "CommSchedule",
+    *,
+    tracer: Tracer | None = None,
+    probe: LinkUtilizationProbe | None = None,
+) -> LinkUtilizationProbe:
+    """Replay a recorded schedule through a :class:`LinkUtilizationProbe`.
+
+    Gives planned schedules (FFT butterfly phases, Clos bit reversal) the
+    same per-channel attribution adaptively routed traffic gets from the
+    engine hook.  Returns the probe with :meth:`~LinkUtilizationProbe.finish`
+    already called, so ``trace_schedule(sched).top_congested()`` works
+    directly.
+    """
+    if probe is None:
+        probe = LinkUtilizationProbe(
+            schedule.topology,
+            sources=range(schedule.logical.n),
+            dests=schedule.logical.destinations.tolist(),
+            tracer=tracer,
+        )
+    for step, moves in enumerate(schedule.steps):
+        probe(step, moves, None)
+    probe.finish()
+    return probe

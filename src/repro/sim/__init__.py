@@ -21,7 +21,7 @@ from .routers import (
     router_for,
 )
 from .task import build_topology, build_workload, run_routing_task
-from .tracing import StepRecord, StepTracer, render_step_profile
+from .tracing import EngineStepProbe, StepRecord, StepTracer, render_step_profile
 from .schedule import CommSchedule, ScheduleError, schedule_from_phases
 from .stats import RoutingStats
 from .analysis import (
@@ -49,6 +49,7 @@ __all__ = [
     "ARBITRATION_POLICIES",
     "StepTracer",
     "StepRecord",
+    "EngineStepProbe",
     "render_step_profile",
     "route_permutation",
     "RoutedPermutation",

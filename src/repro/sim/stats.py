@@ -1,15 +1,31 @@
-"""Statistics collected while routing packets adaptively."""
+"""Statistics collected while routing packets adaptively.
+
+Single-run contract
+-------------------
+
+A :class:`RoutingStats` instance describes **exactly one** engine run: the
+engine allocates a fresh instance per :func:`~repro.sim.engine.route_permutation`
+/ :func:`~repro.sim.engine.route_demands` call and never writes into a
+caller-supplied one.  Code that builds its own instances (aggregators,
+tests, custom loops) must not feed one object through two runs — the
+high-water counters (``max_queue_depth`` in particular) and the cumulative
+lists only ratchet upward, so a reused object silently reports the maximum
+over *all* runs it ever saw rather than the last one.  Use
+:meth:`RoutingStats.fresh` to get a guaranteed-clean instance, or
+:meth:`RoutingStats.reset` to explicitly wipe one between runs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields
 
 __all__ = ["RoutingStats"]
 
 
 @dataclass
 class RoutingStats:
-    """Counters for one adaptive-routing run.
+    """Counters for one adaptive-routing run (see the single-run contract
+    in the module docstring: never carry an instance across runs).
 
     Attributes
     ----------
@@ -43,6 +59,30 @@ class RoutingStats:
     delivered: int = 0
     per_step_moves: list[int] = field(default_factory=list)
     per_step_seconds: list[float] = field(default_factory=list, compare=False)
+
+    @classmethod
+    def fresh(cls) -> "RoutingStats":
+        """A guaranteed-clean instance for one run.
+
+        The explicit factory exists because the dataclass constructor makes
+        reuse look harmless: ``stats`` passed through two runs keeps the
+        larger ``max_queue_depth`` of the two.  ``RoutingStats.fresh()``
+        documents at the call site that a new run gets new counters.
+        """
+        return cls()
+
+    def reset(self) -> None:
+        """Wipe every counter back to its initial value.
+
+        The guard against cross-run contamination: call this (or use
+        :meth:`fresh`) before reusing an instance for another run, otherwise
+        high-water marks like ``max_queue_depth`` carry over.
+        """
+        for spec in fields(self):
+            if spec.default_factory is not MISSING:
+                setattr(self, spec.name, spec.default_factory())
+            else:
+                setattr(self, spec.name, spec.default)
 
     @property
     def average_parallelism(self) -> float:

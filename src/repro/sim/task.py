@@ -129,7 +129,12 @@ def run_routing_task(params: dict) -> dict:
 
     Required ``params``: ``topology``, ``n``, ``workload``.  Optional:
     ``seed`` (default 99), ``arbitration`` (default ``"overtaking"``),
-    ``max_steps`` (default the engine's own bound).
+    ``max_steps`` (default the engine's own bound), and ``trace`` — a
+    directory path (or ``True`` for ``results/traces``) into which the run
+    writes a JSONL observability trace.  A traced run's payload gains
+    ``trace_ref`` (the trace path, which the campaign executor lifts onto
+    the :class:`~repro.campaign.metrics.TaskRecord`) and ``top_links``
+    (the five most-congested channels, per docs/OBSERVABILITY.md).
     """
     from .engine import route_demands
 
@@ -138,9 +143,28 @@ def run_routing_task(params: dict) -> dict:
     workload_name = params["workload"]
     seed = int(params.get("seed", 99))
     arbitration = params.get("arbitration", "overtaking")
+    trace = params.get("trace")
 
     topology = build_topology(topology_name, n)
     sources, dests = build_workload(workload_name, n, seed)
+
+    probe = tracer = None
+    if trace:
+        from pathlib import Path
+
+        from ..obs import JsonlTraceFile, LinkUtilizationProbe, Tracer
+
+        trace_dir = Path("results/traces" if trace is True else str(trace))
+        trace_path = trace_dir / (
+            f"{topology_name}-n{n}-{workload_name}-seed{seed}.jsonl"
+        )
+        tracer = Tracer(
+            f"{topology_name}/{workload_name}/n={n}/seed={seed}",
+            JsonlTraceFile(trace_path),
+        )
+        probe = LinkUtilizationProbe(
+            topology, sources, dests=dests, tracer=tracer
+        )
 
     t0 = time.perf_counter()
     routed = route_demands(
@@ -148,10 +172,19 @@ def run_routing_task(params: dict) -> dict:
         list(zip(sources, dests)),
         max_steps=params.get("max_steps"),
         arbitration=arbitration,
+        on_step=probe,
     )
     route_seconds = time.perf_counter() - t0
     stats = routed.stats
-    return {
+    extra = {}
+    if probe is not None and tracer is not None:
+        top = probe.finish()[:5]
+        tracer.close()
+        extra = {
+            "trace_ref": str(trace_path),
+            "top_links": [u.to_dict() for u in top],
+        }
+    return extra | {
         "topology": topology_name,
         "n": n,
         "workload": workload_name,

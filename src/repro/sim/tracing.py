@@ -5,20 +5,28 @@ data-transfer step of a schedule — the word-level model made visible.  Used
 by the permutation-routing example and handy when a schedule fails
 validation (the timeline shows exactly where two packets collide).
 
-Two consumers of the engine's instrumentation hooks live here as well:
-:class:`StepTracer` records every committed step through the ``on_step``
-callback while the run is still in progress, and
-:func:`render_step_profile` turns the per-step move counts and wall-clock
-timings accumulated in :class:`~repro.sim.stats.RoutingStats` into a
-congestion/throughput profile.
+The ``on_step`` instrumentation consumers that used to live here are now
+part of the unified observability layer (:mod:`repro.obs`); this module
+re-exports them unchanged so existing imports keep working:
+
+* :class:`StepTracer` is :class:`repro.obs.link_metrics.EngineStepProbe`
+  under its historical name (records every committed step live; optionally
+  mirrors each step into a :class:`repro.obs.Tracer`);
+* :class:`StepRecord` and :func:`render_step_profile` are the obs-layer
+  definitions, verbatim.
+
+For per-link/net utilization and JSONL traces, use
+:class:`repro.obs.LinkUtilizationProbe` — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from ..obs.link_metrics import (
+    EngineStepProbe,
+    StepRecord,
+    render_step_profile,
+)
 from .schedule import CommSchedule
-from .stats import RoutingStats
 
 __all__ = [
     "render_timeline",
@@ -26,20 +34,11 @@ __all__ = [
     "render_step_profile",
     "StepTracer",
     "StepRecord",
+    "EngineStepProbe",
 ]
 
 
-@dataclass(frozen=True)
-class StepRecord:
-    """One committed engine step, as observed through ``on_step``."""
-
-    step: int
-    moves: dict[int, int]
-    delivered: int
-    blocked_moves: int
-
-
-class StepTracer:
+class StepTracer(EngineStepProbe):
     """Collects :class:`StepRecord` events from the engine's ``on_step`` hook.
 
     Pass an instance as the ``on_step`` argument of
@@ -53,51 +52,12 @@ class StepTracer:
     Unlike the returned schedule, the tracer sees cumulative statistics at
     each step boundary (deliveries and blocked proposals so far), which is
     what a live progress display or a convergence watchdog needs.
+
+    This is the backward-compatible name for
+    :class:`repro.obs.link_metrics.EngineStepProbe`; construct it with a
+    ``tracer=`` to mirror the steps into the observability layer as
+    ``engine.step`` events.
     """
-
-    def __init__(self) -> None:
-        self.records: list[StepRecord] = []
-
-    def __call__(self, step: int, moves, stats: RoutingStats) -> None:
-        """The ``on_step`` entry point: snapshot the step."""
-        self.records.append(
-            StepRecord(
-                step=step,
-                moves=dict(moves),
-                delivered=stats.delivered,
-                blocked_moves=stats.blocked_moves,
-            )
-        )
-
-    def render(self) -> str:
-        """Tabulate the recorded steps: moves, cumulative deliveries/blocks."""
-        lines = ["step  moves  delivered  blocked(cum)"]
-        for rec in self.records:
-            lines.append(
-                f"{rec.step:4d}  {len(rec.moves):5d}  {rec.delivered:9d}"
-                f"  {rec.blocked_moves:12d}"
-            )
-        return "\n".join(lines)
-
-
-def render_step_profile(stats: RoutingStats) -> str:
-    """Per-step engine profile from :class:`RoutingStats`: packets moved and,
-    when the run was timed, wall-clock microseconds per step.  The '#' bar
-    scales with moves — congestion collapse shows up as the bar narrowing
-    long before the run ends."""
-    timed = len(stats.per_step_seconds) == len(stats.per_step_moves)
-    peak = max(stats.per_step_moves, default=0)
-    header = "step  moves" + ("      usec" if timed else "")
-    lines = [header]
-    for t, moved in enumerate(stats.per_step_moves):
-        bar = "#" * max(1, round(20 * moved / peak)) if peak else ""
-        cells = f"{t:4d}  {moved:5d}"
-        if timed:
-            cells += f"  {stats.per_step_seconds[t] * 1e6:8.1f}"
-        lines.append(cells + "  " + bar)
-    if timed and stats.per_step_seconds:
-        lines.append(f"total {stats.elapsed_seconds * 1e3:.3f} ms")
-    return "\n".join(lines)
 
 
 def render_timeline(schedule: CommSchedule, *, max_packets: int = 32) -> str:

@@ -1,0 +1,109 @@
+"""Observability through the campaign layer: trace refs on TaskRecords.
+
+A routing task run with ``trace`` set writes a JSONL trace, reports its
+path in the payload, the executor lifts it onto the record, the store
+round-trips it, and ``campaign_report`` rolls the per-task congestion
+summaries into the report JSON.
+"""
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    TaskSpec,
+    campaign_report,
+    run_campaign,
+)
+from repro.campaign.metrics import TaskRecord
+from repro.obs import read_trace
+from repro.sim.task import run_routing_task
+
+ROUTE = "repro.sim.task:run_routing_task"
+
+
+def traced_params(tmp_path, n=16):
+    return {
+        "topology": "hypermesh2d",
+        "n": n,
+        "workload": "bit-reversal",
+        "seed": 0,
+        "trace": str(tmp_path / "traces"),
+    }
+
+
+def record(**kwargs):
+    return TaskRecord(
+        task_hash="abc", label="t", entry=ROUTE, params={}, status="ok", **kwargs
+    )
+
+
+class TestTaskRecordField:
+    def test_round_trips_through_dict(self):
+        rec = record(trace_ref="results/traces/t.jsonl")
+        assert TaskRecord.from_dict(rec.to_dict()).trace_ref == rec.trace_ref
+
+    def test_defaults_to_none(self):
+        rec = record()
+        assert rec.trace_ref is None
+        assert TaskRecord.from_dict(rec.to_dict()).trace_ref is None
+
+
+class TestTracedRoutingTask:
+    def test_untraced_run_has_no_trace_keys(self):
+        payload = run_routing_task(
+            {"topology": "mesh2d", "n": 16, "workload": "bit-reversal"}
+        )
+        assert "trace_ref" not in payload and "top_links" not in payload
+
+    def test_traced_run_writes_a_valid_trace(self, tmp_path):
+        payload = run_routing_task(traced_params(tmp_path))
+        events = read_trace(payload["trace_ref"])  # strict schema check
+        assert events[0].type == "trace.meta"
+        assert {e.type for e in events} >= {"link.util", "link.queue", "link.total"}
+        assert payload["top_links"]
+        for row in payload["top_links"]:
+            assert set(row) == {
+                "channel", "packets", "busy_steps", "steps", "utilization",
+            }
+
+    def test_trace_totals_match_routing_metrics(self, tmp_path):
+        payload = run_routing_task(traced_params(tmp_path))
+        events = read_trace(payload["trace_ref"])
+        totals = [e for e in events if e.type == "link.total"]
+        assert sum(e.data["packets"] for e in totals) == payload["total_hops"]
+        steps = [e for e in events if e.type == "engine.step"]
+        assert len(steps) == payload["steps"]
+
+
+class TestExecutorAndReport:
+    def test_executor_lifts_trace_ref_and_report_rolls_up(self, tmp_path):
+        spec = CampaignSpec(
+            "traced",
+            (
+                TaskSpec(ROUTE, traced_params(tmp_path), label="traced-task"),
+                TaskSpec(
+                    ROUTE,
+                    {"topology": "mesh2d", "n": 16, "workload": "bit-reversal"},
+                    label="plain-task",
+                ),
+            ),
+        )
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(spec, store, workers=1)
+        assert result.ok
+
+        traced, plain = result.records
+        assert traced.trace_ref == traced.payload["trace_ref"]
+        assert plain.trace_ref is None
+
+        # the store round-trips the ref
+        reloaded = store.load_record(traced.task_hash)
+        assert reloaded.trace_ref == traced.trace_ref
+
+        report = campaign_report(spec, result.records)
+        rows = {r["task"]: r for r in report["rows"]}
+        assert rows["traced-task"]["trace_ref"] == traced.trace_ref
+        assert rows["plain-task"]["trace_ref"] is None
+
+        congestion = {c["task"]: c for c in report["congestion"]}
+        assert list(congestion) == ["traced-task"]
+        assert congestion["traced-task"]["top_links"]

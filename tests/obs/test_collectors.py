@@ -1,0 +1,162 @@
+"""Collector sinks: ring buffer, JSONL trace file + reader, histogram."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    Event,
+    Histogram,
+    JsonlTraceFile,
+    RingBuffer,
+    Tracer,
+    read_trace,
+)
+
+
+def tick_tracer(*collectors):
+    ticks = iter(range(10_000))
+    return Tracer("test", *collectors, clock=lambda: float(next(ticks)))
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        ring = RingBuffer()
+        tr = tick_tracer(ring)
+        for i in range(100):
+            tr.counter("x", i)
+        assert len(ring) == 101  # + trace.meta
+
+    def test_capacity_keeps_newest(self):
+        ring = RingBuffer(capacity=3)
+        tr = tick_tracer(ring)
+        for i in range(10):
+            tr.counter("x", i)
+        assert len(ring) == 3
+        assert [e.data["value"] for e in ring] == [7, 8, 9]
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0)
+
+    def test_clear(self):
+        ring = RingBuffer()
+        tick_tracer(ring)
+        ring.clear()
+        assert len(ring) == 0
+
+
+class TestJsonlTraceFile:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = tick_tracer(JsonlTraceFile(path))
+        tr.counter("x", 1)
+        tr.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["type"] == "trace.meta"
+        assert json.loads(lines[1]) == {
+            "type": "counter", "ts": 2.0, "name": "x", "value": 1,
+        }
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "t.jsonl"
+        tick_tracer(JsonlTraceFile(path)).close()
+        assert path.exists()
+
+    def test_readable_prefix_before_close(self, tmp_path):
+        # Append-only durability: a killed run leaves a parseable prefix.
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceFile(path)
+        tr = tick_tracer(sink)
+        tr.counter("x", 1)
+        sink._fh.flush()  # simulate the OS flushing before a crash
+        events = read_trace(path)
+        assert [e.type for e in events] == ["trace.meta", "counter"]
+        tr.close()
+
+
+class TestReadTrace:
+    def write(self, path, objects):
+        path.write_text("".join(json.dumps(o) + "\n" for o in objects))
+
+    def meta(self, schema=SCHEMA_VERSION):
+        return {"type": "trace.meta", "ts": 0.0, "schema": schema,
+                "name": "t", "clock": "c"}
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = tick_tracer(JsonlTraceFile(path))
+        with tr.span("s"):
+            tr.counter("x", 1)
+        tr.close()
+        events = read_trace(path)
+        assert [e.type for e in events] == [
+            "trace.meta", "span.begin", "counter", "span.end",
+        ]
+        assert all(isinstance(e, Event) for e in events)
+
+    def test_rejects_missing_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.write(path, [{"type": "counter", "ts": 0.0, "name": "x", "value": 1}])
+        with pytest.raises(ValueError, match="trace.meta"):
+            read_trace(path)
+
+    def test_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.write(path, [self.meta(schema=SCHEMA_VERSION + 1)])
+        with pytest.raises(ValueError, match="newer than supported"):
+            read_trace(path)
+
+    def test_rejects_malformed_line_with_location(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(self.meta()) + "\nnot json\n")
+        with pytest.raises(ValueError, match=":2: malformed"):
+            read_trace(path)
+
+    def test_strict_rejects_off_contract_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.write(path, [self.meta(), {"type": "counter", "ts": 1.0, "name": "x"}])
+        with pytest.raises(ValueError, match="missing"):
+            read_trace(path)
+        events = read_trace(path, strict=False)
+        assert len(events) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="trace.meta"):
+            read_trace(path)
+
+
+class TestHistogram:
+    def test_buckets_are_powers_of_two(self):
+        hist = Histogram()
+        tr = tick_tracer(hist)
+        for v in (0, 1, 2, 3, 4, 5, 6, 7, 8):
+            tr.counter("depth", v)
+        summary = hist.summary()["depth"]
+        assert summary["count"] == 9
+        assert summary["min"] == 0 and summary["max"] == 8
+        assert summary["buckets"] == {"0": 1, "1": 1, "2": 2, "4": 4, "8": 1}
+
+    def test_negative_values_bucket(self):
+        hist = Histogram()
+        tr = tick_tracer(hist)
+        tr.counter("delta", -3)
+        assert hist.summary()["delta"]["buckets"] == {"<0": 1}
+
+    def test_ignores_non_counter_events(self):
+        hist = Histogram()
+        tr = tick_tracer(hist)
+        with tr.span("s"):
+            pass
+        assert hist.summary() == {}
+
+    def test_mean(self):
+        hist = Histogram()
+        tr = tick_tracer(hist)
+        for v in (2, 4):
+            tr.counter("x", v)
+        assert hist.summary()["x"]["mean"] == 3.0

@@ -1,0 +1,179 @@
+"""The event registry, strict validation, and the Tracer front end."""
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    Event,
+    EventType,
+    RingBuffer,
+    Tracer,
+    validate_event,
+)
+
+
+def tick_tracer(*collectors, **kwargs):
+    """A tracer whose clock advances one second per reading."""
+    ticks = iter(range(10_000))
+    return Tracer("test", *collectors, clock=lambda: float(next(ticks)), **kwargs)
+
+
+class TestRegistry:
+    def test_documented_event_types_are_registered(self):
+        assert set(EVENT_TYPES) == {
+            "trace.meta",
+            "span.begin",
+            "span.end",
+            "counter",
+            "engine.step",
+            "link.util",
+            "link.queue",
+            "link.total",
+        }
+
+    def test_every_type_declares_valid_stability(self):
+        for spec in EVENT_TYPES.values():
+            assert spec.stability in ("stable", "experimental")
+            assert spec.doc
+
+    def test_field_specs_carry_type_and_description(self):
+        for spec in EVENT_TYPES.values():
+            for fname in spec.fields:
+                assert spec.field_type(fname) in ("int", "float", "str", "int|null")
+
+    def test_unknown_field_type_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            EventType("x", "doc", {"f": "complex — nope"})
+
+    def test_unknown_stability_rejected(self):
+        with pytest.raises(ValueError, match="stability"):
+            EventType("x", "doc", stability="frozen")
+
+
+class TestValidateEvent:
+    def test_accepts_exact_field_set(self):
+        ev = Event("counter", 0.0, {"name": "x", "value": 1.5})
+        assert validate_event(ev) is ev
+
+    def test_rejects_unregistered_type(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            validate_event(Event("no.such", 0.0, {}))
+
+    def test_rejects_missing_field(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_event(Event("counter", 0.0, {"name": "x"}))
+
+    def test_rejects_extra_field(self):
+        with pytest.raises(ValueError, match="unexpected"):
+            validate_event(
+                Event("counter", 0.0, {"name": "x", "value": 1, "units": "s"})
+            )
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="expects str"):
+            validate_event(Event("counter", 0.0, {"name": 7, "value": 1}))
+
+    def test_bool_is_not_an_int(self):
+        # JSON round-trips would otherwise widen flags into counters.
+        ev = Event(
+            "engine.step",
+            0.0,
+            {
+                "step": True,
+                "moves": 1,
+                "delivered": 0,
+                "blocked": 0,
+                "max_queue_depth": 0,
+            },
+        )
+        with pytest.raises(ValueError, match="expects int"):
+            validate_event(ev)
+
+    def test_int_accepted_where_float_expected(self):
+        validate_event(Event("counter", 0.0, {"name": "x", "value": 3}))
+
+    def test_null_parent_accepted(self):
+        validate_event(
+            Event("span.begin", 0.0, {"span": 0, "name": "s", "parent": None})
+        )
+
+    def test_wire_round_trip(self):
+        ev = Event("counter", 1.25, {"name": "x", "value": 2})
+        assert Event.from_dict(ev.to_dict()) == ev
+
+
+class TestTracer:
+    def test_emits_trace_meta_on_construction(self):
+        ring = RingBuffer()
+        tick_tracer(ring)
+        (meta,) = ring.events
+        assert meta.type == "trace.meta"
+        assert meta.data == {"schema": SCHEMA_VERSION, "name": "test",
+                             "clock": "<lambda>"}
+
+    def test_timestamps_are_monotonic_and_relative(self):
+        ring = RingBuffer()
+        tr = tick_tracer(ring)
+        tr.counter("a", 1)
+        tr.counter("a", 2)
+        ts = [e.ts for e in ring]
+        assert ts == sorted(ts)
+        assert ts[0] >= 0.0
+
+    def test_strict_mode_rejects_off_contract_emission(self):
+        tr = tick_tracer(RingBuffer())
+        with pytest.raises(ValueError, match="unregistered"):
+            tr.emit("made.up", x=1)
+        with pytest.raises(ValueError, match="missing"):
+            tr.emit("counter", name="x")
+
+    def test_non_strict_mode_lets_unregistered_types_through(self):
+        ring = RingBuffer()
+        tr = tick_tracer(ring, strict=False)
+        tr.emit("made.up", x=1)
+        assert ring.events[-1].type == "made.up"
+
+    def test_spans_nest_and_report_parent(self):
+        ring = RingBuffer()
+        tr = tick_tracer(ring)
+        with tr.span("outer") as outer_id:
+            with tr.span("inner") as inner_id:
+                pass
+        begins = {e.data["name"]: e.data for e in ring if e.type == "span.begin"}
+        assert begins["outer"]["parent"] is None
+        assert begins["inner"]["parent"] == outer_id
+        assert inner_id != outer_id
+
+    def test_span_end_carries_duration(self):
+        ring = RingBuffer()
+        tr = tick_tracer(ring)
+        with tr.span("work"):
+            tr.counter("x", 1)
+        end = ring.events[-1]
+        assert end.type == "span.end"
+        assert end.data["name"] == "work"
+        assert end.data["dur"] > 0
+
+    def test_span_end_emitted_on_exception(self):
+        ring = RingBuffer()
+        tr = tick_tracer(ring)
+        with pytest.raises(RuntimeError):
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        assert ring.events[-1].type == "span.end"
+
+    def test_fan_out_to_multiple_collectors(self):
+        a, b = RingBuffer(), RingBuffer()
+        tr = tick_tracer(a, b)
+        tr.counter("x", 1)
+        assert [e.type for e in a] == [e.type for e in b]
+
+    def test_context_manager_closes_collectors(self, tmp_path):
+        from repro.obs import JsonlTraceFile, read_trace
+
+        path = tmp_path / "t.jsonl"
+        with tick_tracer(JsonlTraceFile(path)) as tr:
+            tr.counter("x", 1)
+        events = read_trace(path)
+        assert [e.type for e in events] == ["trace.meta", "counter"]

@@ -1,0 +1,83 @@
+"""Profiling wrappers: timed(), profile_call(), and the benchmark registry."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    PROFILE_BENCHMARKS,
+    list_profile_benchmarks,
+    profile_call,
+    run_profile,
+    timed,
+)
+
+
+class TestTimed:
+    def test_returns_result_and_nonnegative_seconds(self):
+        result, seconds = timed(sorted, [3, 1, 2])
+        assert result == [1, 2, 3]
+        assert seconds >= 0.0
+
+    def test_passes_kwargs(self):
+        result, _ = timed(sorted, [3, 1, 2], reverse=True)
+        assert result == [3, 2, 1]
+
+
+class TestProfileCall:
+    def busy(self, n=2_000):
+        return sum(i * i for i in range(n))
+
+    def test_report_shape_is_json_serializable(self):
+        report = profile_call(self.busy, top=5)
+        json.dumps(report)  # must not raise
+        assert set(report) == {"total_seconds", "sort", "top"}
+        assert report["sort"] == "cumulative"
+        assert 0 < len(report["top"]) <= 5
+        for row in report["top"]:
+            assert set(row) == {"function", "ncalls", "tottime", "cumtime"}
+            assert "(" in row["function"]
+
+    def test_top_limits_rows(self):
+        few = profile_call(self.busy, top=1)
+        assert len(few["top"]) == 1
+
+    def test_sort_key_respected(self):
+        report = profile_call(self.busy, top=10, sort="tottime")
+        tottimes = [row["tottime"] for row in report["top"]]
+        assert tottimes == sorted(tottimes, reverse=True)
+
+    def test_exception_still_disables_profiler(self):
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            profile_call(boom)
+        # a subsequent profile works (the profiler was cleanly disabled)
+        assert profile_call(self.busy)["top"]
+
+
+class TestRegistry:
+    def test_registered_benchmarks(self):
+        assert set(PROFILE_BENCHMARKS) == {
+            "engine-mesh", "engine-hypercube", "engine-hypermesh",
+            "fft", "sort", "tables",
+        }
+
+    def test_list_matches_registry(self):
+        listed = dict(list_profile_benchmarks())
+        assert set(listed) == set(PROFILE_BENCHMARKS)
+        assert all(listed.values())
+
+    def test_unknown_benchmark_raises_keyerror_naming_known(self):
+        with pytest.raises(KeyError, match="engine-mesh"):
+            run_profile("no-such-benchmark")
+
+    def test_run_profile_fft(self):
+        # The lightest real benchmark: a validated 64-point hypermesh FFT.
+        report = run_profile("fft", top=5)
+        assert report["benchmark"] == "fft"
+        assert report["description"]
+        assert report["total_seconds"] > 0
+        assert len(report["top"]) == 5
+        json.dumps(report)

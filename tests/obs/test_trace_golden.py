@@ -1,0 +1,71 @@
+"""Golden-file test: the JSONL trace schema is a stable on-disk format.
+
+The golden trace under ``golden/`` was produced by replaying the
+constructive hypermesh bit-reversal schedule (16 PEs) under a
+deterministic one-tick-per-reading clock.  Regenerating a byte-identical
+file today proves the whole pipeline — schedule construction, probe
+attribution, event field sets, JSON serialization order — is stable.
+Regenerate (after an *intentional* schema change, together with a
+``SCHEMA_VERSION`` review and a ``tools/check_docs.py --write`` run)::
+
+    PYTHONPATH=src python tests/obs/test_trace_golden.py
+"""
+
+import itertools
+import json
+from pathlib import Path
+
+from repro.obs import SCHEMA_VERSION, JsonlTraceFile, Tracer, read_trace, trace_schedule
+
+GOLDEN = Path(__file__).parent / "golden" / "bitrev_hypermesh16.jsonl"
+
+
+def write_golden_trace(path) -> None:
+    from repro.core import bit_reversal_schedule
+    from repro.networks import Hypermesh2D
+
+    ticks = itertools.count()
+    with Tracer(
+        "golden/bit-reversal/hypermesh2d/n=16",
+        JsonlTraceFile(path),
+        clock=lambda: float(next(ticks)),
+    ) as tracer:
+        with tracer.span("bit-reversal"):
+            trace_schedule(bit_reversal_schedule(Hypermesh2D(4)), tracer=tracer)
+
+
+class TestGoldenTrace:
+    def test_regeneration_is_byte_identical(self, tmp_path):
+        fresh = tmp_path / "fresh.jsonl"
+        write_golden_trace(fresh)
+        assert fresh.read_text() == GOLDEN.read_text(), (
+            "trace output drifted from the golden file; if the change is "
+            "intentional, regenerate via the module docstring instructions"
+        )
+
+    def test_golden_parses_strictly(self):
+        events = read_trace(GOLDEN)  # strict: every event validated
+        assert events[0].type == "trace.meta"
+        assert events[0].data["schema"] == SCHEMA_VERSION
+
+    def test_golden_round_trips_through_the_wire_form(self):
+        events = read_trace(GOLDEN)
+        lines = [json.dumps(e.to_dict()) for e in events]
+        assert "\n".join(lines) + "\n" == GOLDEN.read_text()
+
+    def test_golden_shape(self):
+        events = read_trace(GOLDEN)
+        types = [e.type for e in events]
+        assert types[0] == "trace.meta"
+        assert types[1] == "span.begin"
+        assert types[-1] == "span.end"
+        # 3 Clos steps -> 3 (link.util, link.queue) pairs; every net totalled
+        assert types.count("link.util") == types.count("link.queue") == 3
+        assert types.count("link.total") == 8
+        ts = [e.ts for e in events]
+        assert ts == sorted(ts)
+
+
+if __name__ == "__main__":
+    write_golden_trace(GOLDEN)
+    print(f"regenerated {GOLDEN}")

@@ -1,0 +1,60 @@
+"""The RoutingStats single-run contract: fresh()/reset() and why they exist."""
+
+from repro.networks import Mesh2D
+from repro.routing import bit_reversal
+from repro.sim import RoutingStats, route_permutation
+
+
+class TestFreshAndReset:
+    def test_fresh_is_a_clean_instance(self):
+        a, b = RoutingStats.fresh(), RoutingStats.fresh()
+        assert a == RoutingStats()
+        assert a is not b
+
+    def test_reset_restores_every_field(self):
+        stats = RoutingStats(
+            steps=7,
+            total_hops=40,
+            max_queue_depth=3,
+            blocked_moves=5,
+            delivered=16,
+            per_step_moves=[4, 4, 8],
+            per_step_seconds=[0.1, 0.2, 0.3],
+        )
+        stats.reset()
+        assert stats == RoutingStats()
+        assert stats.per_step_seconds == []  # compare=False field too
+        assert stats.elapsed_seconds == 0.0
+        assert stats.average_parallelism == 0.0
+
+    def test_reset_replaces_list_objects(self):
+        # reset() must not alias the class defaults: mutating a reset
+        # instance must not leak into future fresh instances.
+        stats = RoutingStats()
+        stats.reset()
+        stats.per_step_moves.append(99)
+        assert RoutingStats().per_step_moves == []
+        assert RoutingStats.fresh().per_step_moves == []
+
+    def test_documents_the_carry_over_hazard(self):
+        # The bug the contract guards against: high-water counters ratchet.
+        stats = RoutingStats()
+        stats.max_queue_depth = max(stats.max_queue_depth, 5)  # run 1
+        carried = max(stats.max_queue_depth, 2)  # run 2 peak is only 2...
+        assert carried == 5  # ...but a reused instance reports run 1's peak
+        stats.reset()
+        assert max(stats.max_queue_depth, 2) == 2  # reset() restores truth
+
+
+class TestEngineAllocatesFreshStats:
+    def test_two_runs_do_not_contaminate(self):
+        # A congested run followed by a trivial one: the engine's per-run
+        # stats must not inherit the first run's high-water marks.
+        congested = route_permutation(Mesh2D(4), bit_reversal(16)).stats
+        trivial = route_permutation(
+            Mesh2D(4), bit_reversal(16).compose(bit_reversal(16).inverse())
+        ).stats
+        assert congested.total_hops > 0
+        assert trivial.total_hops == 0
+        assert trivial.max_queue_depth <= 1
+        assert trivial.steps <= 1

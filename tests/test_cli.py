@@ -95,6 +95,63 @@ class TestCommands:
         assert parallel == serial
 
 
+class TestTraceCommand:
+    def test_single_topology_writes_named_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = main(["trace", "hypermesh2d", "--n", "16", "--out", str(out)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.obs import read_trace
+
+        events = read_trace(out)  # strict: schema + field sets enforced
+        assert events[0].type == "trace.meta"
+        assert {e.type for e in events} >= {"link.util", "link.queue", "link.total"}
+
+    def test_all_writes_one_trace_per_topology(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        rc = main(["trace", "all", "--n", "16", "--out", str(out)])
+        assert rc == 0
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert written == [
+            "run-hypercube.jsonl", "run-hypermesh2d.jsonl", "run-mesh2d.jsonl",
+        ]
+        assert capsys.readouterr().out.count("wrote") == 3
+
+    def test_summary_prints_top_channels(self, tmp_path, capsys):
+        rc = main(["trace", "hypermesh2d", "--n", "16",
+                   "--out", str(tmp_path / "t.jsonl"), "--summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "channel" in out and "net:" in out
+
+    def test_unknown_target_exits_2(self, tmp_path, capsys):
+        rc = main(["trace", "moebius", "--out", str(tmp_path / "t.jsonl")])
+        assert rc == 2
+        assert "unknown trace target" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_list(self, capsys):
+        assert main(["profile", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine-hypermesh" in out and "fft" in out
+
+    def test_profile_writes_json_report(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        rc = main(["profile", "fft", "--top", "3", "--output", str(out)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "fft"
+        assert len(report["top"]) == 3
+
+    def test_unknown_benchmark_exits_2(self, capsys):
+        assert main(["profile", "no-such"]) == 2
+        assert "unknown profile benchmark" in capsys.readouterr().err
+
+
 class TestCampaignCommands:
     def test_list(self, capsys):
         assert main(["campaign", "list"]) == 0

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Documentation checks: internal links resolve, OBSERVABILITY.md matches code.
+
+Two checks, both run by the CI docs job and by
+``tests/obs/test_docs_contract.py``:
+
+1. **Link check** — every relative markdown link in README.md, EXPERIMENTS.md
+   and docs/*.md must point at a file that exists (anchors are stripped;
+   external ``http(s)://`` links are ignored).
+
+2. **Contract drift check** — the "Event types" section of
+   ``docs/OBSERVABILITY.md`` is generated from the registry in
+   ``repro.obs.events`` (:data:`EVENT_TYPES`).  The block between the
+   ``BEGIN/END GENERATED`` markers must byte-match what the registry
+   renders today; run ``python tools/check_docs.py --write`` after changing
+   the registry to regenerate it.
+
+Exit code 0 when clean, 1 with a report of every failure otherwise.
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [--write]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+BEGIN = "<!-- BEGIN GENERATED: event types (tools/check_docs.py --write) -->"
+END = "<!-- END GENERATED -->"
+
+#: Files whose relative links are checked.
+LINKED_DOCS = ("README.md", "EXPERIMENTS.md", "ROADMAP.md", "DESIGN.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links() -> list[str]:
+    """Relative markdown links that do not resolve, as error strings."""
+    errors = []
+    files = [REPO / name for name in LINKED_DOCS]
+    files += sorted((REPO / "docs").glob("*.md"))
+    for doc in files:
+        if not doc.exists():
+            continue
+        for match in _LINK.finditer(doc.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (doc.parent / path).exists():
+                errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def render_event_types() -> str:
+    """The canonical "Event types" block, straight from the registry."""
+    from repro.obs.events import EVENT_TYPES, SCHEMA_VERSION
+
+    lines = [
+        BEGIN,
+        "",
+        f"Schema version: **{SCHEMA_VERSION}** (the `schema` field of every "
+        "trace's opening `trace.meta` event).",
+        "",
+    ]
+    for name in sorted(EVENT_TYPES):
+        spec = EVENT_TYPES[name]
+        lines.append(f"### `{name}` — {spec.stability}")
+        lines.append("")
+        lines.append(spec.doc)
+        lines.append("")
+        lines.append("| field | type | meaning |")
+        lines.append("|---|---|---|")
+        for fname, fspec in spec.fields.items():
+            ftype, _, fdoc = fspec.partition(" — ")
+            lines.append(f"| `{fname}` | `{ftype}` | {fdoc} |")
+        lines.append("")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def check_contract(write: bool = False) -> list[str]:
+    """Compare (or, with ``write``, rewrite) the generated contract block."""
+    if not OBSERVABILITY.exists():
+        return [f"{OBSERVABILITY.relative_to(REPO)} is missing"]
+    text = OBSERVABILITY.read_text()
+    if BEGIN not in text or END not in text:
+        return [
+            f"{OBSERVABILITY.relative_to(REPO)}: generated-block markers "
+            f"missing ({BEGIN!r} ... {END!r})"
+        ]
+    head, rest = text.split(BEGIN, 1)
+    _, tail = rest.split(END, 1)
+    current = BEGIN + rest.split(END, 1)[0] + END
+    expected = render_event_types()
+    if current == expected:
+        return []
+    if write:
+        OBSERVABILITY.write_text(head + expected + tail)
+        print(f"rewrote the generated block in {OBSERVABILITY.relative_to(REPO)}")
+        return []
+    return [
+        f"{OBSERVABILITY.relative_to(REPO)}: event-type section has drifted "
+        "from repro.obs.events.EVENT_TYPES — run "
+        "'PYTHONPATH=src python tools/check_docs.py --write' and commit"
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the OBSERVABILITY.md event-type block in place",
+    )
+    args = parser.parse_args(argv)
+
+    errors = check_links() + check_contract(write=args.write)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        print("docs ok: links resolve, observability contract matches code")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
