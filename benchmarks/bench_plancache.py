@@ -1,0 +1,219 @@
+"""Plan-once/replay-many: cold planning vs warm cache replay.
+
+Measures the two halves of the plan/replay split introduced with
+``repro.sim.plancache``:
+
+* **cold vs warm routing** — the first ``route_permutation(..., cache=...)``
+  call pays the full word-level arbitration cost and records the plan; every
+  later call replays the recorded schedule.  The replay must be bit-identical
+  to a live run (asserted on every row) and, at N=4096, at least 5x faster
+  than cold planning on the best row;
+* **vectorized vs dict-walk validation** — ``CommSchedule.validate()`` runs
+  as NumPy structure-of-arrays passes; ``validate_dictwalk()`` is the
+  per-move reference.  Same verdicts, >= 5x faster at N=4096 on the best
+  row.
+
+Emits ``BENCH_plancache.json`` at the repo root.  Importable
+(``import bench_plancache``) and runnable standalone::
+
+    python benchmarks/bench_plancache.py                 # full sizes
+    python benchmarks/bench_plancache.py --sizes 256     # CI smoke
+
+The standalone entry point always asserts warm-replay < cold-plan
+wall-clock on every row (the CI bench-smoke gate); the >= 5x bars are
+enforced only when N=4096 is among the sizes.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Same seeding conventions as bench_library_perf.py / repro.sim.task, so
+#: every artifact routes identical packets for a given (workload, n).
+WORKLOAD_SEED = 99
+
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.routing import Permutation, bit_reversal
+from repro.sim import PlanCache, route_permutation
+
+PLANCACHE_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_plancache.json"
+PLANCACHE_SIZES = (256, 1024, 4096)
+
+
+def _topologies(n: int):
+    side = math.isqrt(n)
+    return (
+        ("mesh2d", Mesh2D(side)),
+        ("torus2d", Torus2D(side)),
+        ("hypercube", Hypercube(n.bit_length() - 1)),
+        ("hypermesh2d", Hypermesh2D(side)),
+    )
+
+
+def _workloads(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return (
+        ("bit-reversal", bit_reversal(n)),
+        ("dense-permutation", Permutation.random(n, rng)),
+    )
+
+
+def _best_of(repeats, fn, *args, **kwargs):
+    best, out = math.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def run_plancache_benchmark(
+    sizes=PLANCACHE_SIZES, out_path: Path = PLANCACHE_ARTIFACT
+) -> dict:
+    """Time cold planning, warm replay, and both validators; write the
+    artifact and return it.  Raises ``AssertionError`` when a warm replay
+    fails to beat its cold plan or disagrees with live routing."""
+    rows = []
+    for n in sizes:
+        for topo_name, topo in _topologies(n):
+            for workload, perm in _workloads(n, WORKLOAD_SEED + n):
+                repeats = 3 if n <= 1024 else 2
+                cache = PlanCache()
+                cold_s, cold = _best_of(
+                    1, route_permutation, topo, perm, cache=cache
+                )
+                warm_s, warm = _best_of(
+                    repeats, route_permutation, topo, perm, cache=cache
+                )
+                live = route_permutation(topo, perm)
+                # The equivalence contract, re-checked at benchmark scale.
+                assert warm.schedule.steps == live.schedule.steps
+                assert warm.stats == live.stats == cold.stats
+                assert cache.hits == repeats and cache.misses == 1
+                assert warm_s < cold_s, (
+                    f"warm replay not faster than cold plan: "
+                    f"{topo_name}/n={n}/{workload} "
+                    f"({warm_s:.6f}s vs {cold_s:.6f}s)"
+                )
+
+                sched = live.schedule
+                vec_s, _ = _best_of(repeats, sched.validate)
+                walk_s, _ = _best_of(repeats, sched.validate_dictwalk)
+
+                rows.append(
+                    {
+                        "topology": topo_name,
+                        "n": n,
+                        "workload": workload,
+                        "steps": live.stats.steps,
+                        "total_hops": live.stats.total_hops,
+                        "cold_plan_seconds": round(cold_s, 6),
+                        "warm_replay_seconds": round(warm_s, 6),
+                        "replay_speedup": round(cold_s / warm_s, 2),
+                        "validate_dictwalk_seconds": round(walk_s, 6),
+                        "validate_vectorized_seconds": round(vec_s, 6),
+                        "validate_speedup": round(walk_s / vec_s, 2),
+                    }
+                )
+
+    artifact = {
+        "benchmark": "bench_plancache.py::run_plancache_benchmark",
+        "engine": "repro.sim.plancache (content-addressed schedule cache) + "
+        "vectorized CommSchedule.validate",
+        "baseline": "cold _route_core planning / validate_dictwalk reference",
+        "equivalence": "warm replays bit-identical to live routing on every "
+        "row (schedules and RoutingStats)",
+        "sizes": list(sizes),
+        "rows": rows,
+    }
+    at_4096 = [r for r in rows if r["n"] == 4096]
+    if at_4096:
+        best_replay = max(at_4096, key=lambda r: r["replay_speedup"])
+        best_validate = max(at_4096, key=lambda r: r["validate_speedup"])
+        artifact["best_replay_speedup_at_4096"] = {
+            "topology": best_replay["topology"],
+            "workload": best_replay["workload"],
+            "speedup": best_replay["replay_speedup"],
+        }
+        artifact["best_validate_speedup_at_4096"] = {
+            "topology": best_validate["topology"],
+            "workload": best_validate["workload"],
+            "speedup": best_validate["validate_speedup"],
+        }
+        assert best_replay["replay_speedup"] >= 5.0, (
+            f"no >=5x warm-replay speedup at N=4096: best {best_replay}"
+        )
+        assert best_validate["validate_speedup"] >= 5.0, (
+            f"no >=5x vectorized-validate speedup at N=4096: "
+            f"best {best_validate}"
+        )
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return artifact
+
+
+def test_perf_plancache():
+    """Full-size run: regenerates BENCH_plancache.json and enforces the
+    acceptance bars (warm < cold everywhere; >= 5x replay and >= 5x
+    vectorized validation at N=4096)."""
+    artifact = run_plancache_benchmark()
+
+    from conftest import emit
+    from repro.viz import format_table
+
+    emit(
+        "Plan cache: cold planning vs warm replay; validate dict-walk vs vectorized",
+        format_table(
+            ["topology", "N", "workload", "cold ms", "warm ms", "replay x",
+             "walk ms", "vec ms", "validate x"],
+            [
+                [
+                    r["topology"],
+                    r["n"],
+                    r["workload"],
+                    f"{r['cold_plan_seconds'] * 1e3:.2f}",
+                    f"{r['warm_replay_seconds'] * 1e3:.2f}",
+                    f"{r['replay_speedup']:.1f}x",
+                    f"{r['validate_dictwalk_seconds'] * 1e3:.2f}",
+                    f"{r['validate_vectorized_seconds'] * 1e3:.2f}",
+                    f"{r['validate_speedup']:.1f}x",
+                ]
+                for r in artifact["rows"]
+            ],
+        ),
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="record BENCH_plancache.json (cold plan vs warm replay)"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(PLANCACHE_SIZES),
+        help="node counts to sweep (use a single small N for CI smoke)",
+    )
+    parser.add_argument("--output", type=Path, default=PLANCACHE_ARTIFACT)
+    args = parser.parse_args(argv)
+
+    artifact = run_plancache_benchmark(
+        sizes=tuple(args.sizes), out_path=args.output
+    )
+    print(f"wrote {args.output}")
+    for r in artifact["rows"]:
+        print(
+            f"  {r['topology']:12s} n={r['n']:<6d} {r['workload']:18s} "
+            f"replay {r['replay_speedup']:6.1f}x   "
+            f"validate {r['validate_speedup']:6.1f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,33 @@ def _engine_sweep_small() -> CampaignSpec:
     )
 
 
+def _engine_sweep_cached() -> CampaignSpec:
+    """The engine sweep with the routing plan cache's on-disk tier enabled.
+
+    Identical grid to ``engine-sweep``, but every task passes
+    ``plan_cache="disk"`` so workers record each routed schedule under
+    ``results/plans/`` and replay it on reruns (see
+    :mod:`repro.sim.plancache`).  The cache key covers topology, demands,
+    router, arbitration, and engine schema, so replays are bit-identical to
+    live routing; ``plan_cache`` is part of each task's content hash, so
+    cached and uncached sweeps never collide in the campaign store.
+    """
+    return CampaignSpec.from_grid(
+        "engine-sweep-cached",
+        "repro.sim.task:run_routing_task",
+        {
+            "topology": list(ENGINE_SWEEP_TOPOLOGIES),
+            "n": list(ENGINE_SWEEP_SIZES),
+            "workload": list(ENGINE_SWEEP_WORKLOADS),
+        },
+        base={"seed": 99, "arbitration": "overtaking", "plan_cache": "disk"},
+        meta={
+            "description": "engine sweep with the on-disk routing plan "
+            "cache (warm reruns replay recorded schedules)",
+        },
+    )
+
+
 def _experiments() -> CampaignSpec:
     from ..experiments import EXPERIMENTS
 
@@ -72,6 +99,7 @@ def _experiments() -> CampaignSpec:
 BUILTIN_CAMPAIGNS = {
     "engine-sweep": _engine_sweep,
     "engine-sweep-small": _engine_sweep_small,
+    "engine-sweep-cached": _engine_sweep_cached,
     "experiments": _experiments,
 }
 

@@ -489,6 +489,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             list(zip(sources, dests)),
             arbitration=args.arbitration,
             on_step=probe,
+            timing=True,  # tracing opts into host timing explicitly
         )
         top = probe.finish()
         tracer.close()
@@ -502,6 +503,76 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 for u in top[:5]
             ]
             print(format_table(["channel", "packets", "busy steps", "util"], rows))
+    return 0
+
+
+def _cmd_plans_list(args: argparse.Namespace) -> int:
+    """Tabulate the on-disk routing-plan tier, newest blob first."""
+    import json
+
+    from .sim.plancache import PlanCache
+
+    cache = PlanCache(args.root)
+    blobs = cache.disk_blobs()
+    if not blobs:
+        print(f"no plans under {cache.root}")
+        return 0
+    rows = []
+    for path in sorted(blobs, key=lambda p: p.stat().st_mtime, reverse=True):
+        size = path.stat().st_size
+        try:
+            key = json.loads(path.read_text()).get("key", {})
+            label = (
+                f"{key.get('topology', '?')}  {key.get('router', '?')}/"
+                f"{key.get('arbitration', '?')}"
+            )
+        except (json.JSONDecodeError, OSError):
+            label = "(corrupt blob)"
+        rows.append([path.stem[:16], f"{size}", label])
+    print(format_table(["digest", "bytes", "key"], rows))
+    print(f"{len(blobs)} plans, {cache.disk_bytes()} bytes under {cache.root}")
+    return 0
+
+
+def _cmd_plans_clear(args: argparse.Namespace) -> int:
+    """Delete every recorded plan blob in the on-disk tier."""
+    from .sim.plancache import PlanCache
+
+    cache = PlanCache(args.root)
+    removed = cache.clear()
+    print(f"removed {removed} plans from {cache.root}")
+    return 0
+
+
+def _cmd_plans_stats(args: argparse.Namespace) -> int:
+    """Disk-tier inventory plus this process's cache-traffic counters.
+
+    With ``--trace-out`` the counters are also exported as ``counter``
+    events (``plancache.hits``, ``plancache.misses``, ...) in the
+    docs/OBSERVABILITY.md JSONL format, so dashboards ingest hit rates the
+    same way they ingest engine events.
+    """
+    from .sim.plancache import PlanCache, process_default
+
+    cache = PlanCache(args.root)
+    # The process default (when installed) holds this process's live
+    # traffic; a fresh CLI process reports zeros, which is honest.
+    live = process_default() or cache
+    counters = live.counters()
+    print(f"{'root:':13s}{cache.root}")
+    print(f"{'plans:':13s}{len(cache.disk_blobs())}")
+    print(f"{'bytes:':13s}{cache.disk_bytes()}")
+    for name, value in counters.items():
+        print(f"{name + ':':13s}{value}")
+    lookups = counters["hits"] + counters["misses"]
+    rate = counters["hits"] / lookups if lookups else 0.0
+    print(f"{'hit-rate:':13s}{rate:.3f}")
+    if args.trace_out:
+        from .obs import JsonlTraceFile, Tracer
+
+        with Tracer("plans-stats", JsonlTraceFile(args.trace_out)) as tracer:
+            live.emit_counters(tracer)
+        print(f"wrote {args.trace_out}")
     return 0
 
 
@@ -697,6 +768,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summary", action="store_true",
                    help="also print the top-5 most-congested links/nets")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "plans",
+        help="inspect the content-addressed routing-plan cache",
+        description=(
+            "Manage the on-disk tier of repro.sim.plancache "
+            "(results/plans by default): recorded routing schedules keyed "
+            "by topology, demands, router, arbitration, and engine schema."
+        ),
+    )
+    plans_sub = p.add_subparsers(dest="plans_command", required=True)
+
+    pp = plans_sub.add_parser("list", help="list recorded plan blobs")
+    pp.add_argument("--root", default="results/plans",
+                    help="disk-tier directory (default results/plans)")
+    pp.set_defaults(func=_cmd_plans_list)
+
+    pp = plans_sub.add_parser("clear", help="delete every recorded plan")
+    pp.add_argument("--root", default="results/plans")
+    pp.set_defaults(func=_cmd_plans_clear)
+
+    pp = plans_sub.add_parser(
+        "stats", help="inventory + hit/miss counters (optionally as events)"
+    )
+    pp.add_argument("--root", default="results/plans")
+    pp.add_argument("--trace-out", default=None,
+                    help="also export the counters as JSONL counter events")
+    pp.set_defaults(func=_cmd_plans_stats)
 
     p = sub.add_parser(
         "profile",

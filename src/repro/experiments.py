@@ -293,10 +293,27 @@ def run_experiment_task(params: dict) -> dict:
     the :mod:`repro.campaign` executor requires, so ``experiment all`` runs
     each experiment in an isolated worker process: one experiment crashing
     or hanging cannot take the rest of the sweep down.
+
+    Optional ``params["plan_cache"]`` installs a process-default routing
+    plan cache (``"memory"``, ``"disk"``, or a directory path — see
+    :mod:`repro.sim.plancache`) for the duration of the experiment, so
+    every engine call inside it replays previously recorded schedules; a
+    worker rerunning experiments against a shared on-disk tier skips the
+    arbitration cost of every permutation it has routed before.
     """
     import json
 
-    result = run_experiment(params["experiment_id"])
+    plan_cache = params.get("plan_cache")
+    if plan_cache:
+        from .sim.plancache import set_process_default
+
+        previous = set_process_default(plan_cache)
+        try:
+            result = run_experiment(params["experiment_id"])
+        finally:
+            set_process_default(previous)
+    else:
+        result = run_experiment(params["experiment_id"])
     # Details may hold numpy scalars / tuples; degrade them to strings so
     # the payload survives the store's JSON round trip unchanged.
     details = json.loads(json.dumps(result.details, default=str))

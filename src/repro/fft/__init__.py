@@ -5,7 +5,13 @@ from .blocked import BlockedFftResult, blocked_fft, blocked_fft_step_model
 from .butterfly import ButterflyFlowGraph, FlowEdge, butterfly_flow_graph
 from .convolution import ConvolutionResult, parallel_convolve, parallel_correlate
 from .fft2d import Fft2dResult, parallel_fft_2d
-from .parallel import ParallelFftResult, build_fft_program, parallel_fft, parallel_ifft
+from .parallel import (
+    ParallelFftResult,
+    build_fft_program,
+    fft_plan,
+    parallel_fft,
+    parallel_ifft,
+)
 from .reference import dft_direct, fft_dif, ifft_dif
 from .twiddle import stage_twiddles, twiddle
 
@@ -20,6 +26,7 @@ __all__ = [
     "stage_twiddles",
     "ParallelFftResult",
     "build_fft_program",
+    "fft_plan",
     "parallel_fft",
     "parallel_ifft",
     "BlockedFftResult",

@@ -27,6 +27,7 @@ as the ``N = P`` case (validated on demand).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -76,13 +77,31 @@ class BlockedFftResult:
         return self.butterfly_steps + self.bitrev_steps
 
 
-def _route_round_steps(topology: Topology, perm: Permutation) -> int:
+#: topology instance -> {pe_bit: stage exchange schedule}.  Butterfly
+#: exchanges are pure functions of (topology, pe_bit), so repeated blocked
+#: transforms on one topology plan each stage once (weak keys: dropping
+#: the topology drops its plans).
+_STAGE_PLANS: "WeakKeyDictionary[Topology, dict]" = WeakKeyDictionary()
+
+
+def _stage_schedule(topology: Topology, pe_bit: int):
+    per_topo = _STAGE_PLANS.get(topology)
+    if per_topo is None:
+        per_topo = _STAGE_PLANS.setdefault(topology, {})
+    schedule = per_topo.get(pe_bit)
+    if schedule is None:
+        schedule = butterfly_exchange_schedule(topology, pe_bit)
+        per_topo[pe_bit] = schedule
+    return schedule
+
+
+def _route_round_steps(topology: Topology, perm: Permutation, cache=None) -> int:
     """Steps to route one partial permutation of PEs on ``topology``."""
     if perm.is_identity():
         return 0
     if isinstance(topology, Hypermesh2D):
         return route_permutation_3step(perm, topology).num_steps
-    return route_permutation(topology, perm).stats.steps
+    return route_permutation(topology, perm, cache=cache).stats.steps
 
 
 def blocked_fft(
@@ -91,12 +110,19 @@ def blocked_fft(
     *,
     include_bit_reversal: bool = True,
     validate: bool = False,
+    cache=None,
 ) -> BlockedFftResult:
     """Compute the DFT of ``samples`` blocked over ``topology``'s PEs.
 
     ``len(samples)`` must be a power-of-two multiple of the PE count.
     With ``len(samples) == num_pes`` this reduces exactly to the paper's
     one-sample-per-PE algorithm (block size 1, zero local stages).
+
+    Butterfly stage schedules are planned once per ``(topology instance,
+    pe_bit)`` and replayed on repeated calls; ``cache`` is handed to the
+    engine's ``cache=`` keyword for the adaptively routed bit-reversal
+    rounds (see :mod:`repro.sim.plancache`), so a warm cache replays those
+    schedules instead of re-arbitrating them.
     """
     samples = np.asarray(samples, dtype=np.complex128)
     if samples.ndim != 1:
@@ -124,7 +150,7 @@ def blocked_fft(
         if bit >= m_bits:
             remote_stages += 1
             pe_bit = bit - m_bits
-            schedule = butterfly_exchange_schedule(topology, pe_bit)
+            schedule = _stage_schedule(topology, pe_bit)
             if validate:
                 schedule.validate()
             # m packets serialize on the channel but pipeline across hops.
@@ -149,7 +175,7 @@ def blocked_fft(
         for round_ in rounds:
             mapping = {src: dst for _, src, dst in round_}
             round_perm = _complete_partial_permutation(mapping, p)
-            bitrev_steps += _route_round_steps(topology, round_perm)
+            bitrev_steps += _route_round_steps(topology, round_perm, cache)
 
     return BlockedFftResult(
         spectrum=values,

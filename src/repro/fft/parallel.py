@@ -10,11 +10,21 @@ over PEs), then the closing bit-reversal :class:`~repro.sim.machine.Permute`.
 :class:`~repro.sim.machine.SimdMachine` and returns both the numeric result
 (tested against ``numpy.fft.fft``) and the step accounting (tested against
 Table 2A) — one execution, both halves of the reproduction.
+
+The communication plan is a pure function of ``(topology, N,
+include_bit_reversal)``, so it is planned **once per topology instance**
+and replayed across repeated transforms: :func:`fft_plan` memoizes the
+:class:`~repro.core.fftmap.FftMapping` in a per-instance weak cache, and
+:func:`parallel_fft` consults it whenever no explicit ``mapping`` is
+passed.  (The cache is keyed by instance, not by structural fingerprint,
+because :class:`~repro.sim.machine.SimdMachine` requires each schedule's
+topology to *be* the machine's topology object.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -23,7 +33,40 @@ from ..networks.base import Topology
 from ..sim.machine import Compute, Exchange, Permute, ProgramOp, SimdMachine
 from .twiddle import stage_twiddles
 
-__all__ = ["ParallelFftResult", "build_fft_program", "parallel_fft", "parallel_ifft"]
+__all__ = [
+    "ParallelFftResult",
+    "build_fft_program",
+    "fft_plan",
+    "parallel_fft",
+    "parallel_ifft",
+]
+
+#: topology instance -> {include_bit_reversal: planned FftMapping}.  Weak
+#: keys: dropping the topology drops its plans.
+_FFT_PLANS: "WeakKeyDictionary[Topology, dict[bool, FftMapping]]" = (
+    WeakKeyDictionary()
+)
+
+
+def fft_plan(
+    topology: Topology, *, include_bit_reversal: bool = True
+) -> FftMapping:
+    """Plan-once butterfly mapping for repeated transforms on ``topology``.
+
+    The first call per ``(topology instance, include_bit_reversal)`` builds
+    the full :class:`~repro.core.fftmap.FftMapping` (stage exchange
+    schedules plus the optional bit-reversal schedule); later calls return
+    the identical object, so a workload of many same-size transforms pays
+    the planning cost once and replays the schedules thereafter.
+    """
+    per_topo = _FFT_PLANS.get(topology)
+    if per_topo is None:
+        per_topo = _FFT_PLANS.setdefault(topology, {})
+    mapping = per_topo.get(include_bit_reversal)
+    if mapping is None:
+        mapping = map_fft(topology, include_bit_reversal=include_bit_reversal)
+        per_topo[include_bit_reversal] = mapping
+    return mapping
 
 
 @dataclass(frozen=True)
@@ -99,7 +142,9 @@ def parallel_fft(
         (slower; the integration tests use it).
     mapping:
         Reuse a previously built mapping (must match ``topology`` and
-        ``include_bit_reversal``).
+        ``include_bit_reversal``).  When omitted, the per-instance
+        :func:`fft_plan` cache supplies it, so repeated transforms on one
+        topology plan each butterfly stage once and replay it thereafter.
     """
     samples = np.asarray(samples, dtype=np.complex128)
     if samples.ndim != 1:
@@ -110,7 +155,7 @@ def parallel_fft(
             f"{topology.num_nodes}"
         )
     if mapping is None:
-        mapping = map_fft(topology, include_bit_reversal=include_bit_reversal)
+        mapping = fft_plan(topology, include_bit_reversal=include_bit_reversal)
     program = build_fft_program(mapping)
     machine = SimdMachine(topology, validate=validate)
     result = machine.run(program, samples)

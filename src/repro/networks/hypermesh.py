@@ -189,6 +189,35 @@ class Hypermesh(HypergraphTopology):
                 residual = residual * base + (node_a // stride) % base
         return shared_dim * (self._num_nodes // base) + residual
 
+    def shared_net_array(self, nodes_a, nodes_b):
+        """Vectorized :meth:`shared_net` over parallel node arrays.
+
+        Returns an ``int64`` array with the shared-net id per pair, or
+        ``-1`` where the pair shares no net (differing in zero or two-plus
+        digits).  Same digit arithmetic as the scalar closed form, batched
+        with NumPy for the replay/validation engine; callers must have
+        bounds-checked the nodes (the batch API does no per-element
+        validation).
+        """
+        import numpy as np
+
+        a = np.asarray(nodes_a, dtype=np.int64)
+        b = np.asarray(nodes_b, dtype=np.int64)
+        base = self._base
+        strides = np.asarray(self._digit_strides, dtype=np.int64).reshape(-1, 1)
+        da = (a // strides) % base  # shape (dims, len): MSD-first digits
+        db = (b // strides) % base
+        diff = da != db
+        # Exactly one differing digit names the net's dimension; argmax
+        # finds it (the row order is irrelevant when only one row is True).
+        shared_dim = np.argmax(diff, axis=0)
+        residual = np.zeros_like(a)
+        for dim in range(self._dims):
+            keep = shared_dim != dim
+            residual = np.where(keep, residual * base + da[dim], residual)
+        net = shared_dim * (self._num_nodes // base) + residual
+        return np.where(diff.sum(axis=0) == 1, net, -1)
+
     def num_nets(self) -> int:
         """``n * N / b`` hypergraph nets."""
         return self._dims * (self.num_nodes // self._base)

@@ -333,7 +333,18 @@ def trace_schedule(
     engine hook.  Returns the probe with :meth:`~LinkUtilizationProbe.finish`
     already called, so ``trace_schedule(sched).top_congested()`` works
     directly.
+
+    When no tracer and no pre-built probe are supplied (so no per-step
+    events need to be emitted), the replay runs as a vectorized NumPy pass
+    — packet ids, nodes, and channel codes as ``int64`` arrays with
+    ``np.unique`` doing the per-step busy counts — which is an order of
+    magnitude faster on multi-thousand-node schedules and produces a probe
+    with identical totals to the per-move walk.
     """
+    if probe is None and tracer is None:
+        fast = _trace_schedule_vectorized(schedule)
+        if fast is not None:
+            return fast
     if probe is None:
         probe = LinkUtilizationProbe(
             schedule.topology,
@@ -343,5 +354,76 @@ def trace_schedule(
         )
     for step, moves in enumerate(schedule.steps):
         probe(step, moves, None)
+    probe.finish()
+    return probe
+
+
+def _trace_schedule_vectorized(
+    schedule: "CommSchedule",
+) -> LinkUtilizationProbe | None:
+    """Structure-of-arrays replay of a schedule into a fresh probe.
+
+    Returns ``None`` when the schedule cannot be packed into int arrays
+    (exotic ids) or the topology offers no batch net lookup — callers then
+    fall back to the per-move walk, which is always correct.
+    """
+    import numpy as np
+
+    topo = schedule.topology
+    n = schedule.logical.n
+    m = topo.num_nodes
+    hypergraph = topo.channel_model is ChannelModel.HYPERGRAPH_NET
+    shared_net_array = getattr(topo, "shared_net_array", None)
+    if hypergraph and shared_net_array is None:
+        return None
+    try:
+        packed = [
+            (
+                np.fromiter(step.keys(), dtype=np.int64, count=len(step)),
+                np.fromiter(step.values(), dtype=np.int64, count=len(step)),
+            )
+            for step in schedule.steps
+        ]
+    except (TypeError, ValueError):
+        return None
+
+    probe = LinkUtilizationProbe(
+        topo,
+        sources=range(n),
+        dests=schedule.logical.destinations.tolist(),
+    )
+    pos = np.arange(n, dtype=np.int64)
+    all_codes: list[np.ndarray] = []
+    busy: dict[int, int] = {}
+    for pids, nodes in packed:
+        if len(pids):
+            if (pids < 0).any() or (pids >= n).any():
+                return None  # malformed ids: the dict walk raises properly
+            if (nodes < 0).any() or (nodes >= m).any():
+                return None  # out-of-range nodes: match the walk's labels
+            cur = pos[pids]
+            if hypergraph:
+                codes = np.asarray(shared_net_array(cur, nodes), dtype=np.int64)
+                if (codes < 0).any():
+                    return None  # no shared net: dict walk raises
+            else:
+                codes = cur * m + nodes
+            all_codes.append(codes)
+            for code in np.unique(codes).tolist():
+                busy[code] = busy.get(code, 0) + 1
+            pos[pids] = nodes
+    probe.steps_observed = len(packed)
+    probe._positions = pos.tolist()
+    if all_codes:
+        codes, counts = np.unique(np.concatenate(all_codes), return_counts=True)
+        if hypergraph:
+            labels = [f"net:{c}" for c in codes.tolist()]
+        else:
+            labels = [f"{c // m}->{c % m}" for c in codes.tolist()]
+        probe._packets = dict(zip(labels, counts.tolist()))
+        probe._busy = {
+            label: busy[code]
+            for label, code in zip(labels, codes.tolist())
+        }
     probe.finish()
     return probe

@@ -10,6 +10,14 @@ from .engine import (
     route_permutation,
 )
 from .machine import Compute, Exchange, Permute, ProgramOp, RunResult, SimdMachine
+from .plancache import (
+    PlanCache,
+    PlanKey,
+    disk_cache,
+    memory_cache,
+    plan_key,
+    set_process_default,
+)
 from .routers import (
     HypercubeEcubeRouter,
     HypermeshDigitRouter,
@@ -56,6 +64,12 @@ __all__ = [
     "route_demands",
     "RoutedDemands",
     "replay_schedule",
+    "PlanCache",
+    "PlanKey",
+    "plan_key",
+    "memory_cache",
+    "disk_cache",
+    "set_process_default",
     "SimdMachine",
     "Exchange",
     "Compute",

@@ -53,9 +53,26 @@ changes behaviour: under the default policy the engine produces
 :mod:`repro.sim._reference`, which the equivalence suite asserts on every
 topology family.
 
-Instrumentation: pass ``on_step`` to observe each committed step, and read
-``RoutingStats.per_step_seconds`` for host-side per-step timing
-(:mod:`repro.sim.tracing` renders both).
+Instrumentation: pass ``on_step`` to observe each committed step, and pass
+``timing=True`` to record host-side per-step wall-clock into
+``RoutingStats.per_step_seconds`` (:mod:`repro.sim.tracing` renders both).
+Timing is opt-in because the two clock reads per step are measurable
+overhead at small N; untimed runs leave ``per_step_seconds`` empty, which
+the renderers and equality comparisons already tolerate.
+
+Plan caching
+------------
+
+Routing is a pure function of ``(topology, demands, router, arbitration)``,
+so both entry points accept a ``cache=`` argument (see
+:mod:`repro.sim.plancache`): ``"memory"``/``"disk"``/a path/a
+:class:`~repro.sim.plancache.PlanCache` consult the cache before
+arbitrating and record the schedule after a miss; a hit replays the stored
+steps and counters **bit-identically** (the equivalence suite enforces
+this).  ``cache=False`` forces live routing even when a process-wide
+default is installed via
+:func:`~repro.sim.plancache.set_process_default`; runs with ``on_step`` or
+``timing`` instrumentation always route live (counted as ``bypassed``).
 """
 
 from __future__ import annotations
@@ -64,8 +81,11 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from ..networks.base import ChannelModel, HypergraphTopology, Topology
 from ..routing.permutation import Permutation
+from . import plancache as _plancache
 from .routers import Router, router_for
 from .schedule import CommSchedule, ScheduleError
 from .stats import RoutingStats
@@ -82,6 +102,15 @@ __all__ = [
 
 #: Channel-arbitration disciplines accepted by the engine.
 ARBITRATION_POLICIES = ("overtaking", "fifo")
+
+#: Smallest batch worth handing to ``Router.next_hop_array``: below this,
+#: NumPy's fixed per-call overhead loses to scalar next-hop computation.
+_VECTOR_REFILL_MIN = 64
+
+#: Queue depth at which the engine abandons compact list queues: past this,
+#: ``list.remove`` degrades toward the seed loop's O(depth) scans and the
+#: intrusive linked lists win.
+_COMPACT_MAX_DEPTH = 8
 
 #: Signature of the ``on_step`` instrumentation hook: called after each
 #: committed step with ``(step_index, moves, stats)``.  ``moves`` is the
@@ -120,6 +149,7 @@ def _route_core(
     *,
     arbitration: str = "overtaking",
     on_step: StepCallback | None = None,
+    timing: bool = False,
 ) -> tuple[list[dict[int, int]], RoutingStats]:
     """Shared indexed arbitration loop for permutation and h-relation routing."""
     if arbitration not in ARBITRATION_POLICIES:
@@ -137,38 +167,74 @@ def _route_core(
         )
     shared_net = topology.shared_net if hypergraph else None
     next_hop = router.next_hop
+    # Routers that answer elementwise (next_hop_array) let the engine refill
+    # the per-packet hop cache in one NumPy call per step instead of one
+    # Python call per hop.  Hypergraph routing stays scalar: it needs the
+    # net id alongside the hop.
+    next_hop_array = (
+        getattr(router, "next_hop_array", None) if not hypergraph else None
+    )
 
     npk = len(sources)
     position = list(sources)
     dests = list(dests)
 
-    # Intrusive doubly-linked FIFO queue per node: O(1) append and unlink.
-    q_head = [-1] * n
-    q_tail = [-1] * n
-    q_len = [0] * n
-    q_prev = [-1] * npk
-    q_next = [-1] * npk
+    # Two FIFO queue representations, used in sequence.  While the network
+    # is crowded and queues are shallow ("compact" phase), one Python list
+    # per node — the seed loop's exact layout — wins: C-speed append and
+    # remove beat Python-level pointer surgery, and scanning range(n) costs
+    # nothing when most nodes hold a packet.  Once traffic thins, or a queue
+    # deepens past _COMPACT_MAX_DEPTH (where list.remove degrades to the
+    # seed's O(depth) scans), the engine switches to intrusive doubly
+    # linked lists with an active-node worklist: O(1) unlink, no empty-node
+    # scanning.  in_flight never grows and the depth high-water mark never
+    # falls, so the switch happens at most once per run.
+    in_flight = sum(
+        1 for pid in range(npk) if position[pid] != dests[pid]
+    )
 
-    in_flight = 0
-    for pid in range(npk):
-        node = position[pid]
-        if node != dests[pid]:
-            tail = q_tail[node]
-            if tail == -1:
-                q_head[node] = pid
-            else:
-                q_next[tail] = pid
-                q_prev[pid] = tail
-            q_tail[node] = pid
-            q_len[node] += 1
-            in_flight += 1
-
+    queues: list[list[int]] | None = None
+    q_head: list[int] = []
+    q_tail: list[int] = []
+    q_len: list[int] = []
+    q_prev: list[int] = []
+    q_next: list[int] = []
     # Worklist of nodes holding packets, kept in ascending order so the
     # proposal sweep visits them exactly as the seed's range(n) scan did.
-    active = [node for node in range(n) if q_len[node]]
+    active: list[int] = []
     in_active = bytearray(n)
-    for node in active:
-        in_active[node] = 1
+
+    if 4 * in_flight >= n:
+        # Crowded start: compact queues (allocating n lists only pays off
+        # when most of them will hold something).
+        queues = [[] for _ in range(n)]
+        for pid in range(npk):
+            node = position[pid]
+            if node != dests[pid]:
+                queues[node].append(pid)
+        initial_depth = max(map(len, queues), default=0)
+    else:
+        # Sparse start: build the indexed structures directly.
+        q_head = [-1] * n
+        q_tail = [-1] * n
+        q_len = [0] * n
+        q_prev = [-1] * npk
+        q_next = [-1] * npk
+        for pid in range(npk):
+            node = position[pid]
+            if node != dests[pid]:
+                tail = q_tail[node]
+                if tail == -1:
+                    q_head[node] = pid
+                else:
+                    q_next[tail] = pid
+                    q_prev[pid] = tail
+                q_tail[node] = pid
+                q_len[node] += 1
+        active = [node for node in range(n) if q_len[node]]
+        for node in active:
+            in_active[node] = 1
+        initial_depth = max(q_len, default=0)
 
     # Per-packet caches: a deterministic router's next hop (and, on
     # hypergraph networks, the net it rides) is a function of the packet's
@@ -176,19 +242,72 @@ def _route_core(
     NO_HOP = -2  # router said "already home" — mirror seed's skip-forever
     cached_next = [-1] * npk
     cached_net = [-1] * npk
+    # On the vectorized path, packets whose cached hop must be (re)computed
+    # before the next propose sweep: every in-flight packet now, then each
+    # packet that moves without being delivered.
+    stale: list[int] = (
+        [pid for pid in range(npk) if position[pid] != dests[pid]]
+        if next_hop_array is not None
+        else []
+    )
 
     stats = RoutingStats()
     delivered = stats.delivered = npk - in_flight
-    stats.max_queue_depth = max(q_len, default=0)
+    stats.max_queue_depth = initial_depth
     steps: list[dict[int, int]] = []
     blocked = 0  # stats.blocked_moves, kept in a local off the hot path
+    # Host timing is opt-in: the two clock reads and the append cost real
+    # time per step (visible at small N), so untimed runs skip them.
+    per_step_seconds = stats.per_step_seconds if timing else None
 
     while in_flight:
-        t0 = perf_counter()
+        t0 = perf_counter() if per_step_seconds is not None else 0.0
         if stats.steps >= max_steps:
             raise ScheduleError(
                 f"{in_flight} packets undelivered after {max_steps} steps"
             )
+        if stale:
+            if len(stale) >= _VECTOR_REFILL_MIN:
+                hops = next_hop_array(
+                    [position[pid] for pid in stale],
+                    [dests[pid] for pid in stale],
+                ).tolist()
+                for pid, hop in zip(stale, hops):
+                    cached_next[pid] = hop
+            else:
+                # Below the crossover, NumPy's fixed per-call cost loses to
+                # scalar routing (the tail of a run is many sparse steps).
+                for pid in stale:
+                    hop = next_hop(position[pid], dests[pid])
+                    cached_next[pid] = NO_HOP if hop is None else hop
+            stale = []
+        if queues is not None and (
+            4 * in_flight < n or stats.max_queue_depth > _COMPACT_MAX_DEPTH
+        ):
+            # One-way switch: rebuild the compact queues as linked lists
+            # (FIFO order preserved) and record which nodes hold packets.
+            q_head = [-1] * n
+            q_tail = [-1] * n
+            q_len = [0] * n
+            q_prev = [-1] * npk
+            q_next = [-1] * npk
+            for node in range(n):
+                q = queues[node]
+                if not q:
+                    continue
+                active.append(node)
+                in_active[node] = 1
+                prev = -1
+                for pid in q:
+                    if prev == -1:
+                        q_head[node] = pid
+                    else:
+                        q_next[prev] = pid
+                        q_prev[pid] = prev
+                    prev = pid
+                q_tail[node] = prev
+                q_len[node] = len(q)
+            queues = None
         moves: dict[int, int] = {}
         # Channels claimed this step, encoded as ints for cheap set probes:
         # directed link (node, nxt) -> node * n + nxt; net port pairs
@@ -198,48 +317,91 @@ def _route_core(
         used_deliver: set[int] = set()
 
         # Propose in deterministic order: node index, then FIFO position.
-        for node in active:
-            pid = q_head[node]
-            while pid != -1:
-                nxt = cached_next[pid]
-                if nxt == -1:
-                    hop = next_hop(node, dests[pid])
-                    if hop is None:
-                        nxt = cached_next[pid] = NO_HOP
+        # Two sweeps with identical arbitration bodies — the compact phase
+        # iterates each node's list, the indexed phase walks linked queues.
+        if queues is not None:
+            for node in range(n):
+                for pid in queues[node]:
+                    nxt = cached_next[pid]
+                    if nxt == -1:
+                        hop = next_hop(node, dests[pid])
+                        if hop is None:
+                            nxt = cached_next[pid] = NO_HOP
+                        else:
+                            nxt = cached_next[pid] = hop
+                            if hypergraph:
+                                net = shared_net(node, hop)
+                                if net is None:
+                                    raise ScheduleError(
+                                        f"router proposed non-net hop "
+                                        f"{node} -> {hop}"
+                                    )
+                                cached_net[pid] = net
+                    if nxt == NO_HOP:
+                        continue
+                    if hypergraph:
+                        inject = cached_net[pid] * n + node
+                        deliver = cached_net[pid] * n + nxt
+                        if inject in used_inject or deliver in used_deliver:
+                            blocked += 1
+                            if fifo:
+                                break  # head of line holds the queue
+                            continue
+                        used_inject.add(inject)
+                        used_deliver.add(deliver)
                     else:
-                        nxt = cached_next[pid] = hop
-                        if hypergraph:
-                            net = shared_net(node, hop)
-                            if net is None:
-                                raise ScheduleError(
-                                    f"router proposed non-net hop {node} -> {hop}"
-                                )
-                            cached_net[pid] = net
-                if nxt == NO_HOP:
+                        link = node * n + nxt
+                        if link in used_links:
+                            blocked += 1
+                            if fifo:
+                                break
+                            continue
+                        used_links.add(link)
+                    moves[pid] = nxt
+        else:
+            for node in active:
+                pid = q_head[node]
+                while pid != -1:
+                    nxt = cached_next[pid]
+                    if nxt == -1:
+                        hop = next_hop(node, dests[pid])
+                        if hop is None:
+                            nxt = cached_next[pid] = NO_HOP
+                        else:
+                            nxt = cached_next[pid] = hop
+                            if hypergraph:
+                                net = shared_net(node, hop)
+                                if net is None:
+                                    raise ScheduleError(
+                                        f"router proposed non-net hop "
+                                        f"{node} -> {hop}"
+                                    )
+                                cached_net[pid] = net
+                    if nxt == NO_HOP:
+                        pid = q_next[pid]
+                        continue
+                    if hypergraph:
+                        inject = cached_net[pid] * n + node
+                        deliver = cached_net[pid] * n + nxt
+                        if inject in used_inject or deliver in used_deliver:
+                            blocked += 1
+                            if fifo:
+                                break  # head of line holds the queue
+                            pid = q_next[pid]
+                            continue
+                        used_inject.add(inject)
+                        used_deliver.add(deliver)
+                    else:
+                        link = node * n + nxt
+                        if link in used_links:
+                            blocked += 1
+                            if fifo:
+                                break
+                            pid = q_next[pid]
+                            continue
+                        used_links.add(link)
+                    moves[pid] = nxt
                     pid = q_next[pid]
-                    continue
-                if hypergraph:
-                    inject = cached_net[pid] * n + node
-                    deliver = cached_net[pid] * n + nxt
-                    if inject in used_inject or deliver in used_deliver:
-                        blocked += 1
-                        if fifo:
-                            break  # head of line holds the rest of the queue
-                        pid = q_next[pid]
-                        continue
-                    used_inject.add(inject)
-                    used_deliver.add(deliver)
-                else:
-                    link = node * n + nxt
-                    if link in used_links:
-                        blocked += 1
-                        if fifo:
-                            break
-                        pid = q_next[pid]
-                        continue
-                    used_links.add(link)
-                moves[pid] = nxt
-                pid = q_next[pid]
 
         if not moves:
             raise ScheduleError(
@@ -248,52 +410,86 @@ def _route_core(
 
         # Apply the granted moves.
         grew: list[int] = []
-        newly_active: list[int] = []
-        for pid, nxt in moves.items():
-            node = position[pid]
-            prv, fol = q_prev[pid], q_next[pid]
-            if prv == -1:
-                q_head[node] = fol
-            else:
-                q_next[prv] = fol
-            if fol == -1:
-                q_tail[node] = prv
-            else:
-                q_prev[fol] = prv
-            q_prev[pid] = q_next[pid] = -1
-            q_len[node] -= 1
-
-            position[pid] = nxt
-            cached_next[pid] = -1
-            if nxt == dests[pid]:
-                delivered += 1
-                in_flight -= 1
-            else:
-                tail = q_tail[nxt]
-                if tail == -1:
-                    q_head[nxt] = pid
+        max_depth = stats.max_queue_depth
+        if queues is not None:
+            for pid, nxt in moves.items():
+                queues[position[pid]].remove(pid)
+                position[pid] = nxt
+                if nxt == dests[pid]:
+                    # Delivered: its stale cache entry is never read again.
+                    delivered += 1
+                    in_flight -= 1
                 else:
-                    q_next[tail] = pid
-                    q_prev[pid] = tail
-                q_tail[nxt] = pid
-                q_len[nxt] += 1
-                grew.append(nxt)
-                if not in_active[nxt]:
-                    in_active[nxt] = 1
-                    newly_active.append(nxt)
+                    if next_hop_array is not None:
+                        stale.append(pid)  # batch refill overwrites it
+                    else:
+                        cached_next[pid] = -1
+                    queues[nxt].append(pid)
+                    grew.append(nxt)
+            # Only queues that received a packet can set a depth record.
+            for node in grew:
+                if len(queues[node]) > max_depth:
+                    max_depth = len(queues[node])
+        else:
+            newly_active: list[int] = []
+            for pid, nxt in moves.items():
+                node = position[pid]
+                prv, fol = q_prev[pid], q_next[pid]
+                if prv == -1 and fol == -1:
+                    # Singleton queue (the common case under light load):
+                    # the packet's own links are already -1.
+                    q_head[node] = -1
+                    q_tail[node] = -1
+                else:
+                    if prv == -1:
+                        q_head[node] = fol
+                    else:
+                        q_next[prv] = fol
+                    if fol == -1:
+                        q_tail[node] = prv
+                    else:
+                        q_prev[fol] = prv
+                    q_prev[pid] = q_next[pid] = -1
+                q_len[node] -= 1
 
-        # Refresh the worklist: drop drained nodes, merge in new arrivals.
-        still_active = []
-        for node in active:
-            if q_len[node]:
-                still_active.append(node)
-            else:
-                in_active[node] = 0
-        if newly_active:
-            newly_active.sort()
-            still_active += newly_active
-            still_active.sort()  # two sorted runs: Timsort merges in O(len)
-        active = still_active
+                position[pid] = nxt
+                if nxt == dests[pid]:
+                    # Delivered: its stale cache entry is never read again.
+                    delivered += 1
+                    in_flight -= 1
+                else:
+                    if next_hop_array is not None:
+                        stale.append(pid)  # batch refill overwrites it
+                    else:
+                        cached_next[pid] = -1
+                    tail = q_tail[nxt]
+                    if tail == -1:
+                        q_head[nxt] = pid
+                    else:
+                        q_next[tail] = pid
+                        q_prev[pid] = tail
+                    q_tail[nxt] = pid
+                    q_len[nxt] += 1
+                    grew.append(nxt)
+                    if not in_active[nxt]:
+                        in_active[nxt] = 1
+                        newly_active.append(nxt)
+
+            # Refresh the worklist: drop drained nodes, merge new arrivals.
+            still_active = []
+            for node in active:
+                if q_len[node]:
+                    still_active.append(node)
+                else:
+                    in_active[node] = 0
+            if newly_active:
+                newly_active.sort()
+                still_active += newly_active
+                still_active.sort()  # two sorted runs: Timsort merge, O(len)
+            active = still_active
+            for node in grew:
+                if q_len[node] > max_depth:
+                    max_depth = q_len[node]
 
         steps.append(moves)
         stats.steps += 1
@@ -301,16 +497,74 @@ def _route_core(
         stats.per_step_moves.append(len(moves))
         stats.blocked_moves = blocked
         stats.delivered = delivered
-        # Only queues that received a packet can set a new depth record.
-        max_depth = stats.max_queue_depth
-        for node in grew:
-            if q_len[node] > max_depth:
-                max_depth = q_len[node]
         stats.max_queue_depth = max_depth
-        stats.per_step_seconds.append(perf_counter() - t0)
+        if per_step_seconds is not None:
+            per_step_seconds.append(perf_counter() - t0)
         if on_step is not None:
             on_step(stats.steps - 1, moves, stats)
 
+    return steps, stats
+
+
+def _resolve_plan_cache(
+    cache, on_step: StepCallback | None, timing: bool
+) -> "_plancache.PlanCache | None":
+    """Normalize a ``cache=`` argument, honouring the process default.
+
+    ``cache=None`` (the keyword's default) consults the process-wide
+    default installed by :func:`repro.sim.plancache.set_process_default`;
+    ``cache=False`` always routes live.  Instrumented runs (``on_step`` or
+    ``timing``) bypass the cache — a replay has no live stats to stream and
+    spent no per-step host time — and are counted as ``bypassed``.
+    """
+    if cache is None:
+        resolved = _plancache.process_default()
+    else:
+        resolved = _plancache.resolve_cache(cache)
+    if resolved is None:
+        return None
+    if on_step is not None or timing:
+        resolved.bypassed += 1
+        return None
+    return resolved
+
+
+def _route_or_replay(
+    topology: Topology,
+    sources: list[int],
+    dests: list[int],
+    router: Router,
+    max_steps: int,
+    *,
+    arbitration: str,
+    on_step: StepCallback | None,
+    timing: bool,
+    cache,
+) -> tuple[list[dict[int, int]], RoutingStats]:
+    """Cache-aware front of :func:`_route_core`: replay a recorded plan on
+    a hit, route live (and record) on a miss."""
+    cache_obj = _resolve_plan_cache(cache, on_step, timing)
+    key = None
+    if cache_obj is not None:
+        key = _plancache.plan_key(topology, sources, dests, router, arbitration)
+        if key is None:
+            cache_obj.uncacheable += 1  # unregistered router: route live
+        else:
+            plan = cache_obj.get(key)
+            if plan is not None:
+                return plan.replay_steps(), plan.replay_stats()
+    steps, stats = _route_core(
+        topology,
+        sources,
+        dests,
+        router,
+        max_steps,
+        arbitration=arbitration,
+        on_step=on_step,
+        timing=timing,
+    )
+    if key is not None:
+        cache_obj.put(key, _plancache.CachedPlan.from_run(steps, stats))
     return steps, stats
 
 
@@ -322,6 +576,8 @@ def route_permutation(
     max_steps: int | None = None,
     arbitration: str = "overtaking",
     on_step: StepCallback | None = None,
+    timing: bool = False,
+    cache=None,
 ) -> RoutedPermutation:
     """Route one packet per node to ``perm[node]`` and record the schedule.
 
@@ -343,6 +599,16 @@ def route_permutation(
         default) or ``"fifo"`` — see the module docstring.
     on_step:
         Optional :data:`StepCallback` invoked after every committed step.
+    timing:
+        Record host wall-clock per step into ``stats.per_step_seconds``
+        (opt-in; untimed runs leave it empty and skip the clock reads).
+    cache:
+        Plan cache mode — ``False`` (route live even past a process
+        default), ``"memory"``, ``"disk"``, a directory path, or a
+        :class:`~repro.sim.plancache.PlanCache`.  ``None`` (default) uses
+        the process default if one is installed.  A hit replays the
+        recorded schedule and stats bit-identically; ``on_step``/``timing``
+        runs bypass the cache.
 
     Raises
     ------
@@ -357,7 +623,7 @@ def route_permutation(
     if max_steps is None:
         max_steps = 10 * topology.diameter + 10 * n
 
-    steps, stats = _route_core(
+    steps, stats = _route_or_replay(
         topology,
         list(range(n)),
         perm.destinations.tolist(),
@@ -365,11 +631,43 @@ def route_permutation(
         max_steps,
         arbitration=arbitration,
         on_step=on_step,
+        timing=timing,
+        cache=cache,
     )
     schedule = CommSchedule(
         topology=topology, logical=perm, steps=tuple(steps)
     )
     return RoutedPermutation(schedule=schedule, stats=stats)
+
+
+def _validate_demand_nodes(
+    topology: Topology, demands: Sequence[tuple[int, int]]
+) -> None:
+    """Bounds-check every demand endpoint in one vectorized pass.
+
+    Replaces the per-endpoint ``validate_node`` loop (two Python calls per
+    packet) with a single NumPy comparison; on failure the first offending
+    endpoint *in original order* (source before destination, pair by pair)
+    is handed back to :meth:`~repro.networks.base.Topology.validate_node`
+    so the error type and message stay exactly the seed's.  Inputs that do
+    not pack into an integer array (exotic endpoint types) fall back to the
+    original loop unchanged.
+    """
+    if not demands:
+        return
+    try:
+        arr = np.asarray(demands)
+    except (TypeError, ValueError):
+        arr = None
+    if arr is None or arr.ndim != 2 or arr.shape[1] != 2 or arr.dtype.kind not in "iu":
+        for src, dst in demands:
+            topology.validate_node(src)
+            topology.validate_node(dst)
+        return
+    flat = arr.reshape(-1)  # row-major: src0, dst0, src1, dst1, ...
+    bad = (flat < 0) | (flat >= topology.num_nodes)
+    if bad.any():
+        topology.validate_node(int(flat[int(np.argmax(bad))]))
 
 
 def route_demands(
@@ -380,6 +678,8 @@ def route_demands(
     max_steps: int | None = None,
     arbitration: str = "overtaking",
     on_step: StepCallback | None = None,
+    timing: bool = False,
+    cache=None,
 ) -> RoutedDemands:
     """Route an arbitrary packet multiset (an h-relation) adaptively.
 
@@ -390,12 +690,12 @@ def route_demands(
     as steps, exactly as the word model prescribes.
 
     The ``max_steps`` default scales with the relation's degree ``h``.
-    ``arbitration`` and ``on_step`` behave as in :func:`route_permutation`.
+    ``arbitration``, ``on_step``, ``timing`` and ``cache`` behave as in
+    :func:`route_permutation`.
     """
     n = topology.num_nodes
-    for src, dst in demands:
-        topology.validate_node(src)
-        topology.validate_node(dst)
+    demands = list(demands)
+    _validate_demand_nodes(topology, demands)
     router = router or router_for(topology)
     if max_steps is None:
         out = [0] * n
@@ -409,7 +709,7 @@ def route_demands(
 
     sources = [src for src, _ in demands]
     dests = [dst for _, dst in demands]
-    steps, stats = _route_core(
+    steps, stats = _route_or_replay(
         topology,
         sources,
         dests,
@@ -417,6 +717,8 @@ def route_demands(
         max_steps,
         arbitration=arbitration,
         on_step=on_step,
+        timing=timing,
+        cache=cache,
     )
     return RoutedDemands(
         demands=tuple((int(s), int(d)) for s, d in demands),

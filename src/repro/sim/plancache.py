@@ -1,0 +1,492 @@
+"""Plan-once/replay-many: a content-addressed cache of routing schedules.
+
+The paper's headline numbers come from routing the *same* fixed
+communication patterns — ``log2 N`` butterfly-stage permutations plus one
+bit reversal — yet an adaptive :func:`~repro.sim.engine.route_permutation`
+run re-pays the full word-level arbitration cost every time, even though
+the schedule it produces is a pure function of
+
+``(topology, demands, router, arbitration policy, engine schema)``.
+
+This module separates *plan* cost from *execution* cost, the way wafer-scale
+FFT engines compile the butterfly's communication offline and replay it:
+
+* :func:`plan_key` derives a deterministic :class:`PlanKey` from exactly the
+  inputs the engine's output depends on — a structural topology fingerprint,
+  a SHA-256 digest of the packed ``(sources, dests)`` arrays, a registered
+  router identity, the arbitration policy, and :data:`PLAN_SCHEMA_VERSION`;
+* :class:`PlanCache` maps keys to recorded :class:`CachedPlan`s through an
+  in-memory LRU tier and an optional content-addressed on-disk tier
+  (``results/plans/<digest>.json``, atomic tmp+rename writes — the same
+  blob discipline as :mod:`repro.campaign.store`);
+* the engine's ``cache=`` keyword (see :func:`~repro.sim.engine.
+  route_permutation`) consults the cache before arbitrating and records the
+  result after a miss, so repeated transforms, experiment reruns, and
+  campaign sweeps replay schedules instead of re-simulating them.
+
+Equivalence is contractual: a cache hit reconstructs the **bit-identical**
+step dicts and :class:`~repro.sim.stats.RoutingStats` counters that a live
+``_route_core`` run would produce (``tests/sim/test_engine_equivalence.py``
+and ``tests/sim/test_plancache.py`` enforce this).  Corrupted, truncated,
+or schema-stale disk blobs are treated as misses — the engine silently
+falls back to live routing, never to a wrong plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..networks.base import Topology
+from .stats import RoutingStats
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "DEFAULT_PLAN_ROOT",
+    "PlanKey",
+    "CachedPlan",
+    "PlanCache",
+    "topology_fingerprint",
+    "demands_digest",
+    "router_id",
+    "plan_key",
+    "resolve_cache",
+    "memory_cache",
+    "disk_cache",
+    "set_process_default",
+    "process_default",
+]
+
+#: Engine schema version baked into every plan key and blob.  Bump whenever
+#: the engine's observable output for identical inputs could change (a new
+#: arbitration rule, a different step encoding, ...): old blobs then stop
+#: matching any key and are re-planned instead of replayed wrongly.
+PLAN_SCHEMA_VERSION = 1
+
+#: Default root of the on-disk tier (``disk_cache()`` / ``cache="disk"``).
+DEFAULT_PLAN_ROOT = Path("results/plans")
+
+#: Router classes whose ``next_hop`` is a pure function of the topology in
+#: the key — the only routers whose plans are safe to share.  Maps class
+#: qualname to the identity string used in keys.
+_REGISTERED_ROUTERS = {
+    "MeshDimensionOrderRouter": "mesh-dimension-order",
+    "TorusDimensionOrderRouter": "torus-dimension-order",
+    "HypercubeEcubeRouter": "hypercube-ecube",
+    "HypermeshDigitRouter": "hypermesh-digit",
+}
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """Structural identity of a topology, stable across instances.
+
+    Two topology objects with the same fingerprint route identically: the
+    fingerprint covers the concrete class, the channel model, the node
+    count, and the per-dimension extents (``radices``) when the family has
+    them.  It deliberately ignores instance identity — the whole point is
+    that a fresh ``Mesh2D(64)`` replays plans recorded by another.
+    """
+    parts = [
+        type(topology).__name__,
+        topology.channel_model.value,
+        f"n={topology.num_nodes}",
+    ]
+    radices = getattr(topology, "radices", None)
+    if radices is not None:
+        parts.append("radices=" + ",".join(str(r) for r in radices))
+    return ":".join(parts)
+
+
+def demands_digest(sources: Sequence[int], dests: Sequence[int]) -> str:
+    """SHA-256 digest of the packed ``(sources, dests)`` arrays.
+
+    Order matters (packet ``k`` is ``(sources[k], dests[k])``), so the
+    digest is taken over the raw little-endian int64 buffers, not a set.
+    """
+    src = np.ascontiguousarray(np.asarray(sources, dtype=np.int64))
+    dst = np.ascontiguousarray(np.asarray(dests, dtype=np.int64))
+    h = hashlib.sha256()
+    h.update(len(src).to_bytes(8, "little"))
+    h.update(src.tobytes())
+    h.update(dst.tobytes())
+    return h.hexdigest()
+
+
+def router_id(router) -> str | None:
+    """Cache identity of a routing discipline, or ``None`` if unknown.
+
+    Only routers registered as pure functions of ``(current, dest)`` get an
+    identity; a :class:`~repro.sim.routers.TabulatedRouter` inherits its
+    wrapped router's identity (memoization does not change answers).
+    ``None`` means "do not cache": the engine routes live rather than risk
+    replaying a plan recorded under a different discipline.
+    """
+    inner = getattr(router, "router", None)
+    if inner is not None and type(router).__name__ == "TabulatedRouter":
+        return router_id(inner)
+    return _REGISTERED_ROUTERS.get(type(router).__name__)
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Content address of one routing plan.
+
+    Everything the engine's output depends on, nothing it does not: the
+    packet payloads, host timing, and instrumentation hooks are all absent
+    by construction.
+    """
+
+    topology: str
+    demands: str
+    router: str
+    arbitration: str
+    schema: int = PLAN_SCHEMA_VERSION
+
+    @property
+    def digest(self) -> str:
+        """Hex digest naming this plan's blob on disk."""
+        blob = json.dumps(
+            {
+                "topology": self.topology,
+                "demands": self.demands,
+                "router": self.router,
+                "arbitration": self.arbitration,
+                "schema": self.schema,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "demands": self.demands,
+            "router": self.router,
+            "arbitration": self.arbitration,
+            "schema": self.schema,
+        }
+
+
+def plan_key(
+    topology: Topology,
+    sources: Sequence[int],
+    dests: Sequence[int],
+    router,
+    arbitration: str,
+) -> PlanKey | None:
+    """Build the :class:`PlanKey` for one routing problem.
+
+    Returns ``None`` when the router has no registered identity — such runs
+    are uncacheable and must route live.
+    """
+    rid = router_id(router)
+    if rid is None:
+        return None
+    return PlanKey(
+        topology=topology_fingerprint(topology),
+        demands=demands_digest(sources, dests),
+        router=rid,
+        arbitration=arbitration,
+        # Read the module global at call time (not the dataclass default,
+        # which froze at class definition) so a schema bump re-keys plans.
+        schema=PLAN_SCHEMA_VERSION,
+    )
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """A recorded engine run: the step dicts plus the routing counters.
+
+    ``steps[s]`` maps packet id to the node it moved to during step ``s``,
+    in the engine's original insertion order, so a replayed schedule is
+    bit-identical to the live one (dict equality *and* iteration order).
+    ``per_step_seconds`` is host instrumentation and deliberately not
+    stored — a replay did not spend that time.
+    """
+
+    steps: tuple[dict[int, int], ...]
+    stats_fields: Mapping[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_run(
+        cls, steps: Sequence[Mapping[int, int]], stats: RoutingStats
+    ) -> "CachedPlan":
+        return cls(
+            steps=tuple(dict(step) for step in steps),
+            stats_fields={
+                "steps": stats.steps,
+                "total_hops": stats.total_hops,
+                "max_queue_depth": stats.max_queue_depth,
+                "blocked_moves": stats.blocked_moves,
+                "delivered": stats.delivered,
+                "per_step_moves": list(stats.per_step_moves),
+            },
+        )
+
+    def replay_steps(self) -> list[dict[int, int]]:
+        """Fresh step dicts (callers may mutate engine output)."""
+        return [dict(step) for step in self.steps]
+
+    def replay_stats(self) -> RoutingStats:
+        """A fresh :class:`RoutingStats` carrying the recorded counters."""
+        f = self.stats_fields
+        return RoutingStats(
+            steps=int(f["steps"]),
+            total_hops=int(f["total_hops"]),
+            max_queue_depth=int(f["max_queue_depth"]),
+            blocked_moves=int(f["blocked_moves"]),
+            delivered=int(f["delivered"]),
+            per_step_moves=[int(m) for m in f["per_step_moves"]],
+        )
+
+    # ------------------------------------------------------------- blob I/O
+    def to_payload(self) -> dict:
+        """JSON-serializable blob body: steps as parallel id/node arrays."""
+        return {
+            "steps": [
+                [list(step.keys()), list(step.values())] for step in self.steps
+            ],
+            "stats": dict(self.stats_fields),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CachedPlan":
+        steps = []
+        for pids, nodes in payload["steps"]:
+            if len(pids) != len(nodes):
+                raise ValueError("torn step arrays")
+            steps.append({int(p): int(v) for p, v in zip(pids, nodes)})
+        stats = payload["stats"]
+        plan = cls(steps=tuple(steps), stats_fields=dict(stats))
+        plan.replay_stats()  # validates required counters are present/typed
+        return plan
+
+
+class PlanCache:
+    """Two-tier plan store: in-memory LRU over an optional disk tier.
+
+    Parameters
+    ----------
+    root:
+        Directory of the on-disk tier (created lazily).  ``None`` keeps the
+        cache memory-only.
+    capacity:
+        Maximum plans held in memory; least-recently-used plans are evicted
+        (they remain on disk when a root is configured).
+
+    Counters (``hits`` / ``misses`` / ``stores`` / ``evictions`` /
+    ``corrupt`` / ``uncacheable`` / ``bypassed``) describe this process's
+    traffic; :meth:`emit_counters` exports them as ``counter`` events on a
+    :class:`repro.obs.Tracer`.
+    """
+
+    def __init__(self, root: str | Path | None = None, *, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.root = Path(root) if root is not None else None
+        self.capacity = int(capacity)
+        self._memory: OrderedDict[str, CachedPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self.uncacheable = 0
+        self.bypassed = 0
+
+    # ---------------------------------------------------------------- tiers
+    def blob_path(self, key: PlanKey) -> Path | None:
+        """On-disk location of ``key``'s plan (``None`` when memory-only)."""
+        if self.root is None:
+            return None
+        return self.root / f"{key.digest}.json"
+
+    def get(self, key: PlanKey) -> CachedPlan | None:
+        """Look a plan up, memory first, then disk; count a hit or miss."""
+        digest = key.digest
+        plan = self._memory.get(digest)
+        if plan is not None:
+            self._memory.move_to_end(digest)
+            self.hits += 1
+            return plan
+        plan = self._load_blob(key)
+        if plan is not None:
+            self._remember(digest, plan)
+            self.hits += 1
+            return plan
+        self.misses += 1
+        return None
+
+    def put(self, key: PlanKey, plan: CachedPlan) -> None:
+        """Record a freshly planned schedule in both tiers."""
+        self._remember(key.digest, plan)
+        self.stores += 1
+        path = self.blob_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(
+            {"schema": key.schema, "key": key.to_dict(), **plan.to_payload()}
+        )
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(blob + "\n")
+        os.replace(tmp, path)
+
+    def _remember(self, digest: str, plan: CachedPlan) -> None:
+        self._memory[digest] = plan
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def _load_blob(self, key: PlanKey) -> CachedPlan | None:
+        path = self.blob_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != key.schema:
+                return None  # stale engine schema: re-plan, don't replay
+            if payload.get("key") != key.to_dict():
+                return None  # digest collision or tampered blob
+            return CachedPlan.from_payload(payload)
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError, OSError):
+            # Torn write, truncation, or hand-edited garbage: treat as a
+            # miss so the engine falls back to live routing.
+            self.corrupt += 1
+            return None
+
+    # ------------------------------------------------------------ inventory
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def disk_blobs(self) -> list[Path]:
+        """Plan blobs currently on disk (empty for memory-only caches)."""
+        if self.root is None or not self.root.exists():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk tier in bytes."""
+        return sum(p.stat().st_size for p in self.disk_blobs())
+
+    def clear(self, *, disk: bool = True) -> int:
+        """Drop every cached plan; returns the number of disk blobs removed."""
+        self._memory.clear()
+        removed = 0
+        if disk:
+            for path in self.disk_blobs():
+                path.unlink()
+                removed += 1
+        return removed
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of this process's cache traffic."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "uncacheable": self.uncacheable,
+            "bypassed": self.bypassed,
+        }
+
+    def emit_counters(self, tracer) -> None:
+        """Export the traffic counters as ``counter`` events
+        (``plancache.hits``, ``plancache.misses``, ...) on a
+        :class:`repro.obs.Tracer`."""
+        for name, value in self.counters().items():
+            tracer.counter(f"plancache.{name}", value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tier = f"root={self.root}" if self.root is not None else "memory-only"
+        return (
+            f"PlanCache({tier}, entries={len(self._memory)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cache resolution: the engine's ``cache=`` keyword accepts several spellings
+# so call sites stay one-liners.
+# ---------------------------------------------------------------------------
+
+_MEMORY_SINGLETON: PlanCache | None = None
+_DISK_SINGLETON: PlanCache | None = None
+_PROCESS_DEFAULT: PlanCache | None = None
+
+
+def memory_cache() -> PlanCache:
+    """The process-wide memory-only cache (``cache="memory"``)."""
+    global _MEMORY_SINGLETON
+    if _MEMORY_SINGLETON is None:
+        _MEMORY_SINGLETON = PlanCache()
+    return _MEMORY_SINGLETON
+
+
+def disk_cache(root: str | Path = DEFAULT_PLAN_ROOT) -> PlanCache:
+    """The process-wide disk-backed cache (``cache="disk"``).
+
+    The singleton is keyed to :data:`DEFAULT_PLAN_ROOT`; asking for another
+    root returns a fresh cache over that directory.
+    """
+    global _DISK_SINGLETON
+    root = Path(root)
+    if root == DEFAULT_PLAN_ROOT:
+        if _DISK_SINGLETON is None:
+            _DISK_SINGLETON = PlanCache(root)
+        return _DISK_SINGLETON
+    return PlanCache(root)
+
+
+def resolve_cache(cache) -> PlanCache | None:
+    """Normalize the engine's ``cache=`` argument to a :class:`PlanCache`.
+
+    Accepted spellings: ``None``/``False`` (no cache), a :class:`PlanCache`
+    instance, ``True`` or ``"memory"`` (process-wide in-memory cache),
+    ``"disk"`` (process-wide cache under ``results/plans/``), or any other
+    string / :class:`~pathlib.Path` naming a disk-tier directory.
+    """
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, PlanCache):
+        return cache
+    if cache is True or cache == "memory":
+        return memory_cache()
+    if cache == "disk":
+        return disk_cache()
+    if isinstance(cache, (str, Path)):
+        return disk_cache(Path(cache))
+    raise TypeError(
+        f"cache must be None, bool, 'memory', 'disk', a path, or a "
+        f"PlanCache; got {type(cache).__name__}"
+    )
+
+
+def set_process_default(cache) -> PlanCache | None:
+    """Install a process-wide default plan cache (``None`` uninstalls).
+
+    Engine calls that pass ``cache=None`` (the default) consult this cache;
+    ``cache=False`` forces live routing even when a default is installed.
+    This is how campaign workers and the experiment registry share one
+    cache without threading a parameter through every layer.  Returns the
+    previously installed default so callers can restore it.
+    """
+    global _PROCESS_DEFAULT
+    previous = _PROCESS_DEFAULT
+    _PROCESS_DEFAULT = resolve_cache(cache)
+    return previous
+
+
+def process_default() -> PlanCache | None:
+    """The currently installed process-wide default plan cache."""
+    return _PROCESS_DEFAULT

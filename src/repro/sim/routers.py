@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Protocol
 
+import numpy as np
+
 from ..networks.addressing import flip_bit
 from ..networks.hypercube import Hypercube
 from ..networks.hypermesh import Hypermesh
@@ -81,6 +83,25 @@ class MeshDimensionOrderRouter:
                 return current + stride if d > c else current - stride
         return None  # pragma: no cover - equality handled above
 
+    def next_hop_array(self, current, dest) -> np.ndarray:
+        """Elementwise :meth:`next_hop` over int arrays.
+
+        Returns ``current`` unchanged where ``current == dest`` (the array
+        analogue of ``None``); callers routing in-flight packets never hit
+        that case.  Bit-identical to the scalar method elsewhere.
+        """
+        cur = np.asarray(current, dtype=np.int64)
+        dst = np.asarray(dest, dtype=np.int64)
+        out = cur.copy()
+        undecided = np.ones(cur.shape, dtype=bool)
+        for radix, stride in zip(self._radices, self._stride):
+            c = (cur // stride) % radix
+            d = (dst // stride) % radix
+            pick = undecided & (c != d)
+            out = np.where(pick, cur + np.where(d > c, stride, -stride), out)
+            undecided &= ~pick
+        return out
+
 
 class TorusDimensionOrderRouter:
     """Dimension-ordered routing with wrap-around links, taking the shorter
@@ -104,6 +125,28 @@ class TorusDimensionOrderRouter:
                 return current + ((c + step) % extent - c) * stride
         return None  # pragma: no cover - equality handled above
 
+    def next_hop_array(self, current, dest) -> np.ndarray:
+        """Elementwise :meth:`next_hop` over int arrays.
+
+        Same contract as ``MeshDimensionOrderRouter.next_hop_array``:
+        positions equal to their destination pass through unchanged.
+        """
+        cur = np.asarray(current, dtype=np.int64)
+        dst = np.asarray(dest, dtype=np.int64)
+        out = cur.copy()
+        undecided = np.ones(cur.shape, dtype=bool)
+        for extent, stride in zip(self._radices, self._stride):
+            c = (cur // stride) % extent
+            d = (dst // stride) % extent
+            pick = undecided & (c != d)
+            forward = (d - c) % extent
+            backward = (c - d) % extent
+            step = np.where(forward <= backward, 1, -1)
+            hop = cur + ((c + step) % extent - c) * stride
+            out = np.where(pick, hop, out)
+            undecided &= ~pick
+        return out
+
 
 class HypercubeEcubeRouter:
     """E-cube routing: correct the lowest-numbered differing address bit."""
@@ -117,6 +160,17 @@ class HypercubeEcubeRouter:
             return None
         lowest = (diff & -diff).bit_length() - 1
         return flip_bit(current, lowest)
+
+    def next_hop_array(self, current, dest) -> np.ndarray:
+        """Elementwise :meth:`next_hop` over int arrays.
+
+        ``current ^ (diff & -diff)`` flips the lowest differing bit; rows
+        with ``current == dest`` pass through unchanged.
+        """
+        cur = np.asarray(current, dtype=np.int64)
+        dst = np.asarray(dest, dtype=np.int64)
+        diff = cur ^ dst
+        return cur ^ (diff & -diff)
 
 
 class HypermeshDigitRouter:

@@ -49,7 +49,11 @@ class RoutingStats:
         Wall-clock seconds the engine spent computing each step — host-side
         instrumentation, **not** part of the word model, and therefore
         excluded from equality comparisons (two runs with identical routing
-        behaviour compare equal regardless of machine speed).
+        behaviour compare equal regardless of machine speed).  Recording is
+        **opt-in**: pass ``timing=True`` to the engine entry points to fill
+        this list; by default it stays empty so the two clock reads per
+        step stay out of the hot loop (the renderers in
+        :mod:`repro.sim.tracing` handle both cases).
     """
 
     steps: int = 0

@@ -129,12 +129,18 @@ def run_routing_task(params: dict) -> dict:
 
     Required ``params``: ``topology``, ``n``, ``workload``.  Optional:
     ``seed`` (default 99), ``arbitration`` (default ``"overtaking"``),
-    ``max_steps`` (default the engine's own bound), and ``trace`` — a
+    ``max_steps`` (default the engine's own bound), ``trace`` — a
     directory path (or ``True`` for ``results/traces``) into which the run
-    writes a JSONL observability trace.  A traced run's payload gains
-    ``trace_ref`` (the trace path, which the campaign executor lifts onto
-    the :class:`~repro.campaign.metrics.TaskRecord`) and ``top_links``
-    (the five most-congested channels, per docs/OBSERVABILITY.md).
+    writes a JSONL observability trace — and ``plan_cache`` — a plan-cache
+    mode passed to the engine's ``cache=`` keyword (``"memory"``,
+    ``"disk"``, or a directory path; see :mod:`repro.sim.plancache`), so
+    campaign sweeps that revisit a cell replay its schedule instead of
+    re-arbitrating.  A traced run's payload gains ``trace_ref`` (the trace
+    path, which the campaign executor lifts onto the
+    :class:`~repro.campaign.metrics.TaskRecord`) and ``top_links`` (the
+    five most-congested channels, per docs/OBSERVABILITY.md); traced runs
+    request per-step host timing explicitly and always route live (the
+    engine bypasses the cache for instrumented runs).
     """
     from .engine import route_demands
 
@@ -144,6 +150,7 @@ def run_routing_task(params: dict) -> dict:
     seed = int(params.get("seed", 99))
     arbitration = params.get("arbitration", "overtaking")
     trace = params.get("trace")
+    plan_cache = params.get("plan_cache")
 
     topology = build_topology(topology_name, n)
     sources, dests = build_workload(workload_name, n, seed)
@@ -173,6 +180,8 @@ def run_routing_task(params: dict) -> dict:
         max_steps=params.get("max_steps"),
         arbitration=arbitration,
         on_step=probe,
+        timing=probe is not None,  # traced runs opt into host timing
+        cache=plan_cache if plan_cache else False,
     )
     route_seconds = time.perf_counter() - t0
     stats = routed.stats

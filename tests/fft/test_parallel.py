@@ -108,6 +108,28 @@ class TestMappingReuse:
         # exchange+compute per stage, plus the closing permute.
         assert len(program) == 2 * 3 + 1
 
+    def test_fft_plan_memoizes_per_instance(self, rng):
+        from repro.fft import fft_plan
+
+        topo = Hypercube(4)
+        plan = fft_plan(topo)
+        assert fft_plan(topo) is plan  # planned once, replayed thereafter
+        # ...and parallel_fft consults the same cache when no mapping given.
+        x = rng.normal(size=16)
+        result = parallel_fft(topo, x)
+        assert result.mapping is plan
+        assert np.allclose(result.spectrum, np.fft.fft(x))
+
+    def test_fft_plan_keyed_by_instance_and_bitrev(self):
+        from repro.fft import fft_plan
+
+        a, b = Hypercube(4), Hypercube(4)
+        # Distinct instances plan separately (SimdMachine requires each
+        # schedule's topology to BE the machine's topology object)...
+        assert fft_plan(a) is not fft_plan(b)
+        # ...and the bit-reversal variant is a separate plan.
+        assert fft_plan(a) is not fft_plan(a, include_bit_reversal=False)
+
 
 class TestValidation:
     def test_sample_count_mismatch(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
 from repro.obs import (
     EngineStepProbe,
     LinkUtilizationProbe,
@@ -138,6 +138,39 @@ class TestTraceSchedule:
         probe = trace_schedule(routed.schedule, tracer=tick_tracer(ring))
         assert probe.top_congested()
         assert [e for e in ring if e.type == "link.total"]
+
+    @pytest.mark.parametrize(
+        "topology",
+        [Mesh2D(4), Torus2D(4), Hypercube(4), Hypermesh2D(4)],
+        ids=["mesh2d", "torus2d", "hypercube", "hypermesh2d"],
+    )
+    def test_vectorized_replay_matches_per_move_walk(self, topology):
+        # trace_schedule without tracer/probe takes the NumPy fast path;
+        # handing it a pre-built probe forces the reference per-move walk.
+        # Both must report identical usage, totals, and final positions.
+        routed = route_permutation(topology, bit_reversal(16))
+        fast = trace_schedule(routed.schedule)
+        walk = trace_schedule(
+            routed.schedule,
+            probe=LinkUtilizationProbe(
+                topology,
+                sources=range(16),
+                dests=routed.schedule.logical.destinations.tolist(),
+            ),
+        )
+        as_dicts = lambda probe: [u.to_dict() for u in probe.usage()]
+        assert as_dicts(fast) == as_dicts(walk)
+        assert fast.steps_observed == walk.steps_observed
+        assert fast.top_congested() == walk.top_congested()
+
+    def test_tracer_forces_the_event_emitting_walk(self):
+        # A tracer needs per-step events, which the vectorized pass cannot
+        # emit — the walk must run and the event stream must be complete.
+        ring = RingBuffer()
+        routed = route_permutation(Mesh2D(4), bit_reversal(16))
+        probe = trace_schedule(routed.schedule, tracer=tick_tracer(ring))
+        utils = [e for e in ring if e.type == "link.util"]
+        assert len(utils) == probe.steps_observed
 
     def test_constructive_bit_reversal_uses_three_hypermesh_steps(self):
         # The E5 Clos result, seen through the probe: 3 steps, all nets used.

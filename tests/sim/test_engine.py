@@ -241,12 +241,19 @@ class TestInstrumentation:
         assert delivered == sorted(delivered)
         assert delivered[-1] == 16
 
-    def test_per_step_timing_recorded(self):
-        result = route_permutation(Mesh2D(4), bit_reversal(16))
+    def test_per_step_timing_recorded_when_requested(self):
+        result = route_permutation(Mesh2D(4), bit_reversal(16), timing=True)
         stats = result.stats
         assert len(stats.per_step_seconds) == stats.steps
         assert all(dt >= 0.0 for dt in stats.per_step_seconds)
         assert stats.elapsed_seconds == sum(stats.per_step_seconds)
+
+    def test_timing_off_by_default(self):
+        # Host timing is opt-in: the clock reads stay out of the hot loop
+        # unless a consumer asks for them.
+        result = route_permutation(Mesh2D(4), bit_reversal(16))
+        assert result.stats.per_step_seconds == []
+        assert result.stats.elapsed_seconds == 0.0
 
     def test_timing_excluded_from_stats_equality(self):
         from repro.sim import RoutingStats

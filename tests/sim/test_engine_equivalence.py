@@ -107,6 +107,67 @@ def test_sparse_demands_identical(rng):
     assert_identical(new, ref)
 
 
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+def test_cached_replay_identical_to_live(topology, rng):
+    """A plan-cache replay must be indistinguishable from live routing:
+    same step dicts, same RoutingStats — through both tiers."""
+    from repro.sim import PlanCache, route_permutation
+
+    n = topology.num_nodes
+    perm = Permutation.random(n, rng)
+    cache = PlanCache()
+    live = route_permutation(topology, perm, cache=False)
+    cold = route_permutation(topology, perm, cache=cache)
+    warm = route_permutation(topology, perm, cache=cache)
+    if cache.uncacheable:
+        pytest.skip("no registered router id for this topology's router")
+    assert cache.misses == 1 and cache.hits == 1
+    for result in (cold, warm):
+        assert result.schedule.steps == live.schedule.steps
+        assert result.stats == live.stats
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+def test_disk_replay_identical_to_live(topology, rng, tmp_path):
+    from repro.sim import PlanCache, route_permutation
+
+    n = topology.num_nodes
+    perm = Permutation.random(n, rng)
+    live = route_permutation(topology, perm, cache=False)
+    route_permutation(topology, perm, cache=PlanCache(tmp_path))
+    reader = PlanCache(tmp_path)  # cold in-memory tier, warm disk tier
+    warm = route_permutation(topology, perm, cache=reader)
+    if not reader.hits:
+        pytest.skip("uncacheable router: nothing reached the disk tier")
+    assert warm.schedule.steps == live.schedule.steps
+    assert warm.stats == live.stats
+
+
+@pytest.mark.parametrize(
+    "topology",
+    [t for t in TOPOLOGIES if not isinstance(t, (Hypermesh, Hypermesh2D))],
+    ids=[
+        i
+        for t, i in zip(TOPOLOGIES, IDS)
+        if not isinstance(t, (Hypermesh, Hypermesh2D))
+    ],
+)
+def test_next_hop_array_matches_scalar(topology, rng):
+    """The engine's batched hop refill relies on next_hop_array answering
+    exactly like next_hop, elementwise, for every (current, dest) pair."""
+    router = router_for(topology)
+    n = topology.num_nodes
+    pairs = [(c, d) for c in range(n) for d in range(n) if c != d]
+    cur = [c for c, _ in pairs]
+    dst = [d for _, d in pairs]
+    batched = router.next_hop_array(cur, dst).tolist()
+    for (c, d), hop in zip(pairs, batched):
+        assert hop == router.next_hop(c, d), (c, d)
+    # Equal pairs pass through unchanged (the array analogue of None).
+    same = router.next_hop_array([0, n - 1], [0, n - 1]).tolist()
+    assert same == [0, n - 1]
+
+
 def test_max_steps_guard_identical():
     """Both engines refuse an exhausted step budget with ScheduleError."""
     from repro.sim.schedule import ScheduleError

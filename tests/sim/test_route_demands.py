@@ -111,6 +111,23 @@ class TestGuards:
         with pytest.raises(ValueError):
             route_demands(Mesh2D(3), [(0, 9)])
 
+    def test_invalid_node_message_exact(self):
+        # The vectorized validation must keep the seed's error contract to
+        # the byte: ValueError, first offending endpoint in pair order.
+        with pytest.raises(ValueError, match=r"^node 9 out of range \[0, 9\)$"):
+            route_demands(Mesh2D(3), [(0, 9)])
+        with pytest.raises(ValueError, match=r"^node -1 out of range \[0, 9\)$"):
+            route_demands(Mesh2D(3), [(0, 1), (-1, 99)])
+        # Source is checked before destination within a pair.
+        with pytest.raises(ValueError, match=r"^node 42 out of range \[0, 9\)$"):
+            route_demands(Mesh2D(3), [(42, 77)])
+
+    def test_invalid_node_non_integer_fallback(self):
+        # Endpoints that don't pack into an integer array take the original
+        # scalar loop — and still raise from the same place.
+        with pytest.raises(ValueError, match=r"out of range"):
+            route_demands(Mesh2D(3), [(0.0, 9.5)])
+
     def test_max_steps_guard(self):
         with pytest.raises(ScheduleError):
             route_demands(Mesh2D(3), [(0, 8)], max_steps=1)

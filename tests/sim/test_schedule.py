@@ -117,6 +117,78 @@ class TestHypergraphValidation:
         sched.validate()
 
 
+def _invalid_schedules():
+    """Every invalid-schedule shape from the classes above, as fixtures for
+    the fast-path/dict-walk error-equivalence sweep."""
+    mesh, hm = Mesh2D(2), Hypermesh2D(4)
+    return [
+        ("non-adjacent", CommSchedule(mesh, Permutation([3, 1, 2, 0]), ({0: 3, 3: 0},))),
+        (
+            "link-conflict",
+            CommSchedule(
+                mesh, Permutation([1, 0, 3, 2]), ({2: 0, 1: 3, 3: 2}, {0: 1, 2: 1})
+            ),
+        ),
+        ("self-move", CommSchedule(mesh, Permutation.identity(4), ({0: 0},))),
+        ("wrong-final", CommSchedule(mesh, Permutation([1, 0, 2, 3]), ())),
+        ("count-mismatch", CommSchedule(Mesh2D(2), Permutation.identity(9), ())),
+        ("pid-high", CommSchedule(mesh, Permutation.identity(4), ({99: 1},))),
+        ("pid-negative", CommSchedule(mesh, Permutation.identity(4), ({-1: 1},))),
+        ("node-high", CommSchedule(mesh, Permutation.identity(4), ({0: 9},))),
+        ("node-negative", CommSchedule(mesh, Permutation.identity(4), ({0: -2},))),
+        (
+            "cross-net",
+            CommSchedule(hm, Permutation.from_mapping({0: 5, 5: 0}, 16), ({0: 5, 5: 0},)),
+        ),
+        (
+            "double-inject",
+            CommSchedule(
+                hm,
+                Permutation([2, 3, 0, 1] + list(range(4, 16))),
+                ({1: 0}, {0: 2, 1: 3}, {}),
+            ),
+        ),
+        (
+            "double-deliver",
+            CommSchedule(
+                hm, Permutation.from_mapping({1: 3, 3: 1, 2: 0, 0: 2}, 16), ({1: 3, 2: 3},)
+            ),
+        ),
+    ]
+
+
+class TestVectorizedValidateEquivalence:
+    """The NumPy fast path and the reference dict walk must agree: same
+    verdict on valid schedules, the *identical* ScheduleError on invalid
+    ones (validate() defers to the dict walk for the message, so this is
+    the contract that keeps error text stable)."""
+
+    @pytest.mark.parametrize(
+        "topology", [Mesh2D(4), Hypercube(4), Hypermesh2D(4)],
+        ids=["mesh2d", "hypercube", "hypermesh2d"],
+    )
+    def test_valid_routed_schedules_take_the_fast_path(self, topology):
+        from repro.routing import bit_reversal
+        from repro.sim import route_permutation
+
+        sched = route_permutation(topology, bit_reversal(16)).schedule
+        assert sched._validate_vectorized() is True
+        sched.validate_dictwalk()  # and the reference agrees
+
+    @pytest.mark.parametrize(
+        "sched", [s for _, s in _invalid_schedules()],
+        ids=[name for name, _ in _invalid_schedules()],
+    )
+    def test_invalid_schedules_raise_identical_errors(self, sched):
+        with pytest.raises(ScheduleError) as fast:
+            sched.validate()
+        with pytest.raises(ScheduleError) as ref:
+            sched.validate_dictwalk()
+        assert str(fast.value) == str(ref.value)
+        # And the fast path really did flag it (no silent pass-through).
+        assert sched._validate_vectorized() is False
+
+
 class TestBoundsChecks:
     """Malformed ids raise the documented ScheduleError, never IndexError."""
 

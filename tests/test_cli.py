@@ -217,3 +217,52 @@ class TestCampaignCommands:
         rc = main(["campaign", "status", "ghost", "--store", str(tmp_path)])
         assert rc == 2
         assert "no campaign" in capsys.readouterr().err
+
+
+class TestPlansCommands:
+    @staticmethod
+    def _record_plan(root):
+        from repro.networks import Mesh2D
+        from repro.routing import bit_reversal
+        from repro.sim import PlanCache, route_permutation
+
+        cache = PlanCache(root)
+        route_permutation(Mesh2D(4), bit_reversal(16), cache=cache)
+        return cache
+
+    def test_list_empty(self, tmp_path, capsys):
+        assert main(["plans", "list", "--root", str(tmp_path)]) == 0
+        assert "no plans" in capsys.readouterr().out
+
+    def test_list_shows_recorded_plans(self, tmp_path, capsys):
+        self._record_plan(tmp_path)
+        assert main(["plans", "list", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 plans" in out
+        assert "mesh" in out  # topology fingerprint surfaces in the key column
+
+    def test_clear_removes_plans(self, tmp_path, capsys):
+        cache = self._record_plan(tmp_path)
+        assert main(["plans", "clear", "--root", str(tmp_path)]) == 0
+        assert "removed 1 plans" in capsys.readouterr().out
+        assert cache.disk_blobs() == []
+
+    def test_stats_reports_inventory_and_counters(self, tmp_path, capsys):
+        self._record_plan(tmp_path)
+        assert main(["plans", "stats", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "plans:" in out and "hits:" in out and "hit-rate:" in out
+
+    def test_stats_exports_counter_events(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        self._record_plan(tmp_path)
+        trace = tmp_path / "plans.jsonl"
+        rc = main(
+            ["plans", "stats", "--root", str(tmp_path),
+             "--trace-out", str(trace)]
+        )
+        assert rc == 0
+        events = read_trace(trace)
+        names = {e.data["name"] for e in events if e.type == "counter"}
+        assert {"plancache.hits", "plancache.misses"} <= names
