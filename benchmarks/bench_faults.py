@@ -1,0 +1,257 @@
+"""Degraded-mode overhead: routing cost vs injected fault severity.
+
+Sweeps the ``repro.faults`` fault grid over the engine and records how the
+measured schedule degrades as the machine does:
+
+* **link-failure fractions** on the point-to-point topologies — steps and
+  total hops vs the fraction of links sampled down (seeded, so every run
+  fails the same links).  Cells whose sampled faults partition the demand
+  set are recorded as ``unroutable`` rows, mapping the feasibility cliff;
+* **degraded hypermesh nets** — serialized nets (one packet per step)
+  against the fault-free one-partial-permutation baseline;
+* **intermittent drops** — ``drop_prob`` with an unbounded retry budget:
+  every packet still arrives, the retries are the overhead.
+
+Every faulted row re-checks the subsystem's contracts at benchmark scale:
+routing the same faulted cell twice is bit-identical (determinism),
+``delivered + dropped`` equals the packet count (conservation), per-row
+``total_hops`` never beats the fault-free baseline (path monotonicity —
+*step* counts may legitimately beat it; see the Braess note in
+docs/FAULTS.md), and a disabled model reproduces the baseline exactly.
+
+Emits ``BENCH_faults.json`` at the repo root.  Importable
+(``import bench_faults``) and runnable standalone::
+
+    python benchmarks/bench_faults.py              # full sizes
+    python benchmarks/bench_faults.py --sizes 64   # CI smoke
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+#: Same seeding conventions as the other benchmarks: one workload seed for
+#: the demands, one fault seed for the sampled link failures.
+WORKLOAD_SEED = 99
+FAULT_SEED = 99
+
+from repro.faults import FaultModel, UnroutableError
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+from repro.sim import route_demands
+
+FAULTS_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+FAULTS_SIZES = (64, 256)
+LINK_FAIL_FRACTIONS = (0.0, 0.05, 0.1, 0.2)
+DEGRADED_NET_COUNTS = (0, 1, 2)
+DROP_PROBS = (0.0, 0.2, 0.4)
+
+
+def _point_to_point(n: int):
+    side = math.isqrt(n)
+    return (
+        ("mesh2d", Mesh2D(side)),
+        ("torus2d", Torus2D(side)),
+        ("hypercube", Hypercube(n.bit_length() - 1)),
+    )
+
+
+def _reversal(n: int) -> list[tuple[int, int]]:
+    return [(i, n - 1 - i) for i in range(n)]
+
+
+def _timed_route(topology, demands, model):
+    t0 = time.perf_counter()
+    routed = route_demands(
+        topology, demands, fault_model=model if model.enabled else None
+    )
+    return time.perf_counter() - t0, routed
+
+
+def _faulted_row(topo_name, topology, n, axis, amount, model, baseline):
+    demands = _reversal(n)
+    try:
+        seconds, routed = _timed_route(topology, demands, model)
+    except UnroutableError as exc:
+        return {
+            "topology": topo_name,
+            "n": n,
+            "axis": axis,
+            "amount": amount,
+            "unroutable": True,
+            "error": str(exc),
+        }
+    # Determinism: the same faulted cell routes bit-identically twice.
+    _, again = _timed_route(topology, demands, model)
+    assert again.steps == routed.steps and again.stats == routed.stats, (
+        f"faulted routing not deterministic: {topo_name}/n={n}/{axis}={amount}"
+    )
+    # Conservation: every packet is accounted for, one way or the other.
+    stats = routed.stats
+    assert stats.delivered + stats.dropped == n, (
+        f"conservation violated: {topo_name}/n={n}/{axis}={amount}"
+    )
+    # Path monotonicity: detours and retries never shorten total work.
+    assert stats.total_hops >= baseline.stats.total_hops or stats.dropped, (
+        f"faulted hops beat fault-free: {topo_name}/n={n}/{axis}={amount}"
+    )
+    return {
+        "topology": topo_name,
+        "n": n,
+        "axis": axis,
+        "amount": amount,
+        "unroutable": False,
+        "steps": stats.steps,
+        "total_hops": stats.total_hops,
+        "delivered": stats.delivered,
+        "dropped": stats.dropped,
+        "retried": stats.retried,
+        "route_seconds": round(seconds, 6),
+        "steps_vs_fault_free": round(stats.steps / baseline.stats.steps, 2),
+        "hops_vs_fault_free": round(
+            stats.total_hops / baseline.stats.total_hops, 2
+        ),
+    }
+
+
+def run_faults_benchmark(
+    sizes=FAULTS_SIZES, out_path: Path = FAULTS_ARTIFACT
+) -> dict:
+    """Sweep the fault grid, assert the determinism/conservation/monotone
+    contracts on every row, write the artifact and return it."""
+    rows = []
+    for n in sizes:
+        for topo_name, topology in _point_to_point(n):
+            demands = _reversal(n)
+            baseline = route_demands(topology, demands)
+            # The no-op contract, re-checked at benchmark scale.
+            disabled = route_demands(
+                topology, demands, fault_model=FaultModel(seed=FAULT_SEED)
+            )
+            assert disabled.steps == baseline.steps
+            assert disabled.stats == baseline.stats
+            for fraction in LINK_FAIL_FRACTIONS:
+                model = FaultModel(
+                    seed=FAULT_SEED, link_fail_fraction=fraction
+                )
+                rows.append(
+                    _faulted_row(
+                        topo_name, topology, n,
+                        "link_fail_fraction", fraction, model, baseline,
+                    )
+                )
+            for drop_prob in DROP_PROBS[1:]:
+                model = FaultModel(seed=FAULT_SEED, drop_prob=drop_prob)
+                rows.append(
+                    _faulted_row(
+                        topo_name, topology, n,
+                        "drop_prob", drop_prob, model, baseline,
+                    )
+                )
+
+        side = math.isqrt(n)
+        hm = Hypermesh2D(side)
+        demands = _reversal(n)
+        baseline = route_demands(hm, demands)
+        for count in DEGRADED_NET_COUNTS:
+            model = FaultModel(
+                seed=FAULT_SEED, degraded_nets=frozenset(range(count))
+            )
+            rows.append(
+                _faulted_row(
+                    "hypermesh2d", hm, n,
+                    "degraded_nets", count, model, baseline,
+                )
+            )
+
+    routable = [r for r in rows if not r["unroutable"]]
+    artifact = {
+        "benchmark": "bench_faults.py::run_faults_benchmark",
+        "engine": "repro.faults (FaultModel + FaultAwareRouter) through "
+        "route_demands",
+        "baseline": "the same demands routed fault-free",
+        "equivalence": "every faulted row routed twice bit-identically; "
+        "delivered + dropped == packets on every row; disabled models "
+        "reproduce the fault-free baseline exactly",
+        "workload": "end-to-end reversal h-relation",
+        "sizes": list(sizes),
+        "rows": rows,
+        "unroutable_cells": sum(r["unroutable"] for r in rows),
+        "worst_steps_overhead": max(
+            r["steps_vs_fault_free"] for r in routable
+        ),
+        "worst_hops_overhead": max(
+            r["hops_vs_fault_free"] for r in routable
+        ),
+    }
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return artifact
+
+
+def test_perf_faults():
+    """Full-size run: regenerates BENCH_faults.json with the determinism,
+    conservation and monotonicity contracts asserted on every row."""
+    artifact = run_faults_benchmark()
+
+    from conftest import emit
+    from repro.viz import format_table
+
+    emit(
+        "Degraded-mode overhead: steps / hops vs injected fault severity",
+        format_table(
+            ["topology", "N", "axis", "amount", "steps", "dropped",
+             "retried", "steps x", "hops x"],
+            [
+                [
+                    r["topology"],
+                    r["n"],
+                    r["axis"],
+                    r["amount"],
+                    "unroutable" if r["unroutable"] else r["steps"],
+                    "-" if r["unroutable"] else r["dropped"],
+                    "-" if r["unroutable"] else r["retried"],
+                    "-" if r["unroutable"]
+                    else f"{r['steps_vs_fault_free']:.2f}x",
+                    "-" if r["unroutable"]
+                    else f"{r['hops_vs_fault_free']:.2f}x",
+                ]
+                for r in artifact["rows"]
+            ],
+        ),
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="record BENCH_faults.json (degraded-mode overhead sweep)"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(FAULTS_SIZES),
+        help="node counts to sweep (use a single small N for CI smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=FAULTS_ARTIFACT,
+        help="artifact path (default: repo-root BENCH_faults.json)",
+    )
+    args = parser.parse_args(argv)
+    artifact = run_faults_benchmark(tuple(args.sizes), args.output)
+    routable = [r for r in artifact["rows"] if not r["unroutable"]]
+    print(
+        f"wrote {args.output}: {len(artifact['rows'])} rows "
+        f"({artifact['unroutable_cells']} unroutable), worst overhead "
+        f"{artifact['worst_steps_overhead']:.2f}x steps / "
+        f"{artifact['worst_hops_overhead']:.2f}x hops over "
+        f"{len(routable)} routable cells"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,7 @@ from .fft import (
     ifft_dif,
     parallel_fft,
 )
+from .faults import FaultModel, UnroutableError
 from .hardware import GAAS_1992, NormalizedNetwork, Technology, normalize
 from .networks import (
     Hypercube,
@@ -91,6 +92,9 @@ __all__ = [
     # simulation
     "SimdMachine",
     "route_permutation",
+    # fault injection
+    "FaultModel",
+    "UnroutableError",
     # core / fft
     "NetworkKind",
     "BoundKind",

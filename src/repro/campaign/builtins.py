@@ -79,6 +79,73 @@ def _engine_sweep_cached() -> CampaignSpec:
     )
 
 
+#: Link-failure fractions for the chaos sweep: intact baseline up to the
+#: regime where partitions start appearing on small meshes.
+CHAOS_SWEEP_FRACTIONS = (0.0, 0.05, 0.1, 0.2)
+
+
+def _chaos_sweep() -> CampaignSpec:
+    """Degraded-mode grid: 3 topologies x 2 sizes x 4 link-fail fractions.
+
+    Each cell routes the fixed dense permutation through a machine with a
+    seeded fraction of its links failed (``fault.seed`` fixed at 99, so the
+    sampled link sets are reproducible).  ``allow_unroutable`` turns a
+    partitioned cell into an ``unroutable: 1`` row rather than a failed
+    task — the interesting output of this sweep *is* where routing stops
+    being possible.  The hypermesh column uses degraded nets instead of
+    link fractions (hypergraph networks have nets, not links): net 0
+    serialized, then nets 0+1.
+    """
+    tasks = []
+    for topology in ("mesh2d", "torus2d", "hypercube"):
+        for n in (64, 256):
+            for frac in CHAOS_SWEEP_FRACTIONS:
+                fault = (
+                    {"seed": 99, "link_fail_fraction": frac} if frac else {}
+                )
+                tasks.append(
+                    TaskSpec(
+                        entry="repro.sim.task:run_routing_task",
+                        params={
+                            "topology": topology,
+                            "n": n,
+                            "workload": "dense-permutation",
+                            "seed": 99,
+                            "arbitration": "overtaking",
+                            "allow_unroutable": True,
+                            **({"fault": fault} if fault else {}),
+                        },
+                        label=f"{topology}-n{n}-frac{frac}",
+                    )
+                )
+    for n in (64, 256):
+        for degraded in ((), (0,), (0, 1)):
+            fault = {"seed": 99, "degraded_nets": list(degraded)}
+            tasks.append(
+                TaskSpec(
+                    entry="repro.sim.task:run_routing_task",
+                    params={
+                        "topology": "hypermesh2d",
+                        "n": n,
+                        "workload": "dense-permutation",
+                        "seed": 99,
+                        "arbitration": "overtaking",
+                        "allow_unroutable": True,
+                        **({"fault": fault} if degraded else {}),
+                    },
+                    label=f"hypermesh2d-n{n}-degraded{len(degraded)}",
+                )
+            )
+    return CampaignSpec(
+        "chaos-sweep",
+        tuple(tasks),
+        meta={
+            "description": "degraded-mode sweep: routing time vs fraction "
+            "of failed links (and degraded hypermesh nets), seeded faults",
+        },
+    )
+
+
 def _experiments() -> CampaignSpec:
     from ..experiments import EXPERIMENTS
 
@@ -100,6 +167,7 @@ BUILTIN_CAMPAIGNS = {
     "engine-sweep": _engine_sweep,
     "engine-sweep-small": _engine_sweep_small,
     "engine-sweep-cached": _engine_sweep_cached,
+    "chaos-sweep": _chaos_sweep,
     "experiments": _experiments,
 }
 

@@ -559,20 +559,96 @@ def _cmd_plans_stats(args: argparse.Namespace) -> int:
     # traffic; a fresh CLI process reports zeros, which is honest.
     live = process_default() or cache
     counters = live.counters()
-    print(f"{'root:':13s}{cache.root}")
-    print(f"{'plans:':13s}{len(cache.disk_blobs())}")
-    print(f"{'bytes:':13s}{cache.disk_bytes()}")
+    print(f"{'root:':16s}{cache.root}")
+    print(f"{'plans:':16s}{len(cache.disk_blobs())}")
+    print(f"{'bytes:':16s}{cache.disk_bytes()}")
     for name, value in counters.items():
-        print(f"{name + ':':13s}{value}")
+        print(f"{name + ':':16s}{value}")
     lookups = counters["hits"] + counters["misses"]
     rate = counters["hits"] / lookups if lookups else 0.0
-    print(f"{'hit-rate:':13s}{rate:.3f}")
+    print(f"{'hit-rate:':16s}{rate:.3f}")
     if args.trace_out:
         from .obs import JsonlTraceFile, Tracer
 
         with Tracer("plans-stats", JsonlTraceFile(args.trace_out)) as tracer:
             live.emit_counters(tracer)
         print(f"wrote {args.trace_out}")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Degraded-mode sweep: routing cost vs fraction of failed links.
+
+    Routes one seeded workload through the chosen topology repeatedly,
+    failing a growing fraction of its links (sampled deterministically from
+    ``--fault-seed``), and tabulates steps / delivered / dropped / retried
+    per fraction.  Hypermesh (hypergraph) machines have nets rather than
+    links, so there the sweep degrades 0, 1, 2, ... nets to serialized
+    sub-transfers instead.  Partitioned cells are reported as
+    ``unroutable`` rows, not errors — the feasibility cliff is the result.
+    """
+    from .faults import FaultModel, UnroutableError
+    from .networks.base import ChannelModel
+    from .sim.engine import route_demands
+    from .sim.task import TOPOLOGY_BUILDERS, build_topology, build_workload
+    from .viz.series import format_table
+
+    if args.topology not in TOPOLOGY_BUILDERS:
+        print(
+            f"error: unknown topology {args.topology!r}; known: "
+            f"{sorted(TOPOLOGY_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    topology = build_topology(args.topology, args.n)
+    sources, dests = build_workload(args.workload, args.n, args.seed)
+    demands = list(zip(sources, dests))
+    hypergraph = topology.channel_model is ChannelModel.HYPERGRAPH_NET
+
+    if hypergraph:
+        fault_grid = [
+            ("degraded-nets", k, FaultModel(
+                seed=args.fault_seed,
+                degraded_nets=frozenset(range(k)),
+                drop_prob=args.drop_prob,
+                retry_limit=args.retry_limit,
+            ))
+            for k in range(args.max_degraded_nets + 1)
+        ]
+        axis = "nets degraded"
+    else:
+        fault_grid = [
+            ("link-fraction", frac, FaultModel(
+                seed=args.fault_seed,
+                link_fail_fraction=frac,
+                drop_prob=args.drop_prob,
+                retry_limit=args.retry_limit,
+            ))
+            for frac in args.fractions
+        ]
+        axis = "links failed"
+
+    rows = []
+    for _kind, amount, model in fault_grid:
+        label = f"{amount:.2f}" if not hypergraph else str(amount)
+        try:
+            routed = route_demands(
+                topology, demands, fault_model=model if model.enabled else None
+            )
+        except UnroutableError as exc:
+            rows.append([label, "unroutable", "-", "-", "-", str(exc)])
+            continue
+        s = routed.stats
+        rows.append(
+            [label, s.steps, s.delivered, s.dropped, s.retried, ""]
+        )
+    print(
+        f"{args.topology} n={args.n} {args.workload} seed={args.seed} "
+        f"fault-seed={args.fault_seed} drop-prob={args.drop_prob}"
+    )
+    print(format_table(
+        [axis, "steps", "delivered", "dropped", "retried", "note"], rows
+    ))
     return 0
 
 
@@ -775,7 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Manage the on-disk tier of repro.sim.plancache "
             "(results/plans by default): recorded routing schedules keyed "
-            "by topology, demands, router, arbitration, and engine schema."
+            "by topology, demands, router, arbitration, fault-model "
+            "fingerprint, and engine schema."
         ),
     )
     plans_sub = p.add_subparsers(dest="plans_command", required=True)
@@ -796,6 +873,35 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--trace-out", default=None,
                     help="also export the counters as JSONL counter events")
     pp.set_defaults(func=_cmd_plans_stats)
+
+    p = sub.add_parser(
+        "faults",
+        help="degraded-mode sweep: routing cost vs failed links/nets",
+        description=(
+            "Route one seeded workload through a topology with a growing "
+            "seeded fraction of its links failed (degraded nets for the "
+            "hypermesh) and tabulate steps, delivered, dropped, and "
+            "retried per fraction.  See docs/FAULTS.md."
+        ),
+    )
+    p.add_argument("--topology", default="mesh2d",
+                   help="mesh2d / torus2d / hypercube / hypermesh2d")
+    p.add_argument("--n", type=int, default=64, help="node count")
+    p.add_argument("--workload", default="dense-permutation",
+                   help="dense-permutation / bit-reversal / sparse-hrelation")
+    p.add_argument("--seed", type=int, default=99, help="workload seed")
+    p.add_argument("--fault-seed", type=int, default=99,
+                   help="seed for the sampled link-failure sets")
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=[0.0, 0.05, 0.1, 0.2, 0.3],
+                   help="link-failure fractions to sweep (point-to-point)")
+    p.add_argument("--max-degraded-nets", type=int, default=3,
+                   help="sweep 0..K degraded nets (hypermesh only)")
+    p.add_argument("--drop-prob", type=float, default=0.0,
+                   help="per-transmission intermittent drop probability")
+    p.add_argument("--retry-limit", type=int, default=None,
+                   help="failed transmissions before a packet is dropped")
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser(
         "profile",

@@ -1,0 +1,197 @@
+"""Fault-aware routing: minimal detours on the surviving network.
+
+:class:`FaultAwareRouter` wraps any deterministic base router.  While a
+packet's canonical next hop is still alive *and* still lies on a shortest
+surviving path, the wrapper defers to the base discipline — fault-free
+regions route exactly as the paper prescribes.  The moment the canonical
+hop is dead (or no longer minimal in the broken machine) the wrapper falls
+back to a BFS next-hop table computed on the surviving graph, giving a
+**minimal detour**: every hop strictly decreases the surviving-graph
+distance to the destination, so routes cannot cycle and their length is
+exactly the surviving distance.
+
+When no surviving path exists — the faults partitioned the destination
+away, or an endpoint is itself a dead node — the router raises
+:class:`~repro.faults.model.UnroutableError`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..networks.base import ChannelModel, HypergraphTopology, Topology
+from ..networks.degraded import surviving_adjacency, surviving_distances
+from .model import FaultModel, ResolvedFaults, UnroutableError, resolve_faults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.routers import Router
+
+__all__ = ["FaultAwareRouter", "fault_aware_router"]
+
+
+class FaultAwareRouter:
+    """Route around a resolved fault set with minimal detours.
+
+    Parameters
+    ----------
+    topology:
+        The (intact) network the faults apply to.
+    base:
+        Deterministic fault-free discipline to defer to where possible.
+    faults:
+        A :class:`FaultModel` (resolved here) or an already-resolved
+        :class:`ResolvedFaults`.
+
+    The router is itself a pure function of ``(current, dest)`` — BFS
+    next-hop tables are built once per destination and memoized — so it
+    satisfies the engine's determinism contract and composes with
+    :class:`~repro.sim.routers.TabulatedRouter`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        base: "Router",
+        faults: FaultModel | ResolvedFaults,
+    ):
+        if isinstance(faults, FaultModel):
+            faults = resolve_faults(faults, topology)
+        self._topology = topology
+        self._base = base
+        self._faults = faults
+        self._structural = faults.structural and bool(
+            faults.down_links or faults.down_nodes or faults.down_nets
+        )
+        self._adjacency = (
+            surviving_adjacency(topology, faults) if self._structural else None
+        )
+        self._dist_to: dict[int, list[int]] = {}
+        self._hypergraph = (
+            topology.channel_model is ChannelModel.HYPERGRAPH_NET
+        )
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def base(self) -> "Router":
+        """The wrapped fault-free discipline."""
+        return self._base
+
+    @property
+    def faults(self) -> ResolvedFaults:
+        """The resolved fault set this router routes around."""
+        return self._faults
+
+    def _distances(self, dest: int) -> list[int]:
+        dist = self._dist_to.get(dest)
+        if dist is None:
+            dist = surviving_distances(self._adjacency, dest)
+            self._dist_to[dest] = dist
+        return dist
+
+    # -------------------------------------------------------------- routing
+    def next_hop(self, current: int, dest: int) -> int | None:
+        """Next neighbour toward ``dest`` on the surviving network.
+
+        Raises :class:`UnroutableError` when ``dest`` is unreachable from
+        ``current`` (or either endpoint is a dead node).
+        """
+        if current == dest:
+            return None
+        faults = self._faults
+        if not self._structural:
+            # Drop-only / degraded-net-only models leave the graph intact:
+            # the base discipline's routes are still minimal and alive.
+            return self._base.next_hop(current, dest)
+        if faults.node_down(dest):
+            raise UnroutableError(
+                f"destination {dest} is a failed node"
+            )
+        if faults.node_down(current):
+            raise UnroutableError(
+                f"packet at failed node {current} cannot move"
+            )
+        dist = self._distances(dest)
+        here = dist[current]
+        if here == -1:
+            raise UnroutableError(
+                f"destination {dest} unreachable from {current}: "
+                f"faults partition the network"
+            )
+        # Prefer the canonical hop when it is alive and still minimal, so
+        # fault-free regions behave exactly like the base discipline.
+        base_hop = self._base.next_hop(current, dest)
+        if (
+            base_hop is not None
+            and dist[base_hop] == here - 1
+            and self._alive_edge(current, base_hop)
+        ):
+            return base_hop
+        for nb in self._adjacency[current]:
+            if dist[nb] == here - 1:
+                return nb
+        raise UnroutableError(  # pragma: no cover - dist>0 implies a hop
+            f"no surviving hop from {current} toward {dest}"
+        )
+
+    def _alive_edge(self, u: int, v: int) -> bool:
+        """Whether ``u -> v`` is one surviving step (adjacency probe)."""
+        return v in self._adjacency[u]
+
+    # ----------------------------------------------------------- hypergraph
+    def shared_net(self, node_a: int, node_b: int) -> int | None:
+        """First **alive** net both nodes belong to, or ``None``.
+
+        The engine's degraded path uses this instead of
+        ``topology.shared_net``: a generic hypergraph topology may report a
+        hard-down net for a pair that also shares an alive one.
+        """
+        assert isinstance(self._topology, HypergraphTopology)
+        topo = self._topology
+        faults = self._faults
+        if not faults.down_nets:
+            return topo.shared_net(node_a, node_b)
+        nets = topo.nets()
+        nets_a = set(topo.nets_of(node_a))
+        for net in topo.nets_of(node_b):
+            if net in nets_a and not faults.net_down(net):
+                if node_a != node_b and node_a in nets[net]:
+                    return net
+        return None
+
+    # --------------------------------------------------------- prevalidation
+    def check_routable(self, sources, dests) -> None:
+        """Raise :class:`UnroutableError` for the first doomed packet.
+
+        Called by the engine before arbitration starts so a partitioned
+        demand set fails fast with the offending packet named, instead of
+        surfacing as a mid-run deadlock.
+        """
+        faults = self._faults
+        for pid, (src, dst) in enumerate(zip(sources, dests)):
+            if faults.node_down(src):
+                raise UnroutableError(
+                    f"packet {pid} originates at failed node {src}"
+                )
+            if faults.node_down(dst):
+                raise UnroutableError(
+                    f"packet {pid} targets failed node {dst}"
+                )
+            if src == dst or not self._structural:
+                continue
+            if self._distances(dst)[src] == -1:
+                raise UnroutableError(
+                    f"packet {pid} ({src} -> {dst}) is unroutable: "
+                    f"faults partition the network"
+                )
+
+
+def fault_aware_router(
+    topology: Topology,
+    faults: FaultModel | ResolvedFaults,
+    base: "Router | None" = None,
+) -> FaultAwareRouter:
+    """Build a :class:`FaultAwareRouter` over the topology's canonical
+    discipline (or an explicit ``base``)."""
+    from ..sim.routers import router_for
+
+    return FaultAwareRouter(topology, base or router_for(topology), faults)

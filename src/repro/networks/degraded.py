@@ -1,0 +1,123 @@
+"""Surviving-network structure under a resolved fault set.
+
+The fault-aware router and the property-test harness both need the same
+view of a broken machine: *which single-step moves are still possible?*
+For point-to-point topologies that is the adjacency minus down links and
+down nodes; for hypergraph topologies it is the clique expansion of the
+**alive** nets (a degraded net still connects its members — it just
+serializes, which is an engine-capacity concern, not a reachability one).
+
+Everything here is deterministic: neighbour lists are sorted ascending, so
+the BFS next-hop tables built on top of them are reproducible and the
+engine's arbitration order is stable across runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Sequence
+
+from .base import ChannelModel, HypergraphTopology, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.model import ResolvedFaults
+
+__all__ = [
+    "surviving_adjacency",
+    "reachable_from",
+    "components_under",
+    "surviving_distances",
+]
+
+
+def surviving_adjacency(
+    topology: Topology, faults: "ResolvedFaults"
+) -> list[tuple[int, ...]]:
+    """Per-node neighbour tuples after removing down links/nodes/nets.
+
+    A down node keeps an empty neighbour list and appears in no other
+    node's list.  Hypergraph edges exist where the two nodes share at least
+    one net that is not hard-down (degraded nets count: they still carry
+    packets, one per step).
+    """
+    n = topology.num_nodes
+    down_nodes = faults.down_nodes
+    adjacency: list[tuple[int, ...]] = [()] * n
+    if topology.channel_model is ChannelModel.HYPERGRAPH_NET:
+        assert isinstance(topology, HypergraphTopology)
+        nets = topology.nets()
+        neighbour_sets: list[set[int]] = [set() for _ in range(n)]
+        for net_id, members in enumerate(nets):
+            if faults.net_down(net_id):
+                continue
+            alive = [m for m in members if m not in down_nodes]
+            for m in alive:
+                neighbour_sets[m].update(alive)
+        for node in range(n):
+            neighbour_sets[node].discard(node)
+            if node not in down_nodes:
+                adjacency[node] = tuple(sorted(neighbour_sets[node]))
+        return adjacency
+    for node in range(n):
+        if node in down_nodes:
+            continue
+        adjacency[node] = tuple(
+            sorted(
+                nb
+                for nb in topology.neighbors(node)
+                if nb not in down_nodes and not faults.link_down(node, nb)
+            )
+        )
+    return adjacency
+
+
+def reachable_from(adjacency: Sequence[Sequence[int]], start: int) -> set[int]:
+    """Nodes reachable from ``start`` in the surviving graph (incl. start)."""
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        for nb in adjacency[node]:
+            if nb not in seen:
+                seen.add(nb)
+                frontier.append(nb)
+    return seen
+
+
+def components_under(adjacency: Sequence[Sequence[int]]) -> list[set[int]]:
+    """Connected components of the surviving graph, in first-node order.
+
+    Down nodes (empty adjacency rows that no other row references) come out
+    as singleton components — callers who care filter them out.
+    """
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for node in range(len(adjacency)):
+        if node in seen:
+            continue
+        comp = reachable_from(adjacency, node)
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def surviving_distances(
+    adjacency: Sequence[Sequence[int]], dest: int
+) -> list[int]:
+    """BFS hop counts from every node **to** ``dest`` (-1 = unreachable).
+
+    The surviving graphs here are undirected (a down link kills both
+    directions), so distance-to equals distance-from and one BFS rooted at
+    the destination serves every source.
+    """
+    dist = [-1] * len(adjacency)
+    dist[dest] = 0
+    frontier = deque([dest])
+    while frontier:
+        node = frontier.popleft()
+        d = dist[node] + 1
+        for nb in adjacency[node]:
+            if dist[nb] == -1:
+                dist[nb] = d
+                frontier.append(nb)
+    return dist

@@ -13,6 +13,9 @@ grew around ``on_step`` hooks and per-task timings:
 * :mod:`repro.obs.link_metrics` — per-step, per-link/net utilization and
   queue occupancy derived from the engine's ``on_step`` hook (or a replayed
   schedule via :func:`trace_schedule`);
+* :mod:`repro.obs.faults` — :class:`FaultEventProbe`, adapting the degraded
+  engine's ``on_fault`` hook onto the ``fault.config`` / ``fault.retry`` /
+  ``fault.drop`` events;
 * :mod:`repro.obs.profile` — ``cProfile`` / ``perf_counter`` wrappers and
   the registered workloads behind ``repro profile <benchmark>``.
 
@@ -31,6 +34,7 @@ from .events import (
     register_event_type,
     validate_event,
 )
+from .faults import FaultEventProbe
 from .link_metrics import (
     ChannelUsage,
     EngineStepProbe,
@@ -64,6 +68,7 @@ __all__ = [
     "EngineStepProbe",
     "ChannelUsage",
     "LinkUtilizationProbe",
+    "FaultEventProbe",
     "trace_schedule",
     "render_step_profile",
     "timed",

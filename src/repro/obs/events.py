@@ -199,6 +199,36 @@ for _et in (
             "utilization": "float — busy_steps / steps, in [0, 1]",
         },
     ),
+    EventType(
+        "fault.config",
+        "Resolved fault set of a degraded-mode run (emitted once, first).",
+        {
+            "links_down": "int — hard-down links after fraction sampling",
+            "nodes_down": "int — dead nodes",
+            "nets_down": "int — hard-down hypermesh nets",
+            "nets_degraded": "int — nets serialized to one packet per step",
+            "drop_prob": "float — per-transmission drop probability",
+        },
+    ),
+    EventType(
+        "fault.retry",
+        "A granted move failed its transmission draw; the packet re-queues.",
+        {
+            "step": "int — zero-based step index of the failed transmission",
+            "packet": "int — packet id",
+            "node": "int — node the packet was at when transmission failed",
+        },
+    ),
+    EventType(
+        "fault.drop",
+        "A packet exhausted its retry budget and left the network.",
+        {
+            "step": "int — zero-based step index of the final failure",
+            "packet": "int — packet id",
+            "node": "int — node the packet died at",
+            "attempts": "int — cumulative failed transmissions",
+        },
+    ),
 ):
     register_event_type(_et)
 del _et

@@ -9,6 +9,7 @@ from .engine import (
     route_demands,
     route_permutation,
 )
+from .degraded import FaultCallback, route_core_degraded
 from .machine import Compute, Exchange, Permute, ProgramOp, RunResult, SimdMachine
 from .plancache import (
     PlanCache,
@@ -64,6 +65,8 @@ __all__ = [
     "route_demands",
     "RoutedDemands",
     "replay_schedule",
+    "FaultCallback",
+    "route_core_degraded",
     "PlanCache",
     "PlanKey",
     "plan_key",

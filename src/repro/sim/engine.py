@@ -73,6 +73,23 @@ this).  ``cache=False`` forces live routing even when a process-wide
 default is installed via
 :func:`~repro.sim.plancache.set_process_default`; runs with ``on_step`` or
 ``timing`` instrumentation always route live (counted as ``bypassed``).
+
+Fault injection
+---------------
+
+Both entry points accept ``fault_model=`` (a
+:class:`~repro.faults.model.FaultModel`).  A model with nothing enabled is
+contractually a **no-op**: the engine takes the fault-free path above and
+output is bit-identical to passing no model (the fuzz suite enforces
+this).  An enabled model routes through
+:func:`~repro.sim.degraded.route_core_degraded` instead — minimal detours
+around dead links/nodes/nets, serialized sub-transfers on degraded
+hypermesh nets, and retry/drop semantics with ``dropped`` / ``retried``
+accounting on :class:`RoutingStats` (observable per event via
+``on_fault``).  The fault configuration is folded into the plan-cache key,
+so a faulted run can never replay a fault-free plan or vice versa; runs
+carrying an ``on_fault`` hook route live (counted as ``fault_bypassed``).
+See docs/FAULTS.md for the full semantics.
 """
 
 from __future__ import annotations
@@ -83,9 +100,11 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..faults.model import FaultModel
 from ..networks.base import ChannelModel, HypergraphTopology, Topology
 from ..routing.permutation import Permutation
 from . import plancache as _plancache
+from .degraded import FaultCallback, route_core_degraded
 from .routers import Router, router_for
 from .schedule import CommSchedule, ScheduleError
 from .stats import RoutingStats
@@ -116,6 +135,21 @@ _COMPACT_MAX_DEPTH = 8
 #: committed step with ``(step_index, moves, stats)``.  ``moves`` is the
 #: engine's live step record — treat it as read-only.
 StepCallback = Callable[[int, Mapping[int, int], RoutingStats], None]
+
+
+def _faulted_max_steps(base: int, fault_model: FaultModel) -> int:
+    """Inflate the fault-free ``max_steps`` default for a degraded run.
+
+    Detours on the surviving graph can exceed the intact diameter, and a
+    drop probability ``p`` stretches expected transmissions by ``1/(1-p)``;
+    the default timeout scales accordingly so legitimate degraded runs are
+    not cut off, while ``drop_prob=1`` with an unbounded retry budget still
+    terminates in a :class:`ScheduleError` rather than spinning forever.
+    """
+    scale = 4.0  # headroom for minimal detours and rerouted congestion
+    if fault_model.drop_prob > 0.0:
+        scale /= max(1.0 - fault_model.drop_prob, 0.02)
+    return int(base * scale) + 16
 
 
 @dataclass(frozen=True)
@@ -507,7 +541,10 @@ def _route_core(
 
 
 def _resolve_plan_cache(
-    cache, on_step: StepCallback | None, timing: bool
+    cache,
+    on_step: StepCallback | None,
+    timing: bool,
+    fault_hook: bool = False,
 ) -> "_plancache.PlanCache | None":
     """Normalize a ``cache=`` argument, honouring the process default.
 
@@ -516,12 +553,20 @@ def _resolve_plan_cache(
     ``cache=False`` always routes live.  Instrumented runs (``on_step`` or
     ``timing``) bypass the cache — a replay has no live stats to stream and
     spent no per-step host time — and are counted as ``bypassed``.
+    ``fault_hook`` marks a run with an active fault model carrying an
+    ``on_fault`` hook: it bypasses for the same reason (a replay fires no
+    fault events) but is counted separately as ``fault_bypassed`` so
+    ``repro plans stats`` shows how much traffic fault instrumentation
+    keeps out of the cache.
     """
     if cache is None:
         resolved = _plancache.process_default()
     else:
         resolved = _plancache.resolve_cache(cache)
     if resolved is None:
+        return None
+    if fault_hook:
+        resolved.fault_bypassed += 1
         return None
     if on_step is not None or timing:
         resolved.bypassed += 1
@@ -540,29 +585,64 @@ def _route_or_replay(
     on_step: StepCallback | None,
     timing: bool,
     cache,
+    fault_model: FaultModel | None = None,
+    on_fault: FaultCallback | None = None,
 ) -> tuple[list[dict[int, int]], RoutingStats]:
-    """Cache-aware front of :func:`_route_core`: replay a recorded plan on
-    a hit, route live (and record) on a miss."""
-    cache_obj = _resolve_plan_cache(cache, on_step, timing)
+    """Cache-aware front of the routing cores: replay a recorded plan on a
+    hit, route live (and record) on a miss.
+
+    An *enabled* fault model routes through
+    :func:`~repro.sim.degraded.route_core_degraded` and folds its
+    fingerprint into the plan key — the faulted and fault-free variants of
+    one problem are distinct cache entries by construction.  A disabled
+    model is treated exactly as no model at all.
+    """
+    if fault_model is not None and not fault_model.enabled:
+        fault_model = None  # attached-but-empty: contractual no-op
+    if arbitration not in ARBITRATION_POLICIES:
+        raise ValueError(
+            f"unknown arbitration policy {arbitration!r}; "
+            f"expected one of {ARBITRATION_POLICIES}"
+        )
+    cache_obj = _resolve_plan_cache(
+        cache, on_step, timing,
+        fault_hook=fault_model is not None and on_fault is not None,
+    )
     key = None
     if cache_obj is not None:
-        key = _plancache.plan_key(topology, sources, dests, router, arbitration)
+        key = _plancache.plan_key(
+            topology, sources, dests, router, arbitration, fault_model
+        )
         if key is None:
             cache_obj.uncacheable += 1  # unregistered router: route live
         else:
             plan = cache_obj.get(key)
             if plan is not None:
                 return plan.replay_steps(), plan.replay_stats()
-    steps, stats = _route_core(
-        topology,
-        sources,
-        dests,
-        router,
-        max_steps,
-        arbitration=arbitration,
-        on_step=on_step,
-        timing=timing,
-    )
+    if fault_model is not None:
+        steps, stats = route_core_degraded(
+            topology,
+            sources,
+            dests,
+            router,
+            max_steps,
+            fault_model,
+            arbitration=arbitration,
+            on_step=on_step,
+            on_fault=on_fault,
+            timing=timing,
+        )
+    else:
+        steps, stats = _route_core(
+            topology,
+            sources,
+            dests,
+            router,
+            max_steps,
+            arbitration=arbitration,
+            on_step=on_step,
+            timing=timing,
+        )
     if key is not None:
         cache_obj.put(key, _plancache.CachedPlan.from_run(steps, stats))
     return steps, stats
@@ -578,6 +658,8 @@ def route_permutation(
     on_step: StepCallback | None = None,
     timing: bool = False,
     cache=None,
+    fault_model: FaultModel | None = None,
+    on_fault: FaultCallback | None = None,
 ) -> RoutedPermutation:
     """Route one packet per node to ``perm[node]`` and record the schedule.
 
@@ -609,12 +691,26 @@ def route_permutation(
         the process default if one is installed.  A hit replays the
         recorded schedule and stats bit-identically; ``on_step``/``timing``
         runs bypass the cache.
+    fault_model:
+        Optional :class:`~repro.faults.model.FaultModel`.  Disabled models
+        are bit-identical no-ops; enabled models reroute around dead
+        links/nodes/nets, serialize degraded hypermesh nets, and apply
+        retry/drop semantics (see the module docstring and docs/FAULTS.md).
+        Note that a faulted permutation whose packets get *dropped* no
+        longer realizes ``perm`` — ``schedule.validate()`` will then raise,
+        by design.
+    on_fault:
+        Optional :data:`~repro.sim.degraded.FaultCallback` observing every
+        retry and drop (only ever fired by an enabled fault model).
 
     Raises
     ------
     ScheduleError
         If packets are undeliverable within ``max_steps`` (e.g. a router
         proposing non-neighbours, which validation would also catch).
+    UnroutableError
+        If an enabled fault model leaves a packet's destination dead or
+        partitioned away from its source.
     """
     n = topology.num_nodes
     if perm.n != n:
@@ -622,6 +718,8 @@ def route_permutation(
     router = router or router_for(topology)
     if max_steps is None:
         max_steps = 10 * topology.diameter + 10 * n
+        if fault_model is not None and fault_model.enabled:
+            max_steps = _faulted_max_steps(max_steps, fault_model)
 
     steps, stats = _route_or_replay(
         topology,
@@ -633,6 +731,8 @@ def route_permutation(
         on_step=on_step,
         timing=timing,
         cache=cache,
+        fault_model=fault_model,
+        on_fault=on_fault,
     )
     schedule = CommSchedule(
         topology=topology, logical=perm, steps=tuple(steps)
@@ -661,6 +761,15 @@ def _validate_demand_nodes(
         arr = None
     if arr is None or arr.ndim != 2 or arr.shape[1] != 2 or arr.dtype.kind not in "iu":
         for src, dst in demands:
+            for node in (src, dst):
+                # validate_node's range check would accept an in-range
+                # float (0 <= 0.5 < n), which then explodes as a list
+                # index deep in the arbitration loop — reject it here
+                # with a message that names the actual problem.
+                if not isinstance(node, (int, np.integer)):
+                    raise ValueError(
+                        f"demand endpoint {node!r} is not an integer node id"
+                    )
             topology.validate_node(src)
             topology.validate_node(dst)
         return
@@ -680,6 +789,8 @@ def route_demands(
     on_step: StepCallback | None = None,
     timing: bool = False,
     cache=None,
+    fault_model: FaultModel | None = None,
+    on_fault: FaultCallback | None = None,
 ) -> RoutedDemands:
     """Route an arbitrary packet multiset (an h-relation) adaptively.
 
@@ -690,8 +801,8 @@ def route_demands(
     as steps, exactly as the word model prescribes.
 
     The ``max_steps`` default scales with the relation's degree ``h``.
-    ``arbitration``, ``on_step``, ``timing`` and ``cache`` behave as in
-    :func:`route_permutation`.
+    ``arbitration``, ``on_step``, ``timing``, ``cache``, ``fault_model``
+    and ``on_fault`` behave as in :func:`route_permutation`.
     """
     n = topology.num_nodes
     demands = list(demands)
@@ -706,6 +817,8 @@ def route_demands(
                 inc[dst] += 1
         h = max(max(out, default=0), max(inc, default=0), 1)
         max_steps = h * (10 * topology.diameter + 10 * n)
+        if fault_model is not None and fault_model.enabled:
+            max_steps = _faulted_max_steps(max_steps, fault_model)
 
     sources = [src for src, _ in demands]
     dests = [dst for _, dst in demands]
@@ -719,6 +832,8 @@ def route_demands(
         on_step=on_step,
         timing=timing,
         cache=cache,
+        fault_model=fault_model,
+        on_fault=on_fault,
     )
     return RoutedDemands(
         demands=tuple((int(s), int(d)) for s, d in demands),

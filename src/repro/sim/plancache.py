@@ -68,7 +68,9 @@ __all__ = [
 #: the engine's observable output for identical inputs could change (a new
 #: arbitration rule, a different step encoding, ...): old blobs then stop
 #: matching any key and are re-planned instead of replayed wrongly.
-PLAN_SCHEMA_VERSION = 1
+#: Version 2: keys gained the ``fault`` component and recorded stats gained
+#: the ``dropped`` / ``retried`` counters (fault-injection PR).
+PLAN_SCHEMA_VERSION = 2
 
 #: Default root of the on-disk tier (``disk_cache()`` / ``cache="disk"``).
 DEFAULT_PLAN_ROOT = Path("results/plans")
@@ -147,22 +149,13 @@ class PlanKey:
     demands: str
     router: str
     arbitration: str
+    fault: str = "none"
     schema: int = PLAN_SCHEMA_VERSION
 
     @property
     def digest(self) -> str:
         """Hex digest naming this plan's blob on disk."""
-        blob = json.dumps(
-            {
-                "topology": self.topology,
-                "demands": self.demands,
-                "router": self.router,
-                "arbitration": self.arbitration,
-                "schema": self.schema,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
     def to_dict(self) -> dict:
@@ -171,8 +164,23 @@ class PlanKey:
             "demands": self.demands,
             "router": self.router,
             "arbitration": self.arbitration,
+            "fault": self.fault,
             "schema": self.schema,
         }
+
+
+def fault_fingerprint(fault_model) -> str:
+    """Plan-key component of a fault configuration.
+
+    ``None`` and disabled models both map to ``"none"`` — they are
+    contractually identical runs.  Enabled models contribute their seeded
+    content fingerprint, so a faulted run can never collide with the
+    fault-free plan for the same demands (or with a differently-faulted
+    one).
+    """
+    if fault_model is None or not fault_model.enabled:
+        return "none"
+    return fault_model.fingerprint()
 
 
 def plan_key(
@@ -181,11 +189,14 @@ def plan_key(
     dests: Sequence[int],
     router,
     arbitration: str,
+    fault_model=None,
 ) -> PlanKey | None:
     """Build the :class:`PlanKey` for one routing problem.
 
     Returns ``None`` when the router has no registered identity — such runs
-    are uncacheable and must route live.
+    are uncacheable and must route live.  ``fault_model`` (a
+    :class:`~repro.faults.model.FaultModel` or ``None``) contributes the
+    key's ``fault`` component via :func:`fault_fingerprint`.
     """
     rid = router_id(router)
     if rid is None:
@@ -195,6 +206,7 @@ def plan_key(
         demands=demands_digest(sources, dests),
         router=rid,
         arbitration=arbitration,
+        fault=fault_fingerprint(fault_model),
         # Read the module global at call time (not the dataclass default,
         # which froze at class definition) so a schema bump re-keys plans.
         schema=PLAN_SCHEMA_VERSION,
@@ -227,6 +239,8 @@ class CachedPlan:
                 "max_queue_depth": stats.max_queue_depth,
                 "blocked_moves": stats.blocked_moves,
                 "delivered": stats.delivered,
+                "dropped": stats.dropped,
+                "retried": stats.retried,
                 "per_step_moves": list(stats.per_step_moves),
             },
         )
@@ -244,6 +258,10 @@ class CachedPlan:
             max_queue_depth=int(f["max_queue_depth"]),
             blocked_moves=int(f["blocked_moves"]),
             delivered=int(f["delivered"]),
+            # Fault counters arrived with PLAN_SCHEMA_VERSION 2; tolerate
+            # their absence so hand-built stats_fields stay valid.
+            dropped=int(f.get("dropped", 0)),
+            retried=int(f.get("retried", 0)),
             per_step_moves=[int(m) for m in f["per_step_moves"]],
         )
 
@@ -283,9 +301,11 @@ class PlanCache:
         (they remain on disk when a root is configured).
 
     Counters (``hits`` / ``misses`` / ``stores`` / ``evictions`` /
-    ``corrupt`` / ``uncacheable`` / ``bypassed``) describe this process's
-    traffic; :meth:`emit_counters` exports them as ``counter`` events on a
-    :class:`repro.obs.Tracer`.
+    ``corrupt`` / ``uncacheable`` / ``bypassed`` / ``fault_bypassed``)
+    describe this process's traffic; :meth:`emit_counters` exports them as
+    ``counter`` events on a :class:`repro.obs.Tracer`.  ``fault_bypassed``
+    counts runs forced live because an active fault model carried an
+    ``on_fault`` instrumentation hook (a replay fires no fault events).
     """
 
     def __init__(self, root: str | Path | None = None, *, capacity: int = 128):
@@ -301,6 +321,7 @@ class PlanCache:
         self.corrupt = 0
         self.uncacheable = 0
         self.bypassed = 0
+        self.fault_bypassed = 0
 
     # ---------------------------------------------------------------- tiers
     def blob_path(self, key: PlanKey) -> Path | None:
@@ -398,6 +419,7 @@ class PlanCache:
             "corrupt": self.corrupt,
             "uncacheable": self.uncacheable,
             "bypassed": self.bypassed,
+            "fault_bypassed": self.fault_bypassed,
         }
 
     def emit_counters(self, tracer) -> None:

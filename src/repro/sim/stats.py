@@ -43,6 +43,16 @@ class RoutingStats:
         behind it never reach the channel, so they are not proposals.
     delivered:
         Packets that reached their destination.
+    dropped:
+        Packets permanently removed by the fault model after exhausting
+        their retry budget (always 0 on fault-free runs; see
+        :mod:`repro.faults` and docs/FAULTS.md).  The conservation
+        invariant ``packets == delivered + dropped + in-flight`` holds at
+        every committed step.
+    retried:
+        Granted moves whose transmission failed the fault model's
+        intermittent-drop draw, leaving the packet queued to try again
+        (always 0 on fault-free runs).
     per_step_moves:
         Packets moved in each step (``len == steps``).
     per_step_seconds:
@@ -61,6 +71,8 @@ class RoutingStats:
     max_queue_depth: int = 0
     blocked_moves: int = 0
     delivered: int = 0
+    dropped: int = 0
+    retried: int = 0
     per_step_moves: list[int] = field(default_factory=list)
     per_step_seconds: list[float] = field(default_factory=list, compare=False)
 

@@ -135,7 +135,14 @@ def run_routing_task(params: dict) -> dict:
     mode passed to the engine's ``cache=`` keyword (``"memory"``,
     ``"disk"``, or a directory path; see :mod:`repro.sim.plancache`), so
     campaign sweeps that revisit a cell replay its schedule instead of
-    re-arbitrating.  A traced run's payload gains ``trace_ref`` (the trace
+    re-arbitrating — and ``fault`` — a flat
+    :meth:`~repro.faults.FaultModel.to_params` mapping injecting a seeded
+    fault model into the run (the payload then gains ``dropped`` /
+    ``retried``, and the cache key gains the model's fingerprint).  With
+    ``allow_unroutable`` true, a fault set that partitions a packet's
+    endpoints reports ``{"unroutable": 1, "error": ...}`` instead of
+    raising, so chaos sweeps can chart the feasibility cliff.  A traced
+    run's payload gains ``trace_ref`` (the trace
     path, which the campaign executor lifts onto the
     :class:`~repro.campaign.metrics.TaskRecord`) and ``top_links`` (the
     five most-congested channels, per docs/OBSERVABILITY.md); traced runs
@@ -151,6 +158,13 @@ def run_routing_task(params: dict) -> dict:
     arbitration = params.get("arbitration", "overtaking")
     trace = params.get("trace")
     plan_cache = params.get("plan_cache")
+
+    fault_model = None
+    fault_params = params.get("fault")
+    if fault_params:
+        from ..faults import FaultModel
+
+        fault_model = FaultModel.from_params(fault_params)
 
     topology = build_topology(topology_name, n)
     sources, dests = build_workload(workload_name, n, seed)
@@ -174,22 +188,47 @@ def run_routing_task(params: dict) -> dict:
         )
 
     t0 = time.perf_counter()
-    routed = route_demands(
-        topology,
-        list(zip(sources, dests)),
-        max_steps=params.get("max_steps"),
-        arbitration=arbitration,
-        on_step=probe,
-        timing=probe is not None,  # traced runs opt into host timing
-        cache=plan_cache if plan_cache else False,
-    )
+    try:
+        routed = route_demands(
+            topology,
+            list(zip(sources, dests)),
+            max_steps=params.get("max_steps"),
+            arbitration=arbitration,
+            on_step=probe,
+            timing=probe is not None,  # traced runs opt into host timing
+            cache=plan_cache if plan_cache else False,
+            fault_model=fault_model,
+        )
+    except Exception as exc:
+        from ..faults import UnroutableError
+
+        if not (
+            isinstance(exc, UnroutableError) and params.get("allow_unroutable")
+        ):
+            raise
+        if tracer is not None:
+            tracer.close()
+        return {
+            "topology": topology_name,
+            "n": n,
+            "workload": workload_name,
+            "seed": seed,
+            "arbitration": arbitration,
+            "packets": len(sources),
+            "unroutable": 1,
+            "error": str(exc),
+        }
     route_seconds = time.perf_counter() - t0
     stats = routed.stats
     extra = {}
+    if fault_model is not None:
+        extra["dropped"] = stats.dropped
+        extra["retried"] = stats.retried
+        extra["unroutable"] = 0
     if probe is not None and tracer is not None:
         top = probe.finish()[:5]
         tracer.close()
-        extra = {
+        extra |= {
             "trace_ref": str(trace_path),
             "top_links": [u.to_dict() for u in top],
         }

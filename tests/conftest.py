@@ -1,11 +1,39 @@
-"""Shared fixtures: small instances of every topology and a seeded RNG."""
+"""Shared fixtures (small instances of every topology, a seeded RNG) and
+the hypothesis profiles.
+
+Profiles are registered here — once, centrally — so the active profile is
+selected by the ``HYPOTHESIS_PROFILE`` environment variable instead of
+being overridden by whichever test module imported last:
+
+* ``repro`` (default) — hypothesis defaults minus the deadline, which
+  misfires on shared CI runners;
+* ``ci`` — the pinned profile the CI fuzz job runs under: derandomized
+  (fixed seed, no flaky example drift between runs), bounded example
+  counts, no deadline, and verbose failure blobs for reproduction.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import Phase, settings
 
 from repro.networks import Hypercube, Hypermesh, Hypermesh2D, Mesh, Mesh2D, Torus, Torus2D
+
+settings.register_profile("repro", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=50,
+    print_blob=True,
+    # No shrink phase in CI: a pinned-seed failure is already reproducible,
+    # and shrinking is where the wall-clock variance lives.
+    phases=(Phase.explicit, Phase.reuse, Phase.generate, Phase.target),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture

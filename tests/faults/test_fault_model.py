@@ -1,0 +1,128 @@
+"""Unit tests for FaultModel / resolve_faults (declaration + validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultModel, resolve_faults
+from repro.networks import Hypermesh2D, Mesh2D
+
+
+class TestFaultModel:
+    def test_defaults_are_disabled(self):
+        model = FaultModel()
+        assert not model.enabled
+        assert model.fingerprint() == "none"
+
+    def test_seed_alone_does_not_enable(self):
+        assert not FaultModel(seed=123).enabled
+
+    def test_links_are_normalized_undirected(self):
+        model = FaultModel(link_failures={(3, 1), (1, 3), (2, 5)})
+        assert model.link_failures == {(1, 3), (2, 5)}
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="two distinct nodes"):
+            FaultModel(link_failures={(4, 4)})
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("link_fail_fraction", -0.1, r"link_fail_fraction must be in \[0, 1\]"),
+        ("link_fail_fraction", 1.5, r"link_fail_fraction must be in \[0, 1\]"),
+        ("drop_prob", 2.0, r"drop_prob must be in \[0, 1\]"),
+        ("retry_limit", -1, "retry_limit must be >= 0 or None"),
+    ])
+    def test_range_validation(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            FaultModel(**{field: value})
+
+    def test_params_round_trip(self):
+        model = FaultModel(
+            seed=5,
+            link_failures={(0, 1)},
+            node_failures={7},
+            drop_prob=0.25,
+            retry_limit=3,
+        )
+        assert FaultModel.from_params(model.to_params()) == model
+
+    def test_from_params_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown fault params"):
+            FaultModel.from_params({"typo": 1})
+
+    def test_with_replaces_fields(self):
+        model = FaultModel(seed=1, drop_prob=0.5)
+        bumped = model.with_(seed=2)
+        assert bumped.seed == 2 and bumped.drop_prob == 0.5
+        assert model.seed == 1  # immutable original
+
+    def test_transmit_ok_certain_extremes(self):
+        assert FaultModel(drop_prob=0.0).transmit_ok(0, 0)
+        assert not FaultModel(drop_prob=1.0).transmit_ok(0, 0)
+
+    def test_transmit_ok_rate_tracks_drop_prob(self):
+        model = FaultModel(seed=11, drop_prob=0.3)
+        draws = [
+            model.transmit_ok(step, pid)
+            for step in range(50)
+            for pid in range(20)
+        ]
+        rate = 1 - sum(draws) / len(draws)
+        assert 0.25 < rate < 0.35  # 1000 hash draws around p=0.3
+
+
+class TestResolveFaults:
+    def test_node_outside_topology_rejected(self):
+        with pytest.raises(ValueError, match=r"node 99 outside \[0, 16\)"):
+            resolve_faults(FaultModel(node_failures={99}), Mesh2D(4))
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError, match="topology does not have"):
+            resolve_faults(FaultModel(link_failures={(0, 15)}), Mesh2D(4))
+
+    def test_net_faults_need_a_hypergraph(self):
+        with pytest.raises(ValueError, match="net faults need a hypergraph"):
+            resolve_faults(FaultModel(net_failures={0}), Mesh2D(4))
+
+    def test_link_faults_rejected_on_hypergraph(self):
+        with pytest.raises(ValueError, match="nets, not links"):
+            resolve_faults(FaultModel(link_failures={(0, 1)}), Hypermesh2D(4))
+
+    def test_net_outside_topology_rejected(self):
+        hm = Hypermesh2D(4)  # 8 nets
+        with pytest.raises(ValueError, match=r"net 8 outside \[0, 8\)"):
+            resolve_faults(FaultModel(net_failures={8}), hm)
+
+    def test_down_and_degraded_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both down and degraded"):
+            resolve_faults(
+                FaultModel(net_failures={1}, degraded_nets={1}),
+                Hypermesh2D(4),
+            )
+
+    def test_fraction_sampling_merges_with_explicit_links(self):
+        topo = Mesh2D(4)
+        model = FaultModel(
+            seed=3, link_failures={(0, 1)}, link_fail_fraction=0.25
+        )
+        resolved = resolve_faults(model, topo)
+        assert (0, 1) in resolved.down_links
+        # 24 undirected links; 25% sampled = 6 (the explicit one may overlap).
+        assert 6 <= len(resolved.down_links) <= 7
+
+    def test_structural_flag(self):
+        topo = Mesh2D(4)
+        assert not resolve_faults(FaultModel(drop_prob=0.5), topo).structural
+        assert resolve_faults(FaultModel(node_failures={0}), topo).structural
+
+    def test_summary_counts(self):
+        resolved = resolve_faults(
+            FaultModel(net_failures={0}, degraded_nets={1}, drop_prob=0.1),
+            Hypermesh2D(4),
+        )
+        assert resolved.summary() == {
+            "links_down": 0,
+            "nodes_down": 0,
+            "nets_down": 1,
+            "nets_degraded": 1,
+            "drop_prob": 0.1,
+        }

@@ -1,0 +1,126 @@
+"""Unit tests for FaultAwareRouter: detours, partitions, degraded nets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultModel,
+    UnroutableError,
+    fault_aware_router,
+    resolve_faults,
+)
+from repro.networks import Hypermesh2D, Mesh2D
+from repro.networks.degraded import (
+    components_under,
+    surviving_adjacency,
+    surviving_distances,
+)
+from repro.sim.routers import route_path, router_for
+
+
+class TestDetours:
+    def test_fault_free_region_defers_to_base(self):
+        topo = Mesh2D(4)
+        base = router_for(topo)
+        # Fault far away from the 0 -> 3 route along the top row.
+        far = fault_aware_router(topo, FaultModel(link_failures={(12, 13)}))
+        assert route_path(far, 0, 3) == route_path(base, 0, 3)
+
+    def test_detour_length_is_surviving_distance(self):
+        topo = Mesh2D(4)
+        model = FaultModel(link_failures={(0, 1), (4, 5)})
+        far = fault_aware_router(topo, model)
+        faults = resolve_faults(model, topo)
+        adjacency = surviving_adjacency(topo, faults)
+        for dest in range(16):
+            dist = surviving_distances(adjacency, dest)
+            for src in range(16):
+                if src == dest:
+                    continue
+                path = route_path(far, src, dest)
+                assert len(path) - 1 == dist[src]
+
+    def test_dead_destination_raises(self):
+        far = fault_aware_router(Mesh2D(4), FaultModel(node_failures={5}))
+        with pytest.raises(UnroutableError, match="destination 5 is a failed node"):
+            far.next_hop(0, 5)
+
+    def test_dead_current_raises(self):
+        far = fault_aware_router(Mesh2D(4), FaultModel(node_failures={5}))
+        with pytest.raises(UnroutableError, match="packet at failed node 5"):
+            far.next_hop(5, 0)
+
+    def test_partition_raises(self):
+        # Cut node 0 off completely: links (0,1) and (0,4) both down.
+        far = fault_aware_router(
+            Mesh2D(4), FaultModel(link_failures={(0, 1), (0, 4)})
+        )
+        with pytest.raises(UnroutableError, match="partition the network"):
+            far.next_hop(0, 15)
+
+    def test_drop_only_model_routes_like_base(self):
+        topo = Mesh2D(4)
+        base = router_for(topo)
+        far = fault_aware_router(topo, FaultModel(drop_prob=0.5))
+        for src, dst in [(0, 15), (3, 12), (7, 8)]:
+            assert route_path(far, src, dst) == route_path(base, src, dst)
+
+
+class TestCheckRoutable:
+    def test_names_the_doomed_packet(self):
+        far = fault_aware_router(Mesh2D(4), FaultModel(node_failures={2}))
+        with pytest.raises(
+            UnroutableError, match="packet 1 originates at failed node 2"
+        ):
+            far.check_routable([0, 2], [5, 6])
+        with pytest.raises(
+            UnroutableError, match="packet 0 targets failed node 2"
+        ):
+            far.check_routable([0], [2])
+
+    def test_partitioned_pair_named(self):
+        far = fault_aware_router(
+            Mesh2D(4), FaultModel(link_failures={(0, 1), (0, 4)})
+        )
+        with pytest.raises(
+            UnroutableError, match=r"packet 0 \(0 -> 15\) is unroutable"
+        ):
+            far.check_routable([0], [15])
+
+    def test_clean_demand_set_passes(self):
+        far = fault_aware_router(Mesh2D(4), FaultModel(link_failures={(0, 1)}))
+        far.check_routable(list(range(16)), list(reversed(range(16))))
+
+
+class TestHypermeshNets:
+    def test_shared_net_skips_down_nets(self):
+        hm = Hypermesh2D(4)
+        # Nodes 0 and 1 share only row net 4; with it down there is no
+        # single-net hop between them.
+        far = fault_aware_router(hm, FaultModel(net_failures={4}))
+        assert far.shared_net(0, 1) is None
+        # 0 and 4 share column net 0, untouched.
+        assert far.shared_net(0, 4) == 0
+
+    def test_degraded_net_still_reachable(self):
+        hm = Hypermesh2D(4)
+        far = fault_aware_router(hm, FaultModel(degraded_nets={4}))
+        # Degradation is a capacity fault, not a reachability fault.
+        assert far.next_hop(0, 1) == 1
+
+
+class TestSurvivingGraph:
+    def test_down_node_is_isolated(self):
+        faults = resolve_faults(FaultModel(node_failures={5}), Mesh2D(4))
+        adjacency = surviving_adjacency(Mesh2D(4), faults)
+        assert adjacency[5] == ()
+        assert all(5 not in nbrs for nbrs in adjacency)
+
+    def test_components_split_on_cut(self):
+        faults = resolve_faults(
+            FaultModel(link_failures={(0, 1), (0, 4)}), Mesh2D(4)
+        )
+        adjacency = surviving_adjacency(Mesh2D(4), faults)
+        comps = components_under(adjacency)
+        assert sorted(map(len, comps)) == [1, 15]

@@ -30,6 +30,9 @@ class TestRegistry:
             "link.util",
             "link.queue",
             "link.total",
+            "fault.config",
+            "fault.retry",
+            "fault.drop",
         }
 
     def test_every_type_declares_valid_stability(self):

@@ -1,6 +1,6 @@
 """Property-based tests for addressing primitives."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.networks.addressing import (
@@ -12,9 +12,6 @@ from repro.networks.addressing import (
     swap_bits,
     to_mixed_radix,
 )
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 @given(st.integers(0, 14), st.data())

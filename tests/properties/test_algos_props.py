@@ -1,7 +1,7 @@
 """Property-based tests for the collective algorithms."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -12,9 +12,6 @@ from repro.algos import (
     transpose_schedule,
 )
 from repro.networks import Hypercube, Hypermesh2D, Mesh2D
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 def value_vectors(widths=(1, 2, 3, 4)):

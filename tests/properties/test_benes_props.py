@@ -2,14 +2,11 @@
 permutation routes), and its switch settings are always well-formed."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.networks import BenesNetwork
 from repro.routing import Permutation
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 @st.composite

@@ -1,7 +1,7 @@
 """Property-based tests for the hypermesh 3-step Clos routing."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.networks import Hypermesh2D
@@ -12,9 +12,6 @@ from repro.routing import (
     route_permutation_3step,
 )
 from repro.sim.schedule import schedule_from_phases
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 @st.composite

@@ -1,13 +1,10 @@
 """Property-based tests for bipartite edge coloring (König optimality)."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.routing import bipartite_edge_coloring, validate_edge_coloring
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 @st.composite

@@ -1,15 +1,12 @@
 """Property-based tests for deflection routing."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.networks import Hypercube, Torus2D
 from repro.routing import Permutation
 from repro.sim.deflection import route_deflection
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 @st.composite

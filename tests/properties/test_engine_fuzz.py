@@ -1,0 +1,133 @@
+"""Differential fuzz harness for the routing engine (``fuzz`` marker).
+
+Hypothesis generates random small machines (mesh / torus / hypercube /
+hypermesh), random demand sets, and arbitration policies, then checks the
+load-bearing equivalences end to end:
+
+* the indexed production engine is **bit-identical** to the frozen seed
+  loop in :mod:`repro.sim._reference` (overtaking arbitration — the only
+  policy the reference implements);
+* a cached replay equals live routing, schedule and stats alike;
+* attaching a fault-free :class:`~repro.faults.FaultModel` is a no-op —
+  the engine must take its fault-free fast path and produce the identical
+  output, under either arbitration policy;
+* ``"fifo"`` arbitration (no reference to diff against) is at least
+  self-consistent: rerunning is deterministic and the schedule validates.
+
+These are deselected from the default run by the ``-m 'not fuzz'`` in
+``addopts`` (tier-1 stays fast); the CI fuzz job re-selects them with
+``-m fuzz`` under the pinned ``ci`` hypothesis profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults import FaultModel
+from repro.networks import Hypercube, Hypermesh, Hypermesh2D, Mesh2D, Torus2D
+from repro.sim import PlanCache, route_demands
+from repro.sim._reference import reference_route_core
+from repro.sim.routers import router_for
+
+pytestmark = pytest.mark.fuzz
+
+TOPOLOGIES = {
+    "mesh2": lambda: Mesh2D(2),
+    "mesh3": lambda: Mesh2D(3),
+    "mesh4": lambda: Mesh2D(4),
+    "torus3": lambda: Torus2D(3),
+    "torus4": lambda: Torus2D(4),
+    "cube3": lambda: Hypercube(3),
+    "cube4": lambda: Hypercube(4),
+    "hm2x4": lambda: Hypermesh2D(4),
+    "hm3d2": lambda: Hypermesh(3, 2),
+}
+
+
+@st.composite
+def topology_and_demands(draw):
+    """A random small machine plus a random multiset of packets."""
+    topo = TOPOLOGIES[draw(st.sampled_from(sorted(TOPOLOGIES)))]()
+    n = topo.num_nodes
+    kind = draw(st.sampled_from(["permutation", "h-relation", "hotspot"]))
+    if kind == "permutation":
+        dests = draw(st.permutations(list(range(n))))
+        demands = list(zip(range(n), dests))
+    elif kind == "h-relation":
+        k = draw(st.integers(min_value=1, max_value=2 * n))
+        demands = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    else:  # everyone targets one node: worst-case contention
+        hot = draw(st.integers(0, n - 1))
+        srcs = draw(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=n)
+        )
+        demands = [(s, hot) for s in srcs]
+    return topo, demands
+
+
+def _as_comparable(routed):
+    """Schedule + the stats fields that define bit-identity (host timing
+    excluded by RoutingStats.__eq__ already)."""
+    return tuple(sorted(d.items()) for d in routed.steps), routed.stats
+
+
+@given(topology_and_demands())
+def test_indexed_engine_matches_reference(case):
+    topo, demands = case
+    routed = route_demands(topo, demands)
+    sources = [s for s, _ in demands]
+    dests = [d for _, d in demands]
+    ref_steps, ref_stats = reference_route_core(
+        topo, sources, dests, router_for(topo), max_steps=10_000
+    )
+    assert list(routed.steps) == ref_steps
+    assert routed.stats == ref_stats
+
+
+@given(topology_and_demands(), st.sampled_from(["overtaking", "fifo"]))
+def test_cached_replay_equals_live_routing(case, arbitration):
+    topo, demands = case
+    # A private instance, not memory_cache(): that one is a process-wide
+    # singleton whose counters accumulate across hypothesis examples.
+    cache = PlanCache()
+    live = route_demands(topo, demands, arbitration=arbitration, cache=cache)
+    assert cache.counters()["misses"] == 1
+    replay = route_demands(topo, demands, arbitration=arbitration, cache=cache)
+    assert cache.counters()["hits"] == 1
+    assert _as_comparable(replay) == _as_comparable(live)
+
+
+@given(topology_and_demands(), st.sampled_from(["overtaking", "fifo"]))
+def test_disabled_fault_model_is_a_noop(case, arbitration):
+    topo, demands = case
+    plain = route_demands(topo, demands, arbitration=arbitration)
+    with_model = route_demands(
+        topo, demands, arbitration=arbitration, fault_model=FaultModel(seed=7)
+    )
+    assert _as_comparable(with_model) == _as_comparable(plain)
+
+
+@given(topology_and_demands())
+def test_fifo_arbitration_is_deterministic(case):
+    topo, demands = case
+    a = route_demands(topo, demands, arbitration="fifo")
+    b = route_demands(topo, demands, arbitration="fifo")
+    assert _as_comparable(a) == _as_comparable(b)
+    # Every packet ends at its destination, one hop per step per packet.
+    position = {pid: src for pid, (src, _) in enumerate(demands)}
+    for step in a.steps:
+        for pid, node in step.items():
+            assert node != position[pid]
+            position[pid] = node
+    for pid, (_, dst) in enumerate(demands):
+        assert position[pid] == dst

@@ -1,15 +1,12 @@
 """Property-based tests for the FFT implementations (reference + parallel)."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.fft import fft_dif, ifft_dif, parallel_fft
 from repro.networks import Hypercube, Hypermesh2D, Mesh2D
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 def complex_vectors(log_n_min=1, log_n_max=6):

@@ -1,16 +1,13 @@
 """Property-based tests for h-relation decomposition and blocked FFT."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.fft import blocked_fft
 from repro.networks import Hypercube, Hypermesh2D
 from repro.routing import HRelation, decompose_h_relation
 from repro.routing.hrelation import validate_rounds
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 @st.composite

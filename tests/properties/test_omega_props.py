@@ -1,14 +1,11 @@
 """Property-based tests for the Omega network."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.networks import OmegaNetwork
 from repro.routing import Permutation, bit_permutation
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 @st.composite

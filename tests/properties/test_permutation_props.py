@@ -1,13 +1,10 @@
 """Property-based tests (hypothesis) for the permutation algebra."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.routing import Permutation
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 def permutations(max_n: int = 64):

@@ -1,0 +1,167 @@
+"""Digest-sensitivity properties of the routing-plan cache key.
+
+The plan cache's safety rests on one claim: **any** change to a routing
+problem that could change the engine's output changes the
+:class:`~repro.sim.plancache.PlanKey` digest.  Hypothesis mutates each key
+component — topology, demand set, router, arbitration, and fault model —
+one at a time and asserts the digest moves (and never collides across a
+generated population).  The fault component gets extra scrutiny: every
+field of an enabled :class:`~repro.faults.FaultModel` must perturb the
+fingerprint, a disabled model must key identically to no model at all, and
+a faulted run must never be served a fault-free blob (the regression the
+schema-2 key exists to prevent).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults import FaultModel
+from repro.networks import Hypercube, Mesh2D, Torus2D
+from repro.sim import PlanCache, plan_key, route_demands
+from repro.sim.plancache import fault_fingerprint
+from repro.sim.routers import router_for
+
+
+def _key(topo, demands, arbitration="overtaking", fault_model=None):
+    sources = [s for s, _ in demands]
+    dests = [d for _, d in demands]
+    key = plan_key(
+        topo, sources, dests, router_for(topo), arbitration, fault_model
+    )
+    assert key is not None
+    return key
+
+
+@st.composite
+def demand_set(draw, n):
+    k = draw(st.integers(1, n))
+    return draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=k,
+            max_size=k,
+        )
+    )
+
+
+@given(demand_set(n=16), st.data())
+def test_any_single_demand_mutation_changes_digest(demands, data):
+    topo = Mesh2D(4)
+    base = _key(topo, demands)
+    idx = data.draw(st.integers(0, len(demands) - 1))
+    src, dst = demands[idx]
+    new_src = data.draw(st.integers(0, 15).filter(lambda v: v != src))
+    mutated = list(demands)
+    mutated[idx] = (new_src, dst)
+    assert _key(topo, mutated).digest != base.digest
+    mutated[idx] = (src, data.draw(st.integers(0, 15).filter(lambda v: v != dst)))
+    assert _key(topo, mutated).digest != base.digest
+    # Demand ORDER is part of the problem (packet ids feed arbitration).
+    if len(demands) > 1 and demands[0] != demands[-1]:
+        swapped = list(demands)
+        swapped[0], swapped[-1] = swapped[-1], swapped[0]
+        assert _key(topo, swapped).digest != base.digest
+
+
+@given(demand_set(n=16))
+def test_topology_router_and_arbitration_move_the_digest(demands):
+    digests = {
+        _key(topo, demands, arbitration).digest
+        for topo in (Mesh2D(4), Torus2D(4), Hypercube(4))
+        for arbitration in ("overtaking", "fifo")
+    }
+    assert len(digests) == 6  # all distinct: no component is ignored
+
+
+@st.composite
+def enabled_fault_model(draw):
+    links = [(i, i + 1) for i in range(0, 14)]
+    model = FaultModel(
+        seed=draw(st.integers(0, 1000)),
+        link_failures=frozenset(
+            draw(st.sets(st.sampled_from(links), min_size=1, max_size=4))
+        ),
+        node_failures=frozenset(draw(st.sets(st.integers(0, 15), max_size=3))),
+        drop_prob=draw(st.sampled_from([0.1, 0.25, 0.5])),
+        retry_limit=draw(st.sampled_from([None, 0, 2])),
+    )
+    assert model.enabled
+    return model
+
+
+@given(enabled_fault_model(), st.data())
+def test_every_fault_field_perturbs_the_fingerprint(model, data):
+    base = model.fingerprint()
+    mutations = {
+        "seed": model.with_(seed=model.seed + 1),
+        "link_failures": model.with_(
+            link_failures=model.link_failures | {(14, 15)}
+        ),
+        "node_failures": model.with_(
+            node_failures=model.node_failures
+            ^ {data.draw(st.integers(0, 15))}
+        ),
+        "link_fail_fraction": model.with_(link_fail_fraction=0.5),
+        "drop_prob": model.with_(drop_prob=model.drop_prob / 2),
+        "retry_limit": model.with_(
+            retry_limit=5 if model.retry_limit is None else None
+        ),
+    }
+    for field, mutated in mutations.items():
+        assert mutated.fingerprint() != base, f"{field} ignored by fingerprint"
+    # And the fingerprint difference propagates into the PlanKey digest.
+    demands = [(0, 15), (3, 7)]
+    topo = Mesh2D(4)
+    assert (
+        _key(topo, demands, fault_model=model).digest
+        != _key(topo, demands, fault_model=mutations["seed"]).digest
+    )
+
+
+@given(st.lists(enabled_fault_model(), min_size=2, max_size=8))
+def test_no_fingerprint_collisions_across_population(models):
+    fingerprints = {}
+    for model in models:
+        fp = model.fingerprint()
+        if fp in fingerprints:
+            assert fingerprints[fp] == model, "fingerprint collision"
+        fingerprints[fp] = model
+
+
+def test_disabled_model_keys_like_no_model():
+    assert fault_fingerprint(None) == "none"
+    assert fault_fingerprint(FaultModel(seed=42)) == "none"
+    topo = Mesh2D(4)
+    demands = [(0, 15)]
+    assert (
+        _key(topo, demands, fault_model=FaultModel(seed=9)).digest
+        == _key(topo, demands, fault_model=None).digest
+    )
+
+
+def test_faulted_run_never_serves_a_fault_free_blob():
+    """Regression for the headline cache hazard: an active fault model
+    replaying a fault-free plan would silently un-break the machine."""
+    topo = Mesh2D(4)
+    demands = [(i, 15 - i) for i in range(16)]
+    cache = PlanCache()
+    fault_free = route_demands(topo, demands, cache=cache)
+    assert cache.counters()["stores"] == 1
+
+    model = FaultModel(seed=1, link_failures={(5, 6), (9, 10)})
+    faulted = route_demands(topo, demands, fault_model=model, cache=cache)
+    counters = cache.counters()
+    assert counters["hits"] == 0, "faulted run replayed a fault-free plan"
+    assert counters["misses"] == 2 and counters["stores"] == 2
+
+    # Each variant replays only its own blob, bit-identically.
+    again_faulted = route_demands(topo, demands, fault_model=model, cache=cache)
+    again_free = route_demands(topo, demands, cache=cache)
+    assert cache.counters()["hits"] == 2
+    assert list(again_faulted.steps) == list(faulted.steps)
+    assert again_faulted.stats == faulted.stats
+    assert list(again_free.steps) == list(fault_free.steps)
+    assert again_free.stats == fault_free.stats
+    assert list(faulted.steps) != list(fault_free.steps)

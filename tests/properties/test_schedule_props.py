@@ -1,16 +1,13 @@
 """Property-based tests for schedules and adaptive routing."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import bit_reversal_schedule, map_fft
 from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
 from repro.routing import Permutation
 from repro.sim import route_permutation
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 TOPOLOGY_BUILDERS = {

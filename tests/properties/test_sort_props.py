@@ -1,15 +1,12 @@
 """Property-based tests for the parallel bitonic sort."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.networks import Hypercube, Hypermesh2D, Mesh2D
 from repro.sort import parallel_bitonic_sort
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 def key_vectors(widths=(1, 2, 3, 4, 5, 6)):

@@ -7,7 +7,7 @@ corruption — the validator must reject every one.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import map_fft
@@ -15,9 +15,6 @@ from repro.networks import Hypercube, Hypermesh2D, Mesh2D
 from repro.routing import Permutation
 from repro.sim import route_permutation
 from repro.sim.schedule import CommSchedule, ScheduleError
-
-settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
 
 
 def _valid_schedule(seed: int, kind: str) -> CommSchedule:

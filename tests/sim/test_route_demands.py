@@ -122,11 +122,23 @@ class TestGuards:
         with pytest.raises(ValueError, match=r"^node 42 out of range \[0, 9\)$"):
             route_demands(Mesh2D(3), [(42, 77)])
 
-    def test_invalid_node_non_integer_fallback(self):
-        # Endpoints that don't pack into an integer array take the original
-        # scalar loop — and still raise from the same place.
-        with pytest.raises(ValueError, match=r"out of range"):
+    def test_non_integer_endpoint_rejected_with_clear_message(self):
+        # Fuzzer-found: an IN-RANGE float (0 <= 0.5 < n) used to pass the
+        # range check and explode later as a list index inside the
+        # arbitration loop (bare TypeError).  Non-integer endpoints must be
+        # rejected up front, by name.
+        with pytest.raises(
+            ValueError, match=r"^demand endpoint 0\.5 is not an integer node id$"
+        ):
+            route_demands(Mesh2D(3), [(0.5, 1)])
+        with pytest.raises(
+            ValueError, match=r"^demand endpoint 0\.0 is not an integer node id$"
+        ):
             route_demands(Mesh2D(3), [(0.0, 9.5)])
+        with pytest.raises(
+            ValueError, match=r"^demand endpoint 'x' is not an integer node id$"
+        ):
+            route_demands(Mesh2D(3), [(0, "x")])
 
     def test_max_steps_guard(self):
         with pytest.raises(ScheduleError):

@@ -266,3 +266,43 @@ class TestPlansCommands:
         events = read_trace(trace)
         names = {e.data["name"] for e in events if e.type == "counter"}
         assert {"plancache.hits", "plancache.misses"} <= names
+
+
+class TestFaultsCommand:
+    def test_point_to_point_sweep_prints_cliff(self, capsys):
+        rc = main(
+            ["faults", "--topology", "mesh2d", "--n", "16",
+             "--fractions", "0", "0.3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "links failed" in out
+        # The 0.3 row partitions this 4x4 mesh under the default fault
+        # seed: the cliff is reported as data, not as a crash.
+        assert "unroutable" in out
+        assert "partition the network" in out
+
+    def test_hypermesh_sweeps_degraded_nets(self, capsys):
+        rc = main(
+            ["faults", "--topology", "hypermesh2d", "--n", "16",
+             "--max-degraded-nets", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nets degraded" in out
+
+    def test_drop_prob_column_reports_retries(self, capsys):
+        rc = main(
+            ["faults", "--topology", "mesh2d", "--n", "16",
+             "--fractions", "0", "--drop-prob", "0.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drop-prob=0.5" in out
+
+    def test_stats_column_width_fits_fault_bypassed(self, capsys):
+        assert main(["plans", "stats"]) == 0
+        out = capsys.readouterr().out
+        # Every counter label is padded to its own column; the longest
+        # (fault_bypassed) must not run into its value.
+        assert "fault_bypassed: " in out
