@@ -1,0 +1,236 @@
+"""Per-backend routing-engine scaling — the BENCH_engine.json recorder.
+
+Every engine backend (``indexed``, ``numpy``, and ``numba`` when the
+optional package is installed) routes identical fixed-seed workloads on
+meshes, hypercubes and hypermeshes, timed against the frozen seed loop in
+:mod:`repro.sim._reference`.  Each emitted row carries ``equivalent:
+true`` only after the row's schedule and :class:`RoutingStats` have been
+checked bit-identical to the seed loop *and* the row's
+:class:`CachedPlan` payload — the exact JSON body a plan-cache blob
+stores, insertion order included — matches the reference's byte for
+byte.  That is the cross-backend cache guarantee, re-proven at benchmark
+scale on every run that records the artifact.
+
+The module is importable (``import bench_engine_backends``) and doubles
+as a script::
+
+    python benchmarks/bench_engine_backends.py --sizes 256 1024
+
+It deliberately defines no ``test_`` functions:
+``bench_library_perf.py::test_perf_engine_scaling`` is the pytest entry
+point and delegates here, so the sweep runs once per session.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Same seeding convention as bench_library_perf / repro.sim.task: each
+#: size derives its workload generator from ``WORKLOAD_SEED + n`` so the
+#: benchmark routes the exact packets the campaign sweep routes.
+WORKLOAD_SEED = 99
+
+ENGINE_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+ENGINE_SIZES = (256, 1024, 4096, 16384)
+
+#: Acceptance bars, enforced whenever the sweep includes N = 4096: the
+#: indexed rebuild keeps its >= 5x, the SoA numpy core must clear >= 10x
+#: over the seed loop on at least one (topology, workload) cell.
+SPEEDUP_FLOORS = {"indexed": 5.0, "numpy": 10.0}
+
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.routing import Permutation
+from repro.sim._reference import reference_route_core
+from repro.sim.backends import available_backends, resolve_backend
+from repro.sim.plancache import CachedPlan
+from repro.sim.routers import router_for
+
+
+def _engine_topologies(n: int):
+    side = math.isqrt(n)
+    return (
+        ("mesh2d", Mesh2D(side)),
+        ("hypercube", Hypercube(n.bit_length() - 1)),
+        ("hypermesh2d", Hypermesh2D(side)),
+    )
+
+
+def _engine_workloads(n: int, seed: int):
+    """Fixed-seed workloads: a dense permutation (every PE sends) and a
+    sparse h-relation (2*sqrt(N) packets — where the seed loop's O(N)
+    per-step rescan is pure overhead)."""
+    rng = np.random.default_rng(seed)
+    perm = Permutation.random(n, rng)
+    dense = (list(range(n)), perm.destinations.tolist())
+    k = 2 * math.isqrt(n)
+    sparse = (
+        rng.integers(0, n, size=k).tolist(),
+        rng.integers(0, n, size=k).tolist(),
+    )
+    return (("dense-permutation", dense), ("sparse-hrelation", sparse))
+
+
+def _plan_blob(steps, stats) -> str:
+    """The canonical JSON body a plan-cache blob would store for this
+    run.  Comparing these strings across backends checks not just dict
+    equality but the serialized insertion order — what actually lands on
+    disk."""
+    return json.dumps(
+        CachedPlan.from_run(steps, stats).to_payload(), sort_keys=True
+    )
+
+
+def run_engine_benchmark(
+    sizes=ENGINE_SIZES,
+    out_path: Path = ENGINE_ARTIFACT,
+    backends=None,
+    require_speedups: bool = True,
+) -> dict:
+    """Time every backend against the seed loop and record the artifact.
+
+    Each (size, topology, workload) cell routes the same packets through
+    the seed reference once per repeat and through every backend,
+    interleaved so clock-frequency drift during the sweep cannot bias
+    one side of a pair.  Equivalence (schedule, stats, and serialized
+    plan payload) is asserted per row before the row is emitted.
+    """
+    backends = list(backends if backends is not None else available_backends())
+    cores = {name: resolve_backend(name) for name in backends}
+    rows = []
+    for n in sizes:
+        for topo_name, topo in _engine_topologies(n):
+            router = router_for(topo)
+            for workload, (srcs, dsts) in _engine_workloads(
+                n, seed=WORKLOAD_SEED + n
+            ):
+                max_steps = 16 * (10 * topo.diameter + 10 * n)
+                repeats = 5 if n <= 1024 else 1
+                seed_s = math.inf
+                times = dict.fromkeys(backends, math.inf)
+                outputs = {}
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    ref_steps, ref_stats = reference_route_core(
+                        topo, srcs, dsts, router, max_steps
+                    )
+                    seed_s = min(seed_s, time.perf_counter() - t0)
+                    for name in backends:
+                        t0 = time.perf_counter()
+                        outputs[name] = cores[name](
+                            topo, srcs, dsts, router, max_steps
+                        )
+                        times[name] = min(times[name], time.perf_counter() - t0)
+                ref_blob = _plan_blob(ref_steps, ref_stats)
+                for name in backends:
+                    steps, stats = outputs[name]
+                    assert steps == ref_steps and stats == ref_stats, (
+                        f"{name} diverged from seed loop on "
+                        f"{topo_name} n={n} {workload}"
+                    )
+                    assert _plan_blob(steps, stats) == ref_blob, (
+                        f"{name} plan payload differs on "
+                        f"{topo_name} n={n} {workload}"
+                    )
+                    rows.append(
+                        {
+                            "topology": topo_name,
+                            "n": n,
+                            "workload": workload,
+                            "backend": name,
+                            "packets": len(srcs),
+                            "steps": stats.steps,
+                            "total_hops": stats.total_hops,
+                            "engine_seconds": round(times[name], 6),
+                            "seed_engine_seconds": round(seed_s, 6),
+                            "speedup": round(seed_s / times[name], 2),
+                            "equivalent": True,
+                        }
+                    )
+
+    artifact = {
+        "benchmark": "bench_engine_backends.py::run_engine_benchmark",
+        "engines": {
+            name: f"repro.sim backend {name!r}" for name in backends
+        },
+        "baseline": "repro.sim._reference.reference_route_core (seed loop)",
+        "equivalence": (
+            "per row: schedule, RoutingStats and serialized CachedPlan "
+            "payload bit-identical to the seed loop (equivalent: true)"
+        ),
+        "sizes": list(sizes),
+        "backends": backends,
+        "rows": rows,
+    }
+    if 4096 in sizes:
+        best = {}
+        for name in backends:
+            cell = max(
+                (r for r in rows if r["n"] == 4096 and r["backend"] == name),
+                key=lambda r: r["speedup"],
+            )
+            best[name] = {
+                "topology": cell["topology"],
+                "workload": cell["workload"],
+                "speedup": cell["speedup"],
+            }
+        artifact["best_speedup_at_4096"] = best
+        if require_speedups:
+            for name, floor in SPEEDUP_FLOORS.items():
+                if name in best:
+                    assert best[name]["speedup"] >= floor, (
+                        f"backend {name!r} below its {floor}x floor at "
+                        f"N=4096: best {best[name]}"
+                    )
+    if out_path is not None:
+        out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return artifact
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="record BENCH_engine.json across engine backends"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(ENGINE_SIZES),
+        help="node counts to sweep (square powers of two)",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        help="backends to time (default: every available backend)",
+    )
+    parser.add_argument("--output", type=Path, default=ENGINE_ARTIFACT)
+    parser.add_argument(
+        "--no-floors",
+        action="store_true",
+        help="record timings without enforcing the 4096 speedup floors "
+        "(smoke runs on loaded CI hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    artifact = run_engine_benchmark(
+        sizes=tuple(args.sizes),
+        out_path=args.output,
+        backends=args.backends,
+        require_speedups=not args.no_floors,
+    )
+    print(f"wrote {args.output} ({len(artifact['rows'])} rows)")
+    for name, cell in artifact.get("best_speedup_at_4096", {}).items():
+        print(
+            f"  {name}: best {cell['speedup']}x at N=4096 "
+            f"({cell['topology']}, {cell['workload']})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

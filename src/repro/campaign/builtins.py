@@ -19,8 +19,16 @@ ENGINE_SWEEP_WORKLOADS = ("dense-permutation", "bit-reversal", "sparse-hrelation
 
 
 def _engine_sweep() -> CampaignSpec:
-    """3 topologies x 4 sizes x 3 workloads = 36 routing tasks (the PR 1
-    engine sweep, recast as a campaign grid)."""
+    """3 topologies x 4 sizes x 3 workloads x 2 backends = 72 routing tasks
+    (the PR 1 engine sweep, recast as a campaign grid).
+
+    The ``backend`` axis runs every cell on both the indexed and the
+    structure-of-arrays cores; the two halves of the grid must report
+    identical step counts (the backends are bit-identical by contract), so
+    the sweep doubles as a coarse cross-backend consistency check at
+    campaign scale.  ``numba`` is deliberately absent: built-in campaigns
+    must run everywhere, optional dependencies included nowhere.
+    """
     return CampaignSpec.from_grid(
         "engine-sweep",
         "repro.sim.task:run_routing_task",
@@ -28,11 +36,12 @@ def _engine_sweep() -> CampaignSpec:
             "topology": list(ENGINE_SWEEP_TOPOLOGIES),
             "n": list(ENGINE_SWEEP_SIZES),
             "workload": list(ENGINE_SWEEP_WORKLOADS),
+            "backend": ["indexed", "numpy"],
         },
         base={"seed": 99, "arbitration": "overtaking"},
         meta={
             "description": "word-level routing engine sweep "
-            "(topology x N x workload), fixed seeds",
+            "(topology x N x workload x backend), fixed seeds",
         },
     )
 

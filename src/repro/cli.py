@@ -477,20 +477,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             if len(targets) == 1
             else out.with_name(f"{out.stem}-{name}{out.suffix or '.jsonl'}")
         )
-        topology = build_topology(name, args.n)
-        sources, dests = build_workload(args.workload, args.n, args.seed)
+        try:
+            # Invalid arguments (a non-square n, an unknown workload,
+            # arbitration policy, or engine backend) exit 2 with the
+            # message on stderr — the documented CLI error convention —
+            # instead of escaping as tracebacks.
+            topology = build_topology(name, args.n)
+            sources, dests = build_workload(args.workload, args.n, args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         tracer = Tracer(
             f"{name}/{args.workload}/n={args.n}/seed={args.seed}",
             JsonlTraceFile(path),
         )
         probe = LinkUtilizationProbe(topology, sources, dests=dests, tracer=tracer)
-        routed = route_demands(
-            topology,
-            list(zip(sources, dests)),
-            arbitration=args.arbitration,
-            on_step=probe,
-            timing=True,  # tracing opts into host timing explicitly
-        )
+        try:
+            routed = route_demands(
+                topology,
+                list(zip(sources, dests)),
+                arbitration=args.arbitration,
+                backend=args.backend,
+                on_step=probe,
+                timing=True,  # tracing opts into host timing explicitly
+            )
+        except ValueError as exc:
+            tracer.close()
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         top = probe.finish()
         tracer.close()
         print(
@@ -506,12 +520,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plans_root_error(root) -> str | None:
+    """Reject a plan-cache ``--root`` that can never be a disk tier.
+
+    A path that exists but is not a directory would otherwise surface as an
+    OS-dependent traceback from the first directory operation; catch it
+    here so every ``repro plans`` subcommand exits 2 with a clear message.
+    """
+    from pathlib import Path
+
+    path = Path(root)
+    if path.exists() and not path.is_dir():
+        return f"plan-cache root {str(root)!r} exists but is not a directory"
+    return None
+
+
 def _cmd_plans_list(args: argparse.Namespace) -> int:
     """Tabulate the on-disk routing-plan tier, newest blob first."""
     import json
 
     from .sim.plancache import PlanCache
 
+    if (why := _plans_root_error(args.root)) is not None:
+        print(f"error: {why}", file=sys.stderr)
+        return 2
     cache = PlanCache(args.root)
     blobs = cache.disk_blobs()
     if not blobs:
@@ -538,6 +570,9 @@ def _cmd_plans_clear(args: argparse.Namespace) -> int:
     """Delete every recorded plan blob in the on-disk tier."""
     from .sim.plancache import PlanCache
 
+    if (why := _plans_root_error(args.root)) is not None:
+        print(f"error: {why}", file=sys.stderr)
+        return 2
     cache = PlanCache(args.root)
     removed = cache.clear()
     print(f"removed {removed} plans from {cache.root}")
@@ -554,6 +589,9 @@ def _cmd_plans_stats(args: argparse.Namespace) -> int:
     """
     from .sim.plancache import PlanCache, process_default
 
+    if (why := _plans_root_error(args.root)) is not None:
+        print(f"error: {why}", file=sys.stderr)
+        return 2
     cache = PlanCache(args.root)
     # The process default (when installed) holds this process's live
     # traffic; a fresh CLI process reports zeros, which is honest.
@@ -600,33 +638,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    topology = build_topology(args.topology, args.n)
-    sources, dests = build_workload(args.workload, args.n, args.seed)
-    demands = list(zip(sources, dests))
-    hypergraph = topology.channel_model is ChannelModel.HYPERGRAPH_NET
+    try:
+        # Invalid arguments — a node count the topology family rejects, an
+        # unknown workload, an out-of-range drop probability or negative
+        # retry limit — exit 2 with the message on stderr, like the
+        # unknown-topology branch above, rather than as tracebacks.
+        topology = build_topology(args.topology, args.n)
+        sources, dests = build_workload(args.workload, args.n, args.seed)
+        demands = list(zip(sources, dests))
+        hypergraph = topology.channel_model is ChannelModel.HYPERGRAPH_NET
 
-    if hypergraph:
-        fault_grid = [
-            ("degraded-nets", k, FaultModel(
-                seed=args.fault_seed,
-                degraded_nets=frozenset(range(k)),
-                drop_prob=args.drop_prob,
-                retry_limit=args.retry_limit,
-            ))
-            for k in range(args.max_degraded_nets + 1)
-        ]
-        axis = "nets degraded"
-    else:
-        fault_grid = [
-            ("link-fraction", frac, FaultModel(
-                seed=args.fault_seed,
-                link_fail_fraction=frac,
-                drop_prob=args.drop_prob,
-                retry_limit=args.retry_limit,
-            ))
-            for frac in args.fractions
-        ]
-        axis = "links failed"
+        if hypergraph:
+            fault_grid = [
+                ("degraded-nets", k, FaultModel(
+                    seed=args.fault_seed,
+                    degraded_nets=frozenset(range(k)),
+                    drop_prob=args.drop_prob,
+                    retry_limit=args.retry_limit,
+                ))
+                for k in range(args.max_degraded_nets + 1)
+            ]
+            axis = "nets degraded"
+        else:
+            fault_grid = [
+                ("link-fraction", frac, FaultModel(
+                    seed=args.fault_seed,
+                    link_fail_fraction=frac,
+                    drop_prob=args.drop_prob,
+                    retry_limit=args.retry_limit,
+                ))
+                for frac in args.fractions
+            ]
+            axis = "links failed"
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     rows = []
     for _kind, amount, model in fault_grid:
@@ -839,6 +885,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--arbitration", default="overtaking",
                    help="engine arbitration policy (overtaking | fifo)")
+    p.add_argument("--backend", default="indexed",
+                   help="engine backend (indexed | numpy | numba); all are "
+                        "bit-identical, this only changes routing speed")
     p.add_argument("--out", default="trace.jsonl",
                    help="trace path ('all' appends -<topology> to the stem)")
     p.add_argument("--summary", action="store_true",

@@ -1,6 +1,12 @@
 """Word-level synchronous network simulator: schedules, routers, adaptive
 routing engine, and the SIMD compute/communicate machine."""
 
+from .backends import (
+    ENGINE_BACKENDS,
+    available_backends,
+    numpy_route_core,
+    resolve_backend,
+)
 from .engine import (
     ARBITRATION_POLICIES,
     RoutedDemands,
@@ -56,6 +62,10 @@ __all__ = [
     "route_path",
     "router_for",
     "ARBITRATION_POLICIES",
+    "ENGINE_BACKENDS",
+    "available_backends",
+    "resolve_backend",
+    "numpy_route_core",
     "StepTracer",
     "StepRecord",
     "EngineStepProbe",

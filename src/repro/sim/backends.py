@@ -1,0 +1,455 @@
+"""Pluggable routing-engine backends: one arbitration contract, several cores.
+
+The engine's observable behaviour is contractual — bit-identical
+``CommSchedule`` step dicts, bit-identical :class:`~repro.sim.stats.
+RoutingStats`, and therefore bit-identical plan-cache blobs — no matter
+which core computed them.  This module holds the backend seam:
+
+``"indexed"`` (default)
+    The production loop in :func:`repro.sim.engine._route_core`: active-node
+    worklist, intrusive linked-list queues, per-packet hop caches.  Python
+    control flow, O(in-flight) per step.
+
+``"numpy"``
+    The structure-of-arrays core in this module: packet positions,
+    destinations, next hops, and the queue priority order held in flat
+    ``int64`` arrays and advanced whole-steps at a time.  Channel
+    arbitration becomes a stable argsort (first proposal per channel code
+    wins), hypergraph inject/deliver arbitration an iterated round of the
+    same kernel, and the FIFO queue discipline one stable argsort of the
+    survivor ordering per step.
+
+``"numba"``
+    The same structure-of-arrays step loop with its hottest kernel (the
+    first-claim-wins mask) compiled by :mod:`numba`.  Optional: resolving
+    it without numba installed raises a clear :class:`ValueError`, and the
+    test suite skips it when the package is missing.
+
+Every backend must reproduce the seed loop in :mod:`repro.sim._reference`
+exactly — same grant order (so cached plans record identical insertion
+order), same ``blocked_moves`` accounting, same error messages.  The
+equivalence suite (``tests/sim/test_backends.py``) and the differential
+fuzz harness (``tests/properties/test_engine_fuzz.py``) enforce this;
+``benchmarks/bench_engine_backends.py`` re-checks it per benchmark row
+while recording the per-backend ``BENCH_engine.json`` artifact.
+
+Why the arbitration vectorizes
+------------------------------
+
+The reference sweep proposes in priority order (node index, then FIFO
+position) and claims a channel **only when a move is granted**.  Under the
+default ``"overtaking"`` policy every queued packet proposes exactly once
+per step, so on point-to-point networks the grant set is simply "the first
+proposal in priority order for each directed link" — computable with one
+stable argsort over link codes.  On hypergraph networks a proposal must be
+first on *two* codes at once (net inject port and net deliver port), which
+a single pass cannot decide: a packet that loses one code to an
+earlier-denied packet may still win.  Iterating rounds — grant every
+remaining proposal that is first on both codes among the remaining, deny
+(and count) the ones that conflict with a grant, repeat — reproduces the
+sequential sweep exactly and terminates because the earliest remaining
+proposal always wins both its codes.  ``"fifo"`` arbitration is genuinely
+sequential (a denial silences the rest of that node's queue, which can
+un-deny later channels), so it stays a Python loop over the
+priority-ordered proposals; FIFO runs trade the vector win for exactness.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from time import perf_counter
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..networks.base import ChannelModel, HypergraphTopology, Topology
+from .routers import Router
+from .schedule import ScheduleError
+from .stats import RoutingStats
+
+__all__ = [
+    "ENGINE_BACKENDS",
+    "available_backends",
+    "resolve_backend",
+    "numpy_route_core",
+]
+
+#: Registry of engine backends: name -> one-line description.  The
+#: ``docs/API.md`` backend table is generated from this mapping by
+#: ``tools/check_docs.py`` (drift-checked in CI), so edit descriptions here
+#: and run ``python tools/check_docs.py --write``.
+ENGINE_BACKENDS: dict[str, str] = {
+    "indexed": (
+        "default — the indexed Python arbitration loop in "
+        "`repro.sim.engine` (active-node worklist, linked-list queues, "
+        "per-packet hop caches)"
+    ),
+    "numpy": (
+        "structure-of-arrays core: positions, hops, and queue order in "
+        "flat `int64` arrays, arbitration by stable argsort, whole steps "
+        "advanced per NumPy call"
+    ),
+    "numba": (
+        "the structure-of-arrays core with its first-claim-wins kernel "
+        "JIT-compiled; requires the optional `numba` package and is "
+        "skipped when it is missing"
+    ),
+}
+
+#: ``next_hop`` returned ``None`` for a queued packet (the router considers
+#: it home): mirror the reference sweep's skip-forever.  Same sentinel as
+#: the indexed engine's hop cache.
+_NO_HOP = -2
+
+
+def numba_available() -> bool:
+    """Whether the optional ``numba`` package can be imported."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends resolvable in this environment, registry order."""
+    return tuple(
+        name
+        for name in ENGINE_BACKENDS
+        if name != "numba" or numba_available()
+    )
+
+
+def resolve_backend(backend: str) -> Callable:
+    """Resolve a backend name to its ``_route_core``-compatible callable.
+
+    Raises :class:`ValueError` for unknown names, and for ``"numba"`` when
+    the optional package is not installed — the message names the backends
+    that *are* available so CLI and API callers get an actionable error.
+    """
+    if backend == "indexed":
+        from .engine import _route_core
+
+        return _route_core
+    if backend == "numpy":
+        return numpy_route_core
+    if backend == "numba":
+        if not numba_available():
+            raise ValueError(
+                "engine backend 'numba' needs the optional numba package, "
+                "which is not installed; available backends: "
+                f"{available_backends()}"
+            )
+        return _numba_route_core()
+    raise ValueError(
+        f"unknown engine backend {backend!r}; "
+        f"expected one of {tuple(ENGINE_BACKENDS)}"
+    )
+
+
+def _first_claim_wins(codes: np.ndarray) -> np.ndarray:
+    """Grant mask over priority-ordered channel codes: first claim wins.
+
+    ``codes[i]`` is the channel the ``i``-th proposal (in priority order)
+    wants; the mask is ``True`` exactly where a proposal is the first for
+    its channel.  The stable mergesort keeps equal codes in priority order,
+    so "first in the sorted run" is "first proposed".
+    """
+    m = codes.shape[0]
+    perm = np.argsort(codes, kind="mergesort")
+    ranked = codes[perm]
+    first = np.ones(m, dtype=np.bool_)
+    first[1:] = ranked[1:] != ranked[:-1]
+    mask = np.zeros(m, dtype=np.bool_)
+    mask[perm] = first
+    return mask
+
+
+def numpy_route_core(
+    topology: Topology,
+    sources: Sequence[int],
+    dests: Sequence[int],
+    router: Router,
+    max_steps: int,
+    *,
+    arbitration: str = "overtaking",
+    on_step=None,
+    timing: bool = False,
+    _first_claim: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> tuple[list[dict[int, int]], RoutingStats]:
+    """Structure-of-arrays arbitration loop (the ``"numpy"`` backend).
+
+    Same signature, semantics, and error messages as
+    :func:`repro.sim.engine._route_core`; bit-identical output is the
+    contract.  Queue state is one array — ``order`` holds the in-flight
+    packet ids sorted by (node, FIFO position) — maintained per step by a
+    stable argsort of ``concat(stayers in old order, movers in grant
+    order)`` on position: stayers keep their relative order ahead of the
+    packets that just arrived, exactly the reference's ``deque`` semantics.
+
+    ``_first_claim`` swaps the arbitration kernel (the ``"numba"`` backend
+    passes its compiled twin); leave it ``None`` for the NumPy kernel.
+    """
+    from .engine import ARBITRATION_POLICIES
+
+    if arbitration not in ARBITRATION_POLICIES:
+        raise ValueError(
+            f"unknown arbitration policy {arbitration!r}; "
+            f"expected one of {ARBITRATION_POLICIES}"
+        )
+    first_claim = _first_claim or _first_claim_wins
+    fifo = arbitration == "fifo"
+    n = topology.num_nodes
+    hypergraph = topology.channel_model is ChannelModel.HYPERGRAPH_NET
+    if hypergraph and not isinstance(topology, HypergraphTopology):
+        raise TypeError(
+            f"hypergraph channel model requires a HypergraphTopology, "
+            f"got {type(topology).__name__}"
+        )
+    next_hop = router.next_hop
+    next_hop_array = getattr(router, "next_hop_array", None)
+    shared_net = topology.shared_net if hypergraph else None
+    shared_net_array = (
+        getattr(topology, "shared_net_array", None) if hypergraph else None
+    )
+
+    npk = len(sources)
+    position = np.array(sources, dtype=np.int64)
+    dest = np.array(dests, dtype=np.int64)
+
+    # Priority order: node index ascending, FIFO position within the node.
+    # Initial FIFO position is packet-id order (the reference fills queues
+    # by ascending pid), so a stable sort of the ascending in-flight pids
+    # by position *is* the initial priority order.
+    queued = np.flatnonzero(position != dest)
+    order = queued[np.argsort(position[queued], kind="mergesort")]
+    in_flight = int(order.size)
+
+    stats = RoutingStats()
+    delivered = npk - in_flight
+    stats.delivered = delivered
+    if in_flight:
+        stats.max_queue_depth = int(np.bincount(position[order]).max())
+    steps: list[dict[int, int]] = []
+    blocked = 0
+    per_step_seconds = stats.per_step_seconds if timing else None
+
+    while in_flight:
+        t0 = perf_counter() if per_step_seconds is not None else 0.0
+        if stats.steps >= max_steps:
+            raise ScheduleError(
+                f"{in_flight} packets undelivered after {max_steps} steps"
+            )
+        pos = position[order]
+        dst = dest[order]
+        if next_hop_array is not None:
+            # In-flight packets never sit at their destination, so the
+            # equal-pair passthrough never fires and every row is a real
+            # proposal.
+            hops = np.asarray(next_hop_array(pos, dst), dtype=np.int64)
+        else:
+            hops = np.empty(in_flight, dtype=np.int64)
+            pos_list = pos.tolist()
+            dst_list = dst.tolist()
+            for i in range(in_flight):
+                hop = next_hop(pos_list[i], dst_list[i])
+                hops[i] = _NO_HOP if hop is None else hop
+        proposing = hops != _NO_HOP
+
+        if hypergraph:
+            if shared_net_array is not None:
+                nets = np.asarray(
+                    shared_net_array(pos, np.where(proposing, hops, pos)),
+                    dtype=np.int64,
+                )
+            else:
+                nets = np.full(in_flight, -1, dtype=np.int64)
+                for i in np.flatnonzero(proposing).tolist():
+                    net = shared_net(int(pos[i]), int(hops[i]))
+                    nets[i] = -1 if net is None else net
+            bad = proposing & (nets < 0)
+            if bad.any():
+                i = int(np.argmax(bad))
+                raise ScheduleError(
+                    f"router proposed non-net hop {int(pos[i])} -> "
+                    f"{int(hops[i])}"
+                )
+
+        # --- arbitration: indices into `order`, ascending == grant order
+        if fifo:
+            granted_idx, denied = _fifo_arbitrate(
+                n, pos, hops, nets if hypergraph else None
+            )
+            blocked += denied
+        elif hypergraph:
+            prop_idx = np.flatnonzero(proposing)
+            inject = nets * np.int64(n) + pos
+            deliver = nets * np.int64(n) + hops
+            granted_parts = []
+            cand = prop_idx
+            while cand.size:
+                win = first_claim(inject[cand]) & first_claim(deliver[cand])
+                grant = cand[win]
+                granted_parts.append(grant)
+                rest = cand[~win]
+                if rest.size == 0:
+                    break
+                conflict = np.isin(inject[rest], inject[grant]) | np.isin(
+                    deliver[rest], deliver[grant]
+                )
+                blocked += int(np.count_nonzero(conflict))
+                cand = rest[~conflict]
+            granted_idx = (
+                np.sort(np.concatenate(granted_parts))
+                if granted_parts
+                else np.empty(0, dtype=np.int64)
+            )
+        else:
+            prop_idx = np.flatnonzero(proposing)
+            codes = pos[prop_idx] * np.int64(n) + hops[prop_idx]
+            win = first_claim(codes)
+            granted_idx = prop_idx[win]
+            blocked += int(prop_idx.size - granted_idx.size)
+
+        if granted_idx.size == 0:
+            raise ScheduleError(
+                f"deadlock: {in_flight} packets queued but none can move"
+            )
+
+        # --- commit, in grant order (== priority order among grants)
+        grant_pids = order[granted_idx]
+        grant_hops = hops[granted_idx]
+        position[grant_pids] = grant_hops
+        arrived = grant_hops == dest[grant_pids]
+        moved = np.zeros(in_flight, dtype=bool)
+        moved[granted_idx] = True
+        survivors = np.concatenate((order[~moved], grant_pids[~arrived]))
+        order = survivors[np.argsort(position[survivors], kind="mergesort")]
+        in_flight = int(order.size)
+        delivered += int(np.count_nonzero(arrived))
+
+        moves = dict(zip(grant_pids.tolist(), grant_hops.tolist()))
+        steps.append(moves)
+        stats.steps += 1
+        stats.total_hops += len(moves)
+        stats.per_step_moves.append(len(moves))
+        stats.blocked_moves = blocked
+        stats.delivered = delivered
+        if in_flight:
+            depth = int(np.bincount(position[order]).max())
+            if depth > stats.max_queue_depth:
+                stats.max_queue_depth = depth
+        if per_step_seconds is not None:
+            per_step_seconds.append(perf_counter() - t0)
+        if on_step is not None:
+            on_step(stats.steps - 1, moves, stats)
+
+    return steps, stats
+
+
+def _fifo_arbitrate(
+    n: int,
+    pos: np.ndarray,
+    hops: np.ndarray,
+    nets: np.ndarray | None,
+) -> tuple[np.ndarray, int]:
+    """Sequential FIFO arbitration over priority-ordered proposals.
+
+    FIFO queueing is non-monotone — a denial silences the rest of that
+    node's queue for the step, which can free channels for *later* nodes —
+    so it cannot be a one-shot argsort; this mirrors the indexed sweep's
+    ``break`` with a per-node skip flag instead.  Exactly one blocked move
+    is counted per stopped node (the packet that hit the busy channel);
+    the silenced tail never reaches a channel and counts nothing.
+    ``None``-hop packets are transparent: skipped without stopping the
+    queue, as in the indexed engine.  Returns (granted indices ascending,
+    blocked count).
+    """
+    skip = bytearray(n)
+    used_links: set[int] = set()
+    used_inject: set[int] = set()
+    used_deliver: set[int] = set()
+    granted: list[int] = []
+    blocked = 0
+    pos_list = pos.tolist()
+    hop_list = hops.tolist()
+    net_list = nets.tolist() if nets is not None else None
+    for i in range(len(pos_list)):
+        nxt = hop_list[i]
+        if nxt == _NO_HOP:
+            continue
+        node = pos_list[i]
+        if skip[node]:
+            continue
+        if net_list is not None:
+            net = net_list[i]
+            inject = net * n + node
+            deliver = net * n + nxt
+            if inject in used_inject or deliver in used_deliver:
+                skip[node] = 1
+                blocked += 1
+                continue
+            used_inject.add(inject)
+            used_deliver.add(deliver)
+        else:
+            link = node * n + nxt
+            if link in used_links:
+                skip[node] = 1
+                blocked += 1
+                continue
+            used_links.add(link)
+        granted.append(i)
+    return np.asarray(granted, dtype=np.int64), blocked
+
+
+# --------------------------------------------------------------------------
+# The optional numba backend: the same step loop with the first-claim-wins
+# kernel compiled.  Resolution is lazy so importing this module never pulls
+# numba in; the compiled kernel is cached for the process.
+
+_NUMBA_FIRST_CLAIM = None
+
+
+def _numba_first_claim():
+    global _NUMBA_FIRST_CLAIM
+    if _NUMBA_FIRST_CLAIM is None:
+        import numba
+
+        @numba.njit(cache=True)
+        def first_claim(codes):  # pragma: no cover - needs numba installed
+            m = codes.shape[0]
+            perm = np.argsort(codes, kind="mergesort")
+            mask = np.zeros(m, dtype=np.bool_)
+            for j in range(m):
+                if j == 0 or codes[perm[j]] != codes[perm[j - 1]]:
+                    mask[perm[j]] = True
+            return mask
+
+        _NUMBA_FIRST_CLAIM = first_claim
+    return _NUMBA_FIRST_CLAIM
+
+
+def _numba_route_core():
+    """Build the ``"numba"`` backend callable (numba must be installed)."""
+    kernel = _numba_first_claim()
+
+    def numba_route_core(
+        topology,
+        sources,
+        dests,
+        router,
+        max_steps,
+        *,
+        arbitration: str = "overtaking",
+        on_step=None,
+        timing: bool = False,
+    ):
+        return numpy_route_core(
+            topology,
+            sources,
+            dests,
+            router,
+            max_steps,
+            arbitration=arbitration,
+            on_step=on_step,
+            timing=timing,
+            _first_claim=kernel,
+        )
+
+    return numba_route_core

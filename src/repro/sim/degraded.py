@@ -111,7 +111,10 @@ def route_core_degraded(
             raise ScheduleError(
                 f"{in_flight} packets undelivered after {max_steps} steps"
             )
-        granted: dict[int, int] = {}
+        # Explicit list in grant (= priority) order: the transmission phase
+        # must apply grants in arbitration order, not whatever iteration
+        # order a mapping happens to have.
+        granted: list[tuple[int, int]] = []
         used_links: set[tuple[int, int]] = set()
         used_inject: set[tuple[int, int]] = set()
         used_deliver: set[tuple[int, int]] = set()
@@ -152,7 +155,7 @@ def route_core_degraded(
                             break
                         continue
                     used_links.add(link)
-                granted[pid] = nxt
+                granted.append((pid, nxt))
 
         if not granted:
             raise ScheduleError(
@@ -163,7 +166,7 @@ def route_core_degraded(
         # fails the intermittent-fault draw.  Failures leave the packet
         # queued (a retry); a packet past its retry budget is dropped.
         moves: dict[int, int] = {}
-        for pid, nxt in granted.items():
+        for pid, nxt in granted:
             if not transmit_ok(stats.steps, pid):
                 attempts[pid] += 1
                 stats.retried += 1

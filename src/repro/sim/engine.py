@@ -104,6 +104,7 @@ from ..faults.model import FaultModel
 from ..networks.base import ChannelModel, HypergraphTopology, Topology
 from ..routing.permutation import Permutation
 from . import plancache as _plancache
+from .backends import resolve_backend
 from .degraded import FaultCallback, route_core_degraded
 from .routers import Router, router_for
 from .schedule import CommSchedule, ScheduleError
@@ -137,19 +138,37 @@ _COMPACT_MAX_DEPTH = 8
 StepCallback = Callable[[int, Mapping[int, int], RoutingStats], None]
 
 
-def _faulted_max_steps(base: int, fault_model: FaultModel) -> int:
+def _degraded_max_steps(
+    base: int, fault_model: FaultModel, packets: int
+) -> int:
     """Inflate the fault-free ``max_steps`` default for a degraded run.
 
-    Detours on the surviving graph can exceed the intact diameter, and a
-    drop probability ``p`` stretches expected transmissions by ``1/(1-p)``;
-    the default timeout scales accordingly so legitimate degraded runs are
-    not cut off, while ``drop_prob=1`` with an unbounded retry budget still
-    terminates in a :class:`ScheduleError` rather than spinning forever.
+    The bound is derived from what a degraded run can legitimately spend:
+
+    * ``4 * base`` covers minimal detours on the surviving graph (longer
+      than the intact diameter) plus the congestion they induce;
+    * with a **finite retry budget**, lossy transmission consumes at most
+      ``retry_limit + 1`` attempts per packet before the packet drops, and
+      every step in which *all* granted transmissions fail still burns at
+      least one attempt from some packet's budget — so
+      ``packets * (retry_limit + 1)`` extra steps suffice for any drop
+      probability, however close to 1;
+    * with an **unbounded** retry budget, expected transmissions stretch by
+      ``1/(1 - p)``; the divisor is clamped so ``drop_prob=1`` still
+      terminates in a :class:`ScheduleError` rather than spinning forever.
+
+    The old fixed ``scale = 4.0 / max(1-p, 0.02)`` under-inflated exactly
+    in the finite-budget case: a packet with ``p`` close to 1 and a large
+    ``retry_limit`` is *legal but slow* (expected ``1/(1-p)`` steps per
+    hop, far beyond the clamped 50x) and used to hit the ceiling mid-run.
     """
-    scale = 4.0  # headroom for minimal detours and rerouted congestion
+    bound = 4 * base  # headroom for minimal detours, rerouted congestion
     if fault_model.drop_prob > 0.0:
-        scale /= max(1.0 - fault_model.drop_prob, 0.02)
-    return int(base * scale) + 16
+        if fault_model.retry_limit is not None:
+            bound += packets * (int(fault_model.retry_limit) + 1)
+        else:
+            bound = int(bound / max(1.0 - fault_model.drop_prob, 0.02))
+    return bound + 16
 
 
 @dataclass(frozen=True)
@@ -343,6 +362,12 @@ def _route_core(
                 q_len[node] = len(q)
             queues = None
         moves: dict[int, int] = {}
+        # The commit below applies `granted`, an explicit list in grant
+        # (= priority) order, never `moves.items()`: the step record's dict
+        # iteration order must be a *consequence* of arbitration order, not
+        # an input to the committed state — a backend that built the dict
+        # differently would otherwise silently change queue contents.
+        granted: list[tuple[int, int]] = []
         # Channels claimed this step, encoded as ints for cheap set probes:
         # directed link (node, nxt) -> node * n + nxt; net port pairs
         # (net, node) -> net * n + node (separate inject/deliver sets).
@@ -392,6 +417,7 @@ def _route_core(
                             continue
                         used_links.add(link)
                     moves[pid] = nxt
+                    granted.append((pid, nxt))
         else:
             for node in active:
                 pid = q_head[node]
@@ -435,6 +461,7 @@ def _route_core(
                             continue
                         used_links.add(link)
                     moves[pid] = nxt
+                    granted.append((pid, nxt))
                     pid = q_next[pid]
 
         if not moves:
@@ -446,7 +473,7 @@ def _route_core(
         grew: list[int] = []
         max_depth = stats.max_queue_depth
         if queues is not None:
-            for pid, nxt in moves.items():
+            for pid, nxt in granted:
                 queues[position[pid]].remove(pid)
                 position[pid] = nxt
                 if nxt == dests[pid]:
@@ -466,7 +493,7 @@ def _route_core(
                     max_depth = len(queues[node])
         else:
             newly_active: list[int] = []
-            for pid, nxt in moves.items():
+            for pid, nxt in granted:
                 node = position[pid]
                 prv, fol = q_prev[pid], q_next[pid]
                 if prv == -1 and fol == -1:
@@ -587,15 +614,23 @@ def _route_or_replay(
     cache,
     fault_model: FaultModel | None = None,
     on_fault: FaultCallback | None = None,
+    backend: str = "indexed",
 ) -> tuple[list[dict[int, int]], RoutingStats]:
     """Cache-aware front of the routing cores: replay a recorded plan on a
     hit, route live (and record) on a miss.
 
+    ``backend`` selects the fault-free arbitration core (see
+    :mod:`repro.sim.backends`); it is resolved *before* the cache is
+    consulted so unknown names fail fast instead of being masked by a hit.
+    It is deliberately **not** part of the plan key — all backends are
+    bit-identical by contract, so a plan recorded by one replays for all.
+
     An *enabled* fault model routes through
-    :func:`~repro.sim.degraded.route_core_degraded` and folds its
-    fingerprint into the plan key — the faulted and fault-free variants of
-    one problem are distinct cache entries by construction.  A disabled
-    model is treated exactly as no model at all.
+    :func:`~repro.sim.degraded.route_core_degraded` — the indexed path —
+    regardless of ``backend`` and folds its fingerprint into the plan key:
+    the faulted and fault-free variants of one problem are distinct cache
+    entries by construction.  A disabled model is treated exactly as no
+    model at all.
     """
     if fault_model is not None and not fault_model.enabled:
         fault_model = None  # attached-but-empty: contractual no-op
@@ -604,6 +639,7 @@ def _route_or_replay(
             f"unknown arbitration policy {arbitration!r}; "
             f"expected one of {ARBITRATION_POLICIES}"
         )
+    route_core = resolve_backend(backend)
     cache_obj = _resolve_plan_cache(
         cache, on_step, timing,
         fault_hook=fault_model is not None and on_fault is not None,
@@ -620,6 +656,9 @@ def _route_or_replay(
             if plan is not None:
                 return plan.replay_steps(), plan.replay_stats()
     if fault_model is not None:
+        # Explicit fallback: fault injection always runs the indexed
+        # degraded core, whatever backend was selected (tested in
+        # tests/sim/test_backends.py).
         steps, stats = route_core_degraded(
             topology,
             sources,
@@ -633,7 +672,7 @@ def _route_or_replay(
             timing=timing,
         )
     else:
-        steps, stats = _route_core(
+        steps, stats = route_core(
             topology,
             sources,
             dests,
@@ -655,6 +694,7 @@ def route_permutation(
     *,
     max_steps: int | None = None,
     arbitration: str = "overtaking",
+    backend: str = "indexed",
     on_step: StepCallback | None = None,
     timing: bool = False,
     cache=None,
@@ -679,6 +719,14 @@ def route_permutation(
     arbitration:
         Channel-arbitration policy, ``"overtaking"`` (seed-identical
         default) or ``"fifo"`` — see the module docstring.
+    backend:
+        Arbitration core — ``"indexed"`` (default), ``"numpy"`` (the
+        structure-of-arrays core), or ``"numba"`` (optional; errors if the
+        package is missing).  All backends are bit-identical by contract
+        (schedule, stats, and plan-cache digests alike), so this only
+        changes how fast the answer is computed; see
+        :mod:`repro.sim.backends`.  Fault-injected runs always use the
+        indexed degraded core regardless.
     on_step:
         Optional :data:`StepCallback` invoked after every committed step.
     timing:
@@ -719,7 +767,7 @@ def route_permutation(
     if max_steps is None:
         max_steps = 10 * topology.diameter + 10 * n
         if fault_model is not None and fault_model.enabled:
-            max_steps = _faulted_max_steps(max_steps, fault_model)
+            max_steps = _degraded_max_steps(max_steps, fault_model, n)
 
     steps, stats = _route_or_replay(
         topology,
@@ -733,6 +781,7 @@ def route_permutation(
         cache=cache,
         fault_model=fault_model,
         on_fault=on_fault,
+        backend=backend,
     )
     schedule = CommSchedule(
         topology=topology, logical=perm, steps=tuple(steps)
@@ -786,6 +835,7 @@ def route_demands(
     *,
     max_steps: int | None = None,
     arbitration: str = "overtaking",
+    backend: str = "indexed",
     on_step: StepCallback | None = None,
     timing: bool = False,
     cache=None,
@@ -801,8 +851,9 @@ def route_demands(
     as steps, exactly as the word model prescribes.
 
     The ``max_steps`` default scales with the relation's degree ``h``.
-    ``arbitration``, ``on_step``, ``timing``, ``cache``, ``fault_model``
-    and ``on_fault`` behave as in :func:`route_permutation`.
+    ``arbitration``, ``backend``, ``on_step``, ``timing``, ``cache``,
+    ``fault_model`` and ``on_fault`` behave as in
+    :func:`route_permutation`.
     """
     n = topology.num_nodes
     demands = list(demands)
@@ -818,7 +869,9 @@ def route_demands(
         h = max(max(out, default=0), max(inc, default=0), 1)
         max_steps = h * (10 * topology.diameter + 10 * n)
         if fault_model is not None and fault_model.enabled:
-            max_steps = _faulted_max_steps(max_steps, fault_model)
+            max_steps = _degraded_max_steps(
+                max_steps, fault_model, len(demands)
+            )
 
     sources = [src for src, _ in demands]
     dests = [dst for _, dst in demands]
@@ -834,6 +887,7 @@ def route_demands(
         cache=cache,
         fault_model=fault_model,
         on_fault=on_fault,
+        backend=backend,
     )
     return RoutedDemands(
         demands=tuple((int(s), int(d)) for s, d in demands),

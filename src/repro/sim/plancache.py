@@ -142,7 +142,10 @@ class PlanKey:
 
     Everything the engine's output depends on, nothing it does not: the
     packet payloads, host timing, and instrumentation hooks are all absent
-    by construction.
+    by construction.  The engine *backend* is deliberately absent too:
+    every backend is bit-identical by contract (the equivalence and fuzz
+    suites enforce it), so a plan recorded under one backend replays for
+    all of them — same key, same digest, same blob bytes.
     """
 
     topology: str

@@ -192,6 +192,25 @@ class HypermeshDigitRouter:
                 return current + (d - c) * stride
         return None  # pragma: no cover - equality handled above
 
+    def next_hop_array(self, current, dest) -> np.ndarray:
+        """Elementwise :meth:`next_hop` over int arrays.
+
+        A net traversal corrects the whole digit at once, so the hop is
+        ``current + (d - c) * stride`` for the lowest differing digit.
+        Rows with ``current == dest`` pass through unchanged.
+        """
+        cur = np.asarray(current, dtype=np.int64)
+        dst = np.asarray(dest, dtype=np.int64)
+        out = cur.copy()
+        undecided = np.ones(cur.shape, dtype=bool)
+        for radix, stride in zip(self._radices, self._stride):
+            c = (cur // stride) % radix
+            d = (dst // stride) % radix
+            pick = undecided & (c != d)
+            out = np.where(pick, cur + (d - c) * stride, out)
+            undecided &= ~pick
+        return out
+
 
 class TabulatedRouter:
     """Next-hop lookup table over any deterministic router.

@@ -1,0 +1,82 @@
+"""Regression tests for the degraded-run step ceiling.
+
+The old default was ``max_steps * 4.0 / max(1 - drop_prob, 0.02)`` — a
+fixed 200x cap however large the retry budget.  A *legal* run with
+``drop_prob`` close to 1 and a generous ``retry_limit`` expects
+``hops / (1 - p)`` steps, which blows through that cap: the engine then
+raised ``ScheduleError`` on a run that was merely slow, not stuck.  The
+bound is now derived from the retry budget (``packets * (retry_limit +
+1)`` extra steps cover any loss rate when the budget is finite), while
+unbounded-retry runs keep the clamped ``1/(1-p)`` scale so ``drop_prob=1``
+still terminates.
+"""
+
+import pytest
+
+from repro.faults import FaultModel
+from repro.networks import Mesh2D
+from repro.sim import route_demands
+from repro.sim.engine import _degraded_max_steps
+from repro.sim.schedule import ScheduleError
+
+# Mesh2D(2): diameter 2, 4 nodes -> the engine's fault-free default bound
+# for a degree-1 relation is 10*2 + 10*4 = 60 steps.
+BASE = 60
+
+
+def old_bound(base: float, drop_prob: float) -> int:
+    """The pre-fix formula, inlined so the regression stays anchored."""
+    scale = 4.0
+    if drop_prob > 0.0:
+        scale /= max(1.0 - drop_prob, 0.02)
+    return int(base * scale) + 16
+
+
+class TestLegalButSlow:
+    """High loss + big retry budget: slow is not stuck."""
+
+    MODEL = FaultModel(seed=1, drop_prob=0.9999, retry_limit=10**6)
+
+    def test_run_needs_more_steps_than_the_old_ceiling_allowed(self):
+        routed = route_demands(
+            Mesh2D(2), [(0, 3)], fault_model=self.MODEL, cache=False
+        )
+        # This deterministic run (seeded Bernoulli draws) really does
+        # exceed the old ceiling — under the old formula it died here.
+        assert routed.stats.steps > old_bound(BASE, self.MODEL.drop_prob)
+        assert routed.stats.delivered == 1
+        assert routed.stats.dropped == 0
+
+    def test_new_bound_covers_the_retry_budget(self):
+        new = _degraded_max_steps(BASE, self.MODEL, packets=1)
+        assert new > old_bound(BASE, self.MODEL.drop_prob)
+        # detour headroom + one packet's full attempt budget
+        assert new == 4 * BASE + (10**6 + 1) + 16
+
+    def test_old_ceiling_would_have_killed_it(self):
+        """Belt and braces: cap max_steps at the old bound and watch the
+        same run die — proof the ceiling, not the routing, was the bug."""
+        with pytest.raises(ScheduleError, match="undelivered"):
+            route_demands(
+                Mesh2D(2),
+                [(0, 3)],
+                fault_model=self.MODEL,
+                max_steps=old_bound(BASE, self.MODEL.drop_prob),
+                cache=False,
+            )
+
+
+class TestGenuinelyUnroutable:
+    """Unbounded retries at drop_prob=1 must still terminate in an error,
+    not spin forever: the clamped 1/(1-p) scale survives the fix."""
+
+    def test_total_loss_terminates_with_schedule_error(self):
+        model = FaultModel(seed=0, drop_prob=1.0, retry_limit=None)
+        with pytest.raises(ScheduleError, match="undelivered"):
+            route_demands(Mesh2D(2), [(0, 3)], fault_model=model, cache=False)
+
+    def test_unbounded_retry_bound_is_finite_and_unchanged(self):
+        model = FaultModel(seed=0, drop_prob=1.0, retry_limit=None)
+        assert _degraded_max_steps(BASE, model, packets=1) == old_bound(
+            BASE, 1.0
+        )

@@ -7,6 +7,11 @@ load-bearing equivalences end to end:
 * the indexed production engine is **bit-identical** to the frozen seed
   loop in :mod:`repro.sim._reference` (overtaking arbitration — the only
   policy the reference implements);
+* every pluggable engine backend (``"numpy"``, and ``"numba"`` when the
+  optional package is present) is bit-identical to the indexed engine —
+  step dicts in the same insertion order, same stats — under both
+  arbitration policies, and the numpy core matches the seed reference
+  directly;
 * a cached replay equals live routing, schedule and stats alike;
 * attaching a fault-free :class:`~repro.faults.FaultModel` is a no-op —
   the engine must take its fault-free fast path and produce the identical
@@ -21,6 +26,8 @@ These are deselected from the default run by the ``-m 'not fuzz'`` in
 
 from __future__ import annotations
 
+from importlib.util import find_spec
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -32,6 +39,10 @@ from repro.sim._reference import reference_route_core
 from repro.sim.routers import router_for
 
 pytestmark = pytest.mark.fuzz
+
+#: Every backend resolvable here; numba rides along when installed so the
+#: best-effort CI leg fuzzes it with the same pinned profile.
+BACKENDS = ["indexed", "numpy"] + (["numba"] if find_spec("numba") else [])
 
 TOPOLOGIES = {
     "mesh2": lambda: Mesh2D(2),
@@ -85,6 +96,39 @@ def _as_comparable(routed):
 def test_indexed_engine_matches_reference(case):
     topo, demands = case
     routed = route_demands(topo, demands)
+    sources = [s for s, _ in demands]
+    dests = [d for _, d in demands]
+    ref_steps, ref_stats = reference_route_core(
+        topo, sources, dests, router_for(topo), max_steps=10_000
+    )
+    assert list(routed.steps) == ref_steps
+    assert routed.stats == ref_stats
+
+
+@given(
+    topology_and_demands(),
+    st.sampled_from(["overtaking", "fifo"]),
+    st.sampled_from(BACKENDS),
+)
+def test_backends_bit_identical_to_indexed(case, arbitration, backend):
+    """The differential backend axis: any (machine, demands, arbitration,
+    backend) draw must reproduce the indexed engine exactly — including
+    each step dict's insertion order, which the plan cache serializes."""
+    topo, demands = case
+    baseline = route_demands(topo, demands, arbitration=arbitration)
+    routed = route_demands(
+        topo, demands, arbitration=arbitration, backend=backend
+    )
+    assert [list(s.items()) for s in routed.steps] == [
+        list(s.items()) for s in baseline.steps
+    ]
+    assert routed.stats == baseline.stats
+
+
+@given(topology_and_demands())
+def test_numpy_backend_matches_reference(case):
+    topo, demands = case
+    routed = route_demands(topo, demands, backend="numpy")
     sources = [s for s, _ in demands]
     dests = [d for _, d in demands]
     ref_steps, ref_stats = reference_route_core(

@@ -1,0 +1,280 @@
+"""The backend seam, enforced: every engine backend is bit-identical.
+
+``repro.sim.backends`` promises that the ``"numpy"`` (and optional
+``"numba"``) cores produce byte-for-byte the same observable output as the
+indexed engine and the frozen seed loop — same step dicts *in the same
+insertion order*, same :class:`~repro.sim.stats.RoutingStats`, same
+plan-cache digests and blob payloads.  These tests are that contract; the
+differential fuzz harness in ``tests/properties/test_engine_fuzz.py``
+extends them with random draws.
+"""
+
+import importlib.util
+
+import pytest
+
+from repro.faults import FaultModel
+from repro.networks import (
+    Hypercube,
+    Hypermesh,
+    Hypermesh2D,
+    Mesh,
+    Mesh2D,
+    Torus,
+    Torus2D,
+)
+from repro.routing import Permutation, bit_reversal
+from repro.sim import (
+    ENGINE_BACKENDS,
+    PlanCache,
+    available_backends,
+    numpy_route_core,
+    resolve_backend,
+    route_demands,
+    route_permutation,
+)
+from repro.sim._reference import reference_route_core
+from repro.sim.engine import _route_core
+from repro.sim.routers import router_for
+from repro.sim.schedule import ScheduleError
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+TOPOLOGIES = [
+    Mesh2D(4),
+    Torus2D(4),
+    Hypercube(4),
+    Hypermesh2D(4),
+    Mesh((3, 5)),
+    Torus((5, 3)),
+    Hypermesh(3, 3),
+]
+IDS = [f"{type(t).__name__}-{t.num_nodes}" for t in TOPOLOGIES]
+
+BACKENDS = ["numpy"] + (["numba"] if HAVE_NUMBA else [])
+
+
+def run_core(core, topology, sources, dests, **kwargs):
+    router = router_for(topology)
+    max_steps = 100 * (10 * topology.diameter + 10 * topology.num_nodes)
+    return core(topology, sources, dests, router, max_steps, **kwargs)
+
+
+def assert_bit_identical(got, want):
+    got_steps, got_stats = got
+    want_steps, want_stats = want
+    assert got_steps == want_steps
+    # Dict equality ignores insertion order, but the plan cache serializes
+    # each step's keys in insertion order — so the order is contractual.
+    for g, w in zip(got_steps, want_steps):
+        assert list(g.items()) == list(w.items())
+    assert got_stats == want_stats
+
+
+class TestRegistry:
+    def test_indexed_resolves_to_engine_core(self):
+        assert resolve_backend("indexed") is _route_core
+
+    def test_numpy_resolves(self):
+        assert resolve_backend("numpy") is numpy_route_core
+
+    def test_unknown_backend_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            resolve_backend("fortran")
+
+    def test_registry_and_availability(self):
+        assert list(ENGINE_BACKENDS) == ["indexed", "numpy", "numba"]
+        avail = available_backends()
+        assert avail[:2] == ("indexed", "numpy")
+        assert ("numba" in avail) == HAVE_NUMBA
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_missing_numba_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="numba"):
+            resolve_backend("numba")
+        with pytest.raises(ValueError, match="numba"):
+            route_permutation(Mesh2D(2), bit_reversal(4), backend="numba")
+
+    def test_bad_arbitration_message_identical(self):
+        topo = Mesh2D(2)
+        router = router_for(topo)
+        with pytest.raises(ValueError, match="unknown arbitration") as a:
+            _route_core(topo, [0], [3], router, 10, arbitration="magic")
+        with pytest.raises(ValueError, match="unknown arbitration") as b:
+            numpy_route_core(topo, [0], [3], router, 10, arbitration="magic")
+        assert str(a.value) == str(b.value)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+class TestCoreEquivalence:
+    def test_permutations_both_arbitrations(self, topology, backend, rng):
+        core = resolve_backend(backend)
+        n = topology.num_nodes
+        for _ in range(2):
+            perm = Permutation.random(n, rng)
+            src, dst = list(range(n)), perm.destinations.tolist()
+            for arbitration in ("overtaking", "fifo"):
+                got = run_core(
+                    core, topology, src, dst, arbitration=arbitration
+                )
+                want = run_core(
+                    _route_core, topology, src, dst, arbitration=arbitration
+                )
+                assert_bit_identical(got, want)
+
+    def test_h_relations_and_hotspot(self, topology, backend, rng):
+        core = resolve_backend(backend)
+        n = topology.num_nodes
+        cases = [
+            (rng.integers(0, n, 3 * n).tolist(), rng.integers(0, n, 3 * n).tolist()),
+            (list(range(n)), [0] * n),  # hotspot: maximal arbitration
+            ([0, 0, 1], [0, 1, 1]),  # already-home packets and overlap
+        ]
+        for src, dst in cases:
+            for arbitration in ("overtaking", "fifo"):
+                got = run_core(
+                    core, topology, src, dst, arbitration=arbitration
+                )
+                want = run_core(
+                    _route_core, topology, src, dst, arbitration=arbitration
+                )
+                assert_bit_identical(got, want)
+
+    def test_matches_seed_reference(self, topology, backend, rng):
+        core = resolve_backend(backend)
+        n = topology.num_nodes
+        perm = Permutation.random(n, rng)
+        src, dst = list(range(n)), perm.destinations.tolist()
+        assert_bit_identical(
+            run_core(core, topology, src, dst),
+            run_core(reference_route_core, topology, src, dst),
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendSemantics:
+    def test_max_steps_guard_identical(self, backend):
+        core = resolve_backend(backend)
+        topo = Mesh2D(4)
+        perm = bit_reversal(16)
+        args = (topo, list(range(16)), perm.destinations.tolist(),
+                router_for(topo), 2)
+        with pytest.raises(ScheduleError, match="undelivered") as got:
+            core(*args)
+        with pytest.raises(ScheduleError, match="undelivered") as want:
+            _route_core(*args)
+        assert str(got.value) == str(want.value)
+
+    def test_on_step_and_timing(self, backend):
+        topo = Mesh2D(4)
+        perm = bit_reversal(16)
+        seen = []
+
+        def probe(step, moves, stats):
+            seen.append((step, dict(moves), stats.steps))
+
+        routed = route_permutation(
+            topo, perm, backend=backend, on_step=probe, timing=True,
+            cache=False,
+        )
+        assert len(seen) == routed.stats.steps
+        assert [s for s, _, _ in seen] == list(range(routed.stats.steps))
+        assert [m for _, m, _ in seen] == [dict(s) for s in routed.schedule.steps]
+        assert len(routed.stats.per_step_seconds) == routed.stats.steps
+
+    def test_entry_points_accept_backend(self, backend):
+        topo = Hypermesh2D(4)
+        perm = bit_reversal(16)
+        via_perm = route_permutation(topo, perm, backend=backend, cache=False)
+        via_idx = route_permutation(topo, perm, cache=False)
+        assert via_perm.schedule.steps == via_idx.schedule.steps
+        assert via_perm.stats == via_idx.stats
+        demands = [(i, int(perm.destinations[i])) for i in range(16)]
+        via_dem = route_demands(topo, demands, backend=backend, cache=False)
+        assert list(via_dem.steps) == list(via_idx.schedule.steps)
+
+    def test_fault_runs_fall_back_to_indexed_core(self, backend, monkeypatch):
+        """An enabled fault model must take the degraded (indexed) path no
+        matter the backend: identical output, and the selected backend's
+        core is never invoked."""
+        import repro.sim.backends as backends_mod
+
+        topo = Mesh2D(4)
+        perm = bit_reversal(16)
+        model = FaultModel(seed=3, drop_prob=0.2, retry_limit=4)
+        with_backend = route_permutation(
+            topo, perm, backend=backend, fault_model=model, cache=False
+        )
+        baseline = route_permutation(
+            topo, perm, fault_model=model, cache=False
+        )
+        assert with_backend.schedule.steps == baseline.schedule.steps
+        assert with_backend.stats == baseline.stats
+
+        def boom(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("fault run must not use the SoA core")
+
+        monkeypatch.setattr(backends_mod, "numpy_route_core", boom)
+        again = route_permutation(
+            topo, perm, backend="numpy", fault_model=model, cache=False
+        )
+        assert again.stats == baseline.stats
+
+
+class TestCrossBackendCache:
+    def test_numpy_plan_replays_on_indexed_and_vice_versa(self, rng):
+        """The backend is not part of the plan key: a plan recorded by one
+        backend is a cache hit for every other."""
+        for topo in (Mesh2D(4), Hypermesh2D(4)):
+            perm = Permutation.random(topo.num_nodes, rng)
+            cache = PlanCache()
+            first = route_permutation(topo, perm, backend="numpy", cache=cache)
+            assert cache.misses == 1
+            replay = route_permutation(
+                topo, perm, backend="indexed", cache=cache
+            )
+            assert cache.hits == 1
+            assert replay.schedule.steps == first.schedule.steps
+            assert replay.stats == first.stats
+
+    def test_identical_blob_payloads_per_backend(self, rng, tmp_path):
+        """Route the same problem under each backend into its own disk
+        cache: the recorded blobs must be byte-identical files."""
+        topo = Hypermesh2D(4)
+        perm = Permutation.random(topo.num_nodes, rng)
+        blobs = {}
+        for backend in ["indexed"] + BACKENDS:
+            root = tmp_path / backend
+            route_permutation(
+                topo, perm, backend=backend, cache=PlanCache(root)
+            )
+            paths = list(root.rglob("*.json"))
+            assert len(paths) == 1
+            blobs[backend] = (paths[0].name, paths[0].read_bytes())
+        names = {name for name, _ in blobs.values()}
+        payloads = {payload for _, payload in blobs.values()}
+        assert len(names) == 1, "digest (file name) must not depend on backend"
+        assert len(payloads) == 1, "blob bytes must not depend on backend"
+
+    def test_unknown_backend_fails_before_cache_lookup(self, rng):
+        cache = PlanCache()
+        perm = Permutation.random(16, rng)
+        route_permutation(Mesh2D(4), perm, cache=cache)  # warm the cache
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            route_permutation(Mesh2D(4), perm, backend="hx", cache=cache)
+        # The bad-backend call counted no hit: it failed before lookup.
+        assert cache.hits == 0
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="optional numba not installed")
+class TestNumbaBackend:
+    def test_resolves_and_matches(self, rng):
+        core = resolve_backend("numba")
+        topo = Mesh2D(4)
+        perm = Permutation.random(16, rng)
+        src, dst = list(range(16)), perm.destinations.tolist()
+        assert_bit_identical(
+            run_core(core, topo, src, dst),
+            run_core(_route_core, topo, src, dst),
+        )

@@ -143,15 +143,7 @@ def test_disk_replay_identical_to_live(topology, rng, tmp_path):
     assert warm.stats == live.stats
 
 
-@pytest.mark.parametrize(
-    "topology",
-    [t for t in TOPOLOGIES if not isinstance(t, (Hypermesh, Hypermesh2D))],
-    ids=[
-        i
-        for t, i in zip(TOPOLOGIES, IDS)
-        if not isinstance(t, (Hypermesh, Hypermesh2D))
-    ],
-)
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
 def test_next_hop_array_matches_scalar(topology, rng):
     """The engine's batched hop refill relies on next_hop_array answering
     exactly like next_hop, elementwise, for every (current, dest) pair."""

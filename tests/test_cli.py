@@ -129,6 +129,46 @@ class TestTraceCommand:
         assert rc == 2
         assert "unknown trace target" in capsys.readouterr().err
 
+    def test_numpy_backend_traces_identically(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        a, b = tmp_path / "idx.jsonl", tmp_path / "np.jsonl"
+        assert main(["trace", "mesh2d", "--n", "16", "--out", str(a)]) == 0
+        assert main(["trace", "mesh2d", "--n", "16", "--backend", "numpy",
+                     "--out", str(b)]) == 0
+        # Same workload, same contract: the two backends must emit the
+        # same step/link events (host timing aside, which read_trace keeps
+        # out of the typed payloads compared here).
+        strip = {"seconds", "total_seconds", "mean_step_seconds"}
+        events_a = [
+            (e.type, {k: v for k, v in e.data.items() if k not in strip})
+            for e in read_trace(a) if e.type != "trace.meta"
+        ]
+        events_b = [
+            (e.type, {k: v for k, v in e.data.items() if k not in strip})
+            for e in read_trace(b) if e.type != "trace.meta"
+        ]
+        assert events_a == events_b
+
+    def test_unknown_backend_exits_2(self, tmp_path, capsys):
+        rc = main(["trace", "mesh2d", "--n", "16", "--backend", "vulkan",
+                   "--out", str(tmp_path / "t.jsonl")])
+        assert rc == 2
+        assert "unknown engine backend" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, tmp_path, capsys):
+        rc = main(["trace", "mesh2d", "--n", "16", "--workload", "storm",
+                   "--out", str(tmp_path / "t.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "storm" in err
+
+    def test_invalid_node_count_exits_2(self, tmp_path, capsys):
+        rc = main(["trace", "mesh2d", "--n", "7",
+                   "--out", str(tmp_path / "t.jsonl")])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
 
 class TestProfileCommand:
     def test_list(self, capsys):
@@ -267,6 +307,14 @@ class TestPlansCommands:
         names = {e.data["name"] for e in events if e.type == "counter"}
         assert {"plancache.hits", "plancache.misses"} <= names
 
+    @pytest.mark.parametrize("subcommand", ["list", "clear", "stats"])
+    def test_root_that_is_a_file_exits_2(self, subcommand, tmp_path, capsys):
+        bogus = tmp_path / "plans.json"
+        bogus.write_text("{}")
+        rc = main(["plans", subcommand, "--root", str(bogus)])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err
+
 
 class TestFaultsCommand:
     def test_point_to_point_sweep_prints_cliff(self, capsys):
@@ -306,3 +354,21 @@ class TestFaultsCommand:
         # Every counter label is padded to its own column; the longest
         # (fault_bypassed) must not run into its value.
         assert "fault_bypassed: " in out
+
+    def test_unknown_workload_exits_2(self, capsys):
+        rc = main(["faults", "--topology", "mesh2d", "--n", "16",
+                   "--workload", "storm"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "storm" in err
+
+    def test_invalid_node_count_exits_2(self, capsys):
+        rc = main(["faults", "--topology", "mesh2d", "--n", "7"])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_invalid_drop_prob_exits_2(self, capsys):
+        rc = main(["faults", "--topology", "mesh2d", "--n", "16",
+                   "--drop-prob", "1.5"])
+        assert rc == 2
+        assert "drop_prob" in capsys.readouterr().err

@@ -8,12 +8,17 @@ Two checks, both run by the CI docs job and by
    and docs/*.md must point at a file that exists (anchors are stripped;
    external ``http(s)://`` links are ignored).
 
-2. **Contract drift check** — the "Event types" section of
-   ``docs/OBSERVABILITY.md`` is generated from the registry in
-   ``repro.obs.events`` (:data:`EVENT_TYPES`).  The block between the
-   ``BEGIN/END GENERATED`` markers must byte-match what the registry
-   renders today; run ``python tools/check_docs.py --write`` after changing
-   the registry to regenerate it.
+2. **Contract drift check** — every generated doc block must byte-match
+   what its in-code registry renders today:
+
+   * the "Event types" section of ``docs/OBSERVABILITY.md`` comes from
+     ``repro.obs.events`` (:data:`EVENT_TYPES`);
+   * the engine-backends table in ``docs/API.md`` comes from
+     ``repro.sim.backends`` (:data:`ENGINE_BACKENDS`).
+
+   Each block sits between ``BEGIN/END GENERATED`` markers; run
+   ``python tools/check_docs.py --write`` after changing a registry to
+   regenerate them all.
 
 Exit code 0 when clean, 1 with a report of every failure otherwise.
 Usage::
@@ -30,7 +35,11 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+API = REPO / "docs" / "API.md"
 BEGIN = "<!-- BEGIN GENERATED: event types (tools/check_docs.py --write) -->"
+BACKENDS_BEGIN = (
+    "<!-- BEGIN GENERATED: engine backends (tools/check_docs.py --write) -->"
+)
 END = "<!-- END GENERATED -->"
 
 #: Files whose relative links are checked.
@@ -86,31 +95,69 @@ def render_event_types() -> str:
     return "\n".join(lines)
 
 
-def check_contract(write: bool = False) -> list[str]:
-    """Compare (or, with ``write``, rewrite) the generated contract block."""
-    if not OBSERVABILITY.exists():
-        return [f"{OBSERVABILITY.relative_to(REPO)} is missing"]
-    text = OBSERVABILITY.read_text()
-    if BEGIN not in text or END not in text:
+def render_engine_backends() -> str:
+    """The canonical engine-backends table, straight from the registry.
+
+    Deliberately availability-agnostic: the table documents every backend
+    the seam knows, not which optional packages this host happens to have
+    installed, so the rendered bytes are identical everywhere.
+    """
+    from repro.sim.backends import ENGINE_BACKENDS
+
+    lines = [
+        BACKENDS_BEGIN,
+        "",
+        "| backend | description |",
+        "|---|---|",
+    ]
+    for name, description in ENGINE_BACKENDS.items():
+        lines.append(f"| `{name}` | {description} |")
+    lines += ["", END]
+    return "\n".join(lines)
+
+
+#: Every generated doc block: (file, BEGIN marker, renderer, registry name).
+#: ``check_contract`` diffs each against its renderer; ``--write`` rewrites.
+GENERATED_BLOCKS = (
+    (OBSERVABILITY, BEGIN, render_event_types, "repro.obs.events.EVENT_TYPES"),
+    (API, BACKENDS_BEGIN, render_engine_backends,
+     "repro.sim.backends.ENGINE_BACKENDS"),
+)
+
+
+def _check_block(doc: Path, begin: str, render, source: str, write: bool
+                 ) -> list[str]:
+    if not doc.exists():
+        return [f"{doc.relative_to(REPO)} is missing"]
+    text = doc.read_text()
+    if begin not in text or END not in text.split(begin, 1)[-1]:
         return [
-            f"{OBSERVABILITY.relative_to(REPO)}: generated-block markers "
-            f"missing ({BEGIN!r} ... {END!r})"
+            f"{doc.relative_to(REPO)}: generated-block markers "
+            f"missing ({begin!r} ... {END!r})"
         ]
-    head, rest = text.split(BEGIN, 1)
-    _, tail = rest.split(END, 1)
-    current = BEGIN + rest.split(END, 1)[0] + END
-    expected = render_event_types()
+    head, rest = text.split(begin, 1)
+    body, tail = rest.split(END, 1)
+    current = begin + body + END
+    expected = render()
     if current == expected:
         return []
     if write:
-        OBSERVABILITY.write_text(head + expected + tail)
-        print(f"rewrote the generated block in {OBSERVABILITY.relative_to(REPO)}")
+        doc.write_text(head + expected + tail)
+        print(f"rewrote the generated block in {doc.relative_to(REPO)}")
         return []
     return [
-        f"{OBSERVABILITY.relative_to(REPO)}: event-type section has drifted "
-        "from repro.obs.events.EVENT_TYPES — run "
+        f"{doc.relative_to(REPO)}: generated block has drifted from "
+        f"{source} — run "
         "'PYTHONPATH=src python tools/check_docs.py --write' and commit"
     ]
+
+
+def check_contract(write: bool = False) -> list[str]:
+    """Compare (or, with ``write``, rewrite) every generated doc block."""
+    errors = []
+    for doc, begin, render, source in GENERATED_BLOCKS:
+        errors += _check_block(doc, begin, render, source, write)
+    return errors
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -118,7 +165,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--write",
         action="store_true",
-        help="regenerate the OBSERVABILITY.md event-type block in place",
+        help="regenerate every generated doc block in place",
     )
     args = parser.parse_args(argv)
 
@@ -126,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if not errors:
-        print("docs ok: links resolve, observability contract matches code")
+        print("docs ok: links resolve, generated blocks match code")
     return 1 if errors else 0
 
 
