@@ -602,6 +602,10 @@ def _cmd_plans_stats(args: argparse.Namespace) -> int:
     print(f"{'bytes:':16s}{cache.disk_bytes()}")
     for name, value in counters.items():
         print(f"{name + ':':16s}{value}")
+    # Cumulative cross-process disk-tier traffic from the locked sidecar
+    # (every writer that ever used this root, not just this process).
+    for name, value in sorted(cache.persistent_counters().items()):
+        print(f"{'disk-' + name + ':':16s}{value}")
     lookups = counters["hits"] + counters["misses"]
     rate = counters["hits"] / lookups if lookups else 0.0
     print(f"{'hit-rate:':16s}{rate:.3f}")
@@ -696,6 +700,90 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         [axis, "steps", "delivered", "dropped", "retried", "note"], rows
     ))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the routing service until SIGINT/SIGTERM, then drain and exit.
+
+    The serving tier is the on-disk plan cache under ``--root``: cold jobs
+    are planned in ``--workers`` kill-on-timeout worker processes and
+    recorded there; identical and repeated jobs replay from it without
+    touching the engine.  With ``--trace-out`` every request is logged as
+    a ``service.request`` JSONL event and the final counters are appended
+    as ``counter`` events on shutdown (docs/OBSERVABILITY.md format).
+    """
+    import asyncio
+    import signal
+
+    from .service import RoutingService
+
+    if (why := _plans_root_error(args.root)) is not None:
+        print(f"error: {why}", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.timeout <= 0:
+        print("error: --timeout must be > 0 seconds", file=sys.stderr)
+        return 2
+
+    tracer = None
+    if args.trace_out:
+        from .obs import JsonlTraceFile, Tracer
+
+        tracer = Tracer("repro-serve", JsonlTraceFile(args.trace_out))
+
+    async def _main() -> int:
+        service = RoutingService(
+            args.root,
+            max_workers=args.workers,
+            capacity=args.capacity,
+            default_timeout=args.timeout,
+            tracer=tracer,
+        )
+        try:
+            await service.start(args.host, args.port)
+        except OSError as exc:
+            print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(
+            f"serving on http://{service.host}:{service.port}  "
+            f"(plans {args.root}, {args.workers} worker(s), "
+            f"{args.timeout:g}s budget)"
+        )
+        from .service import ENDPOINTS
+
+        for method, path, _name, _desc in ENDPOINTS:
+            print(f"  {method:5s}{path}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        print("draining in-flight requests ...")
+        await service.shutdown()
+        if tracer is not None:
+            service.emit_counters(tracer)
+        c = service.counters()
+        print(
+            f"served {c['requests']} requests: {c['warm']} warm, "
+            f"{c['cold']} cold, {c['coalesced']} coalesced, "
+            f"{c['timeouts']} timeouts"
+        )
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        return 0
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"wrote {args.trace_out}")
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -951,6 +1039,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-limit", type=int, default=None,
                    help="failed transmissions before a packet is dropped")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "serve",
+        help="routing-as-a-service: async HTTP API over the plan cache",
+        description=(
+            "Run the repro.service HTTP server: POST /v1/route submits a "
+            "routing job, GET /v1/plans/{digest} fetches a recorded plan, "
+            "GET /v1/stats and /v1/healthz report counters and liveness.  "
+            "The on-disk plan cache under --root is the serving tier; "
+            "identical concurrent jobs are coalesced into one computation.  "
+            "Stops gracefully (drains in-flight requests) on SIGINT/SIGTERM."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 picks an ephemeral port)")
+    p.add_argument("--root", default="results/plans",
+                   help="plan-cache disk tier (default results/plans)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="bounded worker processes for cold plan computations")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="entries held by the in-process warm LRU tier")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="default per-request budget in seconds (504 + worker "
+                        "kill on expiry)")
+    p.add_argument("--trace-out", default=None,
+                   help="write service.request events + final counters as "
+                        "JSONL here")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "profile",

@@ -229,6 +229,17 @@ for _et in (
             "attempts": "int — cumulative failed transmissions",
         },
     ),
+    EventType(
+        "service.request",
+        "One HTTP request completed by the routing service (repro.service).",
+        {
+            "endpoint": "str — method and path, e.g. 'POST /v1/route'",
+            "status": "int — HTTP status code returned",
+            "dur": "float — seconds from first byte read to response write",
+            "source": "str — 'warm' | 'cold' | 'coalesced' for routes, "
+            "'-' otherwise",
+        },
+    ),
 ):
     register_event_type(_et)
 del _et

@@ -131,6 +131,29 @@ def _tables_benchmark() -> Any:
     return [table_1a(4096), table_1b(4096), table_2a(4096), table_2b(4096)]
 
 
+def _service_route_benchmark() -> Any:
+    """The service's request path, cold then warm, minus the network.
+
+    Profiles exactly what a ``POST /v1/route`` pays per request: body
+    validation, plan-key derivation, one cold :func:`~repro.service.jobs.
+    execute_route` (in-process here, so the profile sees the engine
+    frames), then a warm replay through the shared cache tier.
+    """
+    import tempfile
+
+    from ..service.jobs import RouteRequest, execute_route
+    from ..sim.plancache import PlanCache
+
+    body = {"topology": "hypercube", "n": 256, "workload": "dense-permutation"}
+    with tempfile.TemporaryDirectory() as root:
+        job = RouteRequest.from_body(body)
+        cold = execute_route(job.to_params(root))
+        cache = PlanCache(root)
+        warm = cache.get(job.plan_key())
+        assert warm is not None
+        return cold, warm.replay_stats()
+
+
 PROFILE_BENCHMARKS: dict[str, tuple[str, Callable[[], Any]]] = {
     "engine-mesh": (
         "route a dense random permutation on a 16x16 mesh",
@@ -155,6 +178,10 @@ PROFILE_BENCHMARKS: dict[str, tuple[str, Callable[[], Any]]] = {
     "tables": (
         "regenerate Tables 1A/1B/2A/2B at N=4096",
         _tables_benchmark,
+    ),
+    "service-route": (
+        "the service request path: validate, key, cold route, warm replay",
+        _service_route_benchmark,
     ),
 }
 

@@ -1,0 +1,114 @@
+"""Synchronous client for the routing service (stdlib ``http.client``).
+
+Tests, the load harness, and scripts talk to :class:`RoutingService`
+through this module so every consumer exercises the same wire format.
+One connection per call — matching the server's ``Connection: close``
+discipline — and every response is decoded into a
+:class:`ServiceResponse` carrying the status and the parsed JSON body.
+
+:class:`ServiceError` is raised only for *transport* failures (refused
+connection, dropped socket); HTTP-level errors (400/404/504/...) come
+back as ordinary responses so callers can assert on them.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["ServiceError", "ServiceResponse", "ServiceClient"]
+
+
+class ServiceError(Exception):
+    """The service could not be reached (transport-level failure)."""
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One decoded HTTP exchange: status code, JSON body, elapsed seconds."""
+
+    status: int
+    body: dict
+    elapsed: float
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServiceClient:
+    """Blocking client bound to one service address."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------ plumbing
+    def request(
+        self, method: str, path: str, body: Mapping | None = None
+    ) -> ServiceResponse:
+        """One HTTP exchange; raises :class:`ServiceError` on transport
+        failure, returns the response (whatever its status) otherwise."""
+        payload = None if body is None else json.dumps(body).encode()
+        t0 = time.perf_counter()
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServiceError(
+                f"{method} {path} on {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        elapsed = time.perf_counter() - t0
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{method} {path} returned undecodable body {raw[:80]!r}: {exc}"
+            ) from exc
+        if not isinstance(decoded, dict):
+            decoded = {"body": decoded}
+        return ServiceResponse(status=status, body=decoded, elapsed=elapsed)
+
+    # ------------------------------------------------------------ endpoints
+    def route(self, job: Mapping) -> ServiceResponse:
+        """``POST /v1/route`` — submit a routing job body."""
+        return self.request("POST", "/v1/route", job)
+
+    def plan(self, digest: str) -> ServiceResponse:
+        """``GET /v1/plans/{digest}`` — fetch a recorded plan."""
+        return self.request("GET", f"/v1/plans/{digest}")
+
+    def stats(self) -> ServiceResponse:
+        """``GET /v1/stats`` — service / pool / plan-cache counters."""
+        return self.request("GET", "/v1/stats")
+
+    def healthz(self) -> ServiceResponse:
+        """``GET /v1/healthz`` — liveness."""
+        return self.request("GET", "/v1/healthz")
+
+    def wait_ready(self, *, attempts: int = 50, delay: float = 0.1) -> None:
+        """Poll ``/v1/healthz`` until the service answers (or give up)."""
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                if self.healthz().ok:
+                    return
+            except ServiceError as exc:
+                last = exc
+            time.sleep(delay)
+        raise ServiceError(
+            f"service at {self.host}:{self.port} never became ready: {last}"
+        )

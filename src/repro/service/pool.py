@@ -1,0 +1,152 @@
+"""A bounded process pool the event loop can actually cancel.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot cancel a *running*
+call — a timed-out routing job would keep burning its worker until it
+finished, and a stuck worker would poison the pool.  The service instead
+runs each job in its own short-lived process from a bounded slot pool:
+
+* ``max_workers`` slots (an :class:`asyncio.Semaphore`) bound concurrent
+  jobs exactly like an executor's worker count;
+* each job is a fresh ``multiprocessing`` process writing its result to a
+  one-shot pipe; the awaiting side blocks in a thread (``asyncio.
+  to_thread``), so the event loop never stalls;
+* on timeout the process is **killed** (SIGKILL) and the slot freed — the
+  caller gets :class:`JobTimeout`, and the half-written plan blob the
+  worker may leave behind is harmless by construction (unique tmp names,
+  atomic renames; see :mod:`repro.sim.plancache`);
+* a worker that dies without reporting (segfault, OOM-kill) surfaces as
+  :class:`JobCrashed` with its exit code, never as a hung await.
+
+Fork is preferred when available (COW makes per-job startup cheap: the
+parent has already imported numpy and the engine); spawn is the fallback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+import traceback
+from typing import Any, Callable
+
+__all__ = ["JobTimeout", "JobCrashed", "JobFailed", "WorkerPool"]
+
+
+class JobTimeout(Exception):
+    """The job exceeded its budget; its worker process was killed."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"job exceeded {seconds:g}s; worker killed")
+        self.seconds = seconds
+
+
+class JobCrashed(Exception):
+    """The worker died without reporting a result (signal, OOM, ...)."""
+
+    def __init__(self, exitcode: int | None):
+        super().__init__(f"worker died without a result (exitcode {exitcode})")
+        self.exitcode = exitcode
+
+
+class JobFailed(Exception):
+    """The job raised; carries the worker-side exception rendering."""
+
+    def __init__(self, kind: str, message: str, tb: str):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+        self.traceback = tb
+
+
+def _job_main(conn, fn: Callable[[dict], Any], params: dict) -> None:
+    """Worker-process entry: run ``fn`` and report exactly one message."""
+    try:
+        result = fn(params)
+    except BaseException as exc:  # report, never escape: the pipe is the API
+        conn.send(("error", type(exc).__name__, str(exc), traceback.format_exc()))
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Bounded kill-on-timeout process pool for the routing service.
+
+    Counters: ``jobs`` submitted, ``killed`` on timeout, ``crashed``
+    workers, ``failures`` (job raised), and the ``inflight`` gauge.
+    """
+
+    def __init__(self, max_workers: int = 2, *, start_method: str | None = None):
+        if max_workers < 1:
+            raise ValueError("worker pool needs max_workers >= 1")
+        self.max_workers = int(max_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._slots = asyncio.Semaphore(self.max_workers)
+        self.jobs = 0
+        self.killed = 0
+        self.crashed = 0
+        self.failures = 0
+        self.inflight = 0
+
+    async def submit(
+        self, fn: Callable[[dict], Any], params: dict, *, timeout: float | None = None
+    ) -> Any:
+        """Run ``fn(params)`` in a worker process; await its result.
+
+        ``timeout`` is wall-clock seconds from process start; on expiry the
+        worker is killed and :class:`JobTimeout` raised.
+        """
+        async with self._slots:
+            self.jobs += 1
+            self.inflight += 1
+            try:
+                return await asyncio.to_thread(self._run, fn, params, timeout)
+            finally:
+                self.inflight -= 1
+
+    def _run(self, fn, params, timeout):
+        parent, child = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_job_main, args=(child, fn, params), daemon=True
+        )
+        proc.start()
+        child.close()  # the parent's copy; the worker holds the write end
+        try:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            try:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not parent.poll(remaining):
+                        self.killed += 1
+                        proc.kill()
+                        raise JobTimeout(timeout)
+                message = parent.recv()  # blocks; EOF when the worker dies
+            except EOFError:
+                proc.join(timeout=5)
+                self.crashed += 1
+                raise JobCrashed(proc.exitcode) from None
+        finally:
+            parent.close()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck despite kill
+                proc.kill()
+                proc.join()
+        if message[0] == "ok":
+            return message[1]
+        self.failures += 1
+        _tag, kind, text, tb = message
+        raise JobFailed(kind, text, tb)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "workers": self.max_workers,
+            "jobs": self.jobs,
+            "inflight": self.inflight,
+            "killed": self.killed,
+            "crashed": self.crashed,
+            "failures": self.failures,
+        }

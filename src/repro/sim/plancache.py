@@ -35,12 +35,19 @@ falls back to live routing, never to a wrong plan.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
+
+try:  # advisory file locking for the shared on-disk tier (POSIX only)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback, best effort
+    fcntl = None
 
 import numpy as np
 
@@ -50,6 +57,7 @@ from .stats import RoutingStats
 __all__ = [
     "PLAN_SCHEMA_VERSION",
     "DEFAULT_PLAN_ROOT",
+    "STATS_SIDECAR",
     "PlanKey",
     "CachedPlan",
     "PlanCache",
@@ -74,6 +82,40 @@ PLAN_SCHEMA_VERSION = 2
 
 #: Default root of the on-disk tier (``disk_cache()`` / ``cache="disk"``).
 DEFAULT_PLAN_ROOT = Path("results/plans")
+
+#: Sidecar of the on-disk tier recording cross-process traffic (``stores``
+#: / ``corrupt``), updated under an advisory lock so concurrent writers
+#: serialize their read-modify-write.  Underscore-prefixed so it is never
+#: mistaken for a plan blob (see :meth:`PlanCache.disk_blobs`).
+STATS_SIDECAR = "_stats.json"
+
+#: Process-local tmp-file counter: together with the pid it gives every
+#: in-flight blob write a unique staging name, so two processes (or two
+#: threads) recording the same digest can never interleave bytes in one
+#: shared tmp file — each writes its own and the last ``os.replace`` wins
+#: with a complete blob either way.
+_TMP_COUNTER = itertools.count()
+
+
+@contextmanager
+def _advisory_lock(root: Path) -> Iterator[None]:
+    """Hold the root's advisory write lock (no-op where flock is missing).
+
+    The lock only guards *bookkeeping* read-modify-writes (the stats
+    sidecar); plan blobs themselves never need it — they are written to
+    unique tmp names and atomically renamed, and identical keys produce
+    identical bytes.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = root / "_stats.lock"
+    with open(lock_path, "a+b") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 #: Router classes whose ``next_hop`` is a pure function of the topology in
 #: the key — the only routers whose plans are safe to share.  Maps class
@@ -304,11 +346,24 @@ class PlanCache:
         (they remain on disk when a root is configured).
 
     Counters (``hits`` / ``misses`` / ``stores`` / ``evictions`` /
-    ``corrupt`` / ``uncacheable`` / ``bypassed`` / ``fault_bypassed``)
-    describe this process's traffic; :meth:`emit_counters` exports them as
-    ``counter`` events on a :class:`repro.obs.Tracer`.  ``fault_bypassed``
-    counts runs forced live because an active fault model carried an
-    ``on_fault`` instrumentation hook (a replay fires no fault events).
+    ``corrupt`` / ``uncacheable`` / ``bypassed`` / ``fault_bypassed`` /
+    ``coalesced`` / ``inflight``) describe this process's traffic;
+    :meth:`emit_counters` exports them as ``counter`` events on a
+    :class:`repro.obs.Tracer`.  ``fault_bypassed`` counts runs forced live
+    because an active fault model carried an ``on_fault`` instrumentation
+    hook (a replay fires no fault events).  ``coalesced`` counts lookups
+    that piggybacked on an identical in-flight computation instead of
+    planning again, and ``inflight`` is the point-in-time gauge of such
+    single-flight computations — both are maintained by single-flight
+    front ends like :class:`repro.service.app.RoutingService`; a plain
+    synchronous caller leaves them at zero.
+
+    The on-disk tier is safe for concurrent writers across processes:
+    blobs stage through per-process unique tmp names before their atomic
+    rename, and the cumulative disk-tier counters (``stores`` /
+    ``corrupt``, exposed via :meth:`persistent_counters`) live in a
+    sidecar updated under an advisory ``flock`` so two processes can
+    never interleave the read-modify-write.
     """
 
     def __init__(self, root: str | Path | None = None, *, capacity: int = 128):
@@ -325,6 +380,8 @@ class PlanCache:
         self.uncacheable = 0
         self.bypassed = 0
         self.fault_bypassed = 0
+        self.coalesced = 0
+        self.inflight = 0
 
     # ---------------------------------------------------------------- tiers
     def blob_path(self, key: PlanKey) -> Path | None:
@@ -360,9 +417,17 @@ class PlanCache:
         blob = json.dumps(
             {"schema": key.schema, "key": key.to_dict(), **plan.to_payload()}
         )
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(blob + "\n")
-        os.replace(tmp, path)
+        # Per-process unique staging name: a shared `<digest>.tmp` would let
+        # two processes recording the same key interleave writes and rename
+        # a torn file into place.  With unique names each rename installs a
+        # complete blob (identical keys produce identical bytes anyway).
+        tmp = path.parent / f".{key.digest}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        try:
+            tmp.write_text(blob + "\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._bump_persistent("stores")
 
     def _remember(self, digest: str, plan: CachedPlan) -> None:
         self._memory[digest] = plan
@@ -386,17 +451,67 @@ class PlanCache:
             # Torn write, truncation, or hand-edited garbage: treat as a
             # miss so the engine falls back to live routing.
             self.corrupt += 1
+            self._bump_persistent("corrupt")
             return None
+
+    # ------------------------------------------------- cross-process stats
+    def _bump_persistent(self, name: str, amount: int = 1) -> None:
+        """Add to a cumulative disk-tier counter in the stats sidecar.
+
+        Serialized under the root's advisory lock so concurrent writers in
+        different processes cannot interleave the read-modify-write and
+        lose increments.  Bookkeeping is advisory: an unwritable sidecar
+        must never fail the store that triggered it.
+        """
+        if self.root is None:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with _advisory_lock(self.root):
+                path = self.root / STATS_SIDECAR
+                try:
+                    data = json.loads(path.read_text())
+                    if not isinstance(data, dict):
+                        data = {}
+                except (FileNotFoundError, json.JSONDecodeError):
+                    data = {}
+                data[name] = int(data.get(name, 0)) + amount
+                tmp = self.root / f".{STATS_SIDECAR}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+                tmp.write_text(json.dumps(data, sort_keys=True) + "\n")
+                os.replace(tmp, path)
+        except OSError:  # pragma: no cover - read-only roots, full disks
+            pass
+
+    def persistent_counters(self) -> dict[str, int]:
+        """Cumulative disk-tier counters shared by every process using this
+        root (``stores`` / ``corrupt``), or ``{}`` for memory-only caches
+        and fresh roots."""
+        if self.root is None:
+            return {}
+        try:
+            data = json.loads((self.root / STATS_SIDECAR).read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        return {str(k): int(v) for k, v in data.items()}
 
     # ------------------------------------------------------------ inventory
     def __len__(self) -> int:
         return len(self._memory)
 
     def disk_blobs(self) -> list[Path]:
-        """Plan blobs currently on disk (empty for memory-only caches)."""
+        """Plan blobs currently on disk (empty for memory-only caches).
+
+        Bookkeeping files — the ``_stats.json`` sidecar, the ``_stats.lock``
+        advisory-lock file, staged ``.tmp`` writes — are not blobs and are
+        excluded.
+        """
         if self.root is None or not self.root.exists():
             return []
-        return sorted(self.root.glob("*.json"))
+        return sorted(
+            p for p in self.root.glob("*.json") if not p.name.startswith(("_", "."))
+        )
 
     def disk_bytes(self) -> int:
         """Total size of the on-disk tier in bytes."""
@@ -410,6 +525,11 @@ class PlanCache:
             for path in self.disk_blobs():
                 path.unlink()
                 removed += 1
+            if self.root is not None and self.root.exists():
+                # Staged writes abandoned by killed workers are litter, not
+                # plans; sweep them (never counted in ``removed``).
+                for stray in self.root.glob(".*.tmp"):
+                    stray.unlink(missing_ok=True)
         return removed
 
     def counters(self) -> dict[str, int]:
@@ -423,6 +543,8 @@ class PlanCache:
             "uncacheable": self.uncacheable,
             "bypassed": self.bypassed,
             "fault_bypassed": self.fault_bypassed,
+            "coalesced": self.coalesced,
+            "inflight": self.inflight,
         }
 
     def emit_counters(self, tracer) -> None:

@@ -33,6 +33,7 @@ class TestRegistry:
             "fault.config",
             "fault.retry",
             "fault.drop",
+            "service.request",
         }
 
     def test_every_type_declares_valid_stability(self):

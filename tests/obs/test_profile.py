@@ -61,7 +61,7 @@ class TestRegistry:
     def test_registered_benchmarks(self):
         assert set(PROFILE_BENCHMARKS) == {
             "engine-mesh", "engine-hypercube", "engine-hypermesh",
-            "fft", "sort", "tables",
+            "fft", "sort", "tables", "service-route",
         }
 
     def test_list_matches_registry(self):

@@ -1,0 +1,21 @@
+"""Service fixtures: a real server on an ephemeral port per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceRunner
+
+
+@pytest.fixture
+def runner(tmp_path):
+    """A running service over a fresh plan root; gracefully stopped after."""
+    r = ServiceRunner(plan_root=str(tmp_path / "plans"), max_workers=4)
+    r.start()
+    yield r
+    r.stop()
+
+
+@pytest.fixture
+def client(runner):
+    return runner.client()

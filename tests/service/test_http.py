@@ -1,0 +1,203 @@
+"""Protocol-layer tests: request parsing, limits, and error rendering.
+
+Parsing is unit-tested against in-memory ``asyncio.StreamReader`` feeds;
+the error paths a real client can trigger (garbage request lines,
+truncated bodies, oversized payloads) are then exercised end-to-end over
+raw sockets against a live server, asserting the service answers with a
+proper JSON error body instead of dropping the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    Request,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def parse(data: bytes):
+    """Run ``read_request`` over an in-memory stream feed."""
+
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_go())
+
+
+def raw_exchange(host: str, port: int, data: bytes) -> tuple[int, dict]:
+    """Send raw bytes, half-close, and decode the HTTP response."""
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(data)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)
+
+
+class TestParsing:
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_get_request(self):
+        request = parse(b"GET /v1/stats?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/stats"
+        assert request.query == {"verbose": "1"}
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = b'{"topology": "mesh2d"}'
+        data = (
+            b"POST /v1/route HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(data)
+        assert request.method == "POST"
+        assert request.json() == {"topology": "mesh2d"}
+
+    def test_percent_decoded_path(self):
+        request = parse(b"GET /v1/plans/..%2Fother HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/plans/../other"
+
+    def test_truncated_head(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET /v1/healthz HTTP/1.1\r\nHost:")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_non_http_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / SPDY/9\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: pi\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_negative_content_length(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_body_shorter_than_content_length(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_rejected_before_read(self):
+        data = (
+            b"POST / HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(data)
+        assert excinfo.value.status == 413
+
+    def test_oversized_head(self):
+        filler = b"X-Filler: " + b"a" * MAX_HEADER_BYTES + b"\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+        assert excinfo.value.status == 413
+
+
+class TestRequestJson:
+    def test_empty_body(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request(method="POST", path="/").json()
+        assert excinfo.value.status == 400
+
+    def test_invalid_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request(method="POST", path="/", body=b"{nope").json()
+        assert excinfo.value.status == 400
+
+    def test_non_object_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request(method="POST", path="/", body=b"[1, 2]").json()
+        assert excinfo.value.status == 400
+
+
+class TestRendering:
+    def test_render_response_shape(self):
+        raw = render_response(200, b"hi", content_type="text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2" in head
+        assert b"Connection: close" in head
+        assert body == b"hi"
+
+    def test_json_response_sorted_and_newline_terminated(self):
+        raw = json_response(404, {"b": 1, "a": 2})
+        _, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b'{"a": 2, "b": 1}\n'
+
+    def test_unknown_status_still_renders(self):
+        assert b"HTTP/1.1 418 Unknown" in render_response(418, b"")
+
+
+class TestWireErrors:
+    """Malformed traffic against a live server gets JSON error bodies."""
+
+    def test_garbage_request_line(self, runner):
+        status, body = raw_exchange(runner.host, runner.port, b"???\r\n\r\n")
+        assert status == 400
+        assert "malformed request line" in body["error"]
+
+    def test_truncated_body_on_the_wire(self, runner):
+        data = b"POST /v1/route HTTP/1.1\r\nContent-Length: 99\r\n\r\n{"
+        status, body = raw_exchange(runner.host, runner.port, data)
+        assert status == 400
+        assert "shorter than Content-Length" in body["error"]
+
+    def test_oversized_body_on_the_wire(self, runner):
+        data = (
+            b"POST /v1/route HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        status, body = raw_exchange(runner.host, runner.port, data)
+        assert status == 413
+
+    def test_invalid_json_body_on_the_wire(self, runner):
+        payload = b"{not json"
+        data = (
+            b"POST /v1/route HTTP/1.1\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+            + payload
+        )
+        status, body = raw_exchange(runner.host, runner.port, data)
+        assert status == 400
+        assert "not valid JSON" in body["error"]

@@ -249,7 +249,10 @@ class TestCrossBackendCache:
             route_permutation(
                 topo, perm, backend=backend, cache=PlanCache(root)
             )
-            paths = list(root.rglob("*.json"))
+            paths = [
+                p for p in root.rglob("*.json")
+                if not p.name.startswith(("_", "."))  # skip the counters sidecar
+            ]
             assert len(paths) == 1
             blobs[backend] = (paths[0].name, paths[0].read_bytes())
         names = {name for name, _ in blobs.values()}

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.models",
     "repro.viz",
     "repro.experiments",
+    "repro.service",
 ]
 
 

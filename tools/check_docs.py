@@ -14,7 +14,9 @@ Two checks, both run by the CI docs job and by
    * the "Event types" section of ``docs/OBSERVABILITY.md`` comes from
      ``repro.obs.events`` (:data:`EVENT_TYPES`);
    * the engine-backends table in ``docs/API.md`` comes from
-     ``repro.sim.backends`` (:data:`ENGINE_BACKENDS`).
+     ``repro.sim.backends`` (:data:`ENGINE_BACKENDS`);
+   * the service endpoint table in ``docs/API.md`` comes from
+     ``repro.service.app`` (:data:`ENDPOINTS`).
 
    Each block sits between ``BEGIN/END GENERATED`` markers; run
    ``python tools/check_docs.py --write`` after changing a registry to
@@ -39,6 +41,9 @@ API = REPO / "docs" / "API.md"
 BEGIN = "<!-- BEGIN GENERATED: event types (tools/check_docs.py --write) -->"
 BACKENDS_BEGIN = (
     "<!-- BEGIN GENERATED: engine backends (tools/check_docs.py --write) -->"
+)
+SERVICE_BEGIN = (
+    "<!-- BEGIN GENERATED: service endpoints (tools/check_docs.py --write) -->"
 )
 END = "<!-- END GENERATED -->"
 
@@ -116,12 +121,30 @@ def render_engine_backends() -> str:
     return "\n".join(lines)
 
 
+def render_service_endpoints() -> str:
+    """The canonical service endpoint table, from ``repro.service.app``."""
+    from repro.service.app import ENDPOINTS
+
+    lines = [
+        SERVICE_BEGIN,
+        "",
+        "| method | path | name | description |",
+        "|---|---|---|---|",
+    ]
+    for method, path, name, description in ENDPOINTS:
+        lines.append(f"| `{method}` | `{path}` | {name} | {description} |")
+    lines += ["", END]
+    return "\n".join(lines)
+
+
 #: Every generated doc block: (file, BEGIN marker, renderer, registry name).
 #: ``check_contract`` diffs each against its renderer; ``--write`` rewrites.
 GENERATED_BLOCKS = (
     (OBSERVABILITY, BEGIN, render_event_types, "repro.obs.events.EVENT_TYPES"),
     (API, BACKENDS_BEGIN, render_engine_backends,
      "repro.sim.backends.ENGINE_BACKENDS"),
+    (API, SERVICE_BEGIN, render_service_endpoints,
+     "repro.service.app.ENDPOINTS"),
 )
 
 
