@@ -172,12 +172,33 @@ def _experiments() -> CampaignSpec:
     )
 
 
+def _paper() -> CampaignSpec:
+    """Every task behind ``repro paper`` at the paper-scale grid.
+
+    Defined by the section registry (:mod:`repro.paper.sections`), so the
+    campaign and the ``repro paper`` verb can never disagree about what
+    the paper's artifacts are.
+    """
+    from ..paper.sections import paper_campaign
+
+    return paper_campaign("full")
+
+
+def _paper_smoke() -> CampaignSpec:
+    """The ``repro paper --profile smoke`` grid (CI-fast small N)."""
+    from ..paper.sections import paper_campaign
+
+    return paper_campaign("smoke")
+
+
 BUILTIN_CAMPAIGNS = {
     "engine-sweep": _engine_sweep,
     "engine-sweep-small": _engine_sweep_small,
     "engine-sweep-cached": _engine_sweep_cached,
     "chaos-sweep": _chaos_sweep,
     "experiments": _experiments,
+    "paper": _paper,
+    "paper-smoke": _paper_smoke,
 }
 
 

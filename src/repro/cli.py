@@ -2,6 +2,8 @@
 
 Usage (installed as ``repro``, or ``python -m repro``)::
 
+    repro paper             # regenerate every paper artifact (results/paper/)
+    repro paper --check     # ... and diff tables against checked-in goldens
     repro tables            # Tables 1A, 1B, 2A, 2B at N=4096
     repro section4          # the 4K-PE worked comparison (eqs 2-4, IV-B)
     repro bisection         # Section V bisection bandwidths
@@ -812,34 +814,75 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> None:
-    """Write every regenerated artifact into a results directory."""
-    import contextlib
-    import io
-    from pathlib import Path
+def _cmd_paper(args: argparse.Namespace) -> int:
+    """The one-command paper pipeline: regenerate, check, or list sections."""
+    from .paper import (
+        check_goldens,
+        list_sections,
+        run_paper,
+        write_goldens,
+    )
+    from .paper.sections import PROFILES
 
-    outdir = Path(args.output)
-    outdir.mkdir(parents=True, exist_ok=True)
+    if args.list:
+        rows = [
+            [section, experiments or "-", title]
+            for section, experiments, title in list_sections()
+        ]
+        print(format_table(["section", "experiments", "title"], rows))
+        return 0
 
-    sections = {
-        "tables.txt": (_cmd_tables, argparse.Namespace(num_pes=args.num_pes)),
-        "section4.txt": (_cmd_section4, argparse.Namespace(num_pes=args.num_pes)),
-        "bisection.txt": (_cmd_bisection, argparse.Namespace(num_pes=args.num_pes)),
-        "sweep.txt": (_cmd_sweep, argparse.Namespace(max_exponent=10)),
-        "figures.txt": (_cmd_figures, argparse.Namespace(side=4)),
-        "omega.txt": (_cmd_omega, argparse.Namespace(num_ports=64, seed=0)),
-        "universality.txt": (
-            _cmd_universality,
-            argparse.Namespace(num_pes=256),
-        ),
-        "shapes.txt": (_cmd_shapes, argparse.Namespace()),
-    }
-    for filename, (fn, ns) in sections.items():
-        buffer = io.StringIO()
-        with contextlib.redirect_stdout(buffer):
-            fn(ns)
-        (outdir / filename).write_text(buffer.getvalue())
-        print(f"wrote {outdir / filename}")
+    try:
+        result = run_paper(
+            sections=args.sections,
+            profile=args.profile,
+            root=args.root,
+            store_root=args.store,
+            workers=args.workers,
+            force=args.force,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for path in result.written:
+        print(f"wrote {path}")
+    if result.campaign is not None:
+        s = result.campaign.summary
+        print(
+            f"campaign {result.campaign.spec.name}: {s.executed} executed, "
+            f"{s.cache_hits} cache hits, {s.failed} failed"
+        )
+    if not result.ok:
+        for section, labels in result.failed_sections.items():
+            print(
+                f"section {section} failed: tasks {', '.join(labels)}",
+                file=sys.stderr,
+            )
+        return 1
+
+    if args.write_golden:
+        paths = write_goldens(result.artifacts, args.root, args.profile,
+                              golden_dir=args.golden_root)
+        for path in paths:
+            print(f"wrote golden {path}")
+        return 0
+
+    if args.check:
+        report = check_goldens(result.artifacts, args.root, args.profile,
+                               golden_dir=args.golden_root)
+        print(report.format())
+        if report.missing:
+            # Distinct from drift: there is nothing to compare against.
+            print(
+                "error: missing goldens — run `repro paper --profile "
+                f"{args.profile} --write-golden` to record them",
+                file=sys.stderr,
+            )
+            return 2
+        if not report.ok:
+            return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -894,11 +937,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_universality)
 
     p = sub.add_parser(
-        "report", help="write all regenerated artifacts into a directory"
+        "paper",
+        help="regenerate every paper artifact into results/paper/ "
+        "(--check diffs tables against the goldens)",
+        description=(
+            "The one-command reproducible paper pipeline: expands the "
+            "section registry (repro.paper.sections) into a resumable "
+            "campaign, renders every table (markdown + JSON) and figure "
+            "into results/paper/<section>/, and with --check diffs each "
+            "regenerated table cell-by-cell against the goldens under "
+            "results/paper/golden/<profile>/.  See docs/REPRODUCING.md."
+        ),
     )
-    p.add_argument("--output", default="results")
-    p.add_argument("--num-pes", type=int, default=4096)
-    p.set_defaults(func=_cmd_report)
+    p.add_argument("--profile", choices=("full", "smoke"), default="full",
+                   help="regeneration grid: paper-scale N or a CI-fast grid")
+    p.add_argument("--sections", nargs="+", metavar="SECTION",
+                   help="regenerate only these sections (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered sections and exit")
+    p.add_argument("--check", action="store_true",
+                   help="diff regenerated tables against the goldens; "
+                   "exit 1 on drift, 2 on missing goldens")
+    p.add_argument("--write-golden", action="store_true",
+                   help="record the regenerated tables as the new goldens")
+    p.add_argument("--root", default="results/paper",
+                   help="output directory (default: results/paper)")
+    p.add_argument("--golden-root", default=None,
+                   help="golden directory (default: <root>/golden/<profile>)")
+    p.add_argument("--store", default="results/campaigns",
+                   help="campaign result store root (resume/cache)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="campaign worker processes")
+    p.add_argument("--force", action="store_true",
+                   help="ignore cached campaign results and re-execute")
+    p.set_defaults(func=_cmd_paper)
 
     p = sub.add_parser(
         "experiment", help="run one registered experiment by ID (or 'all')"

@@ -1,0 +1,54 @@
+"""``repro.paper`` — the one-command reproducible paper pipeline.
+
+One registry entry per paper artifact (:data:`PAPER_SECTIONS`), a runner
+that regenerates them as a resumable campaign (:func:`run_paper`), and a
+golden checker that diffs every regenerated table cell-by-cell against the
+checked-in goldens (:func:`check_goldens`).  Front end: ``repro paper``
+(see ``docs/REPRODUCING.md``).
+"""
+
+from .golden import (
+    CellDiff,
+    GoldenReport,
+    check_goldens,
+    compare_tables,
+    golden_root,
+    write_goldens,
+)
+from .runner import PaperRunResult, run_paper, write_artifacts
+from .sections import (
+    PAPER_SECTIONS,
+    PROFILES,
+    Figure,
+    PaperProfile,
+    SectionArtifacts,
+    SectionSpec,
+    Table,
+    list_sections,
+    paper_campaign,
+    run_section_task,
+    section_command,
+)
+
+__all__ = [
+    "PAPER_SECTIONS",
+    "PROFILES",
+    "PaperProfile",
+    "Table",
+    "Figure",
+    "SectionArtifacts",
+    "SectionSpec",
+    "paper_campaign",
+    "run_section_task",
+    "section_command",
+    "list_sections",
+    "PaperRunResult",
+    "run_paper",
+    "write_artifacts",
+    "CellDiff",
+    "GoldenReport",
+    "check_goldens",
+    "compare_tables",
+    "golden_root",
+    "write_goldens",
+]

@@ -77,22 +77,72 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "64^2" in out and "300.0 ns" in out
 
-    def test_report_writes_artifacts(self, tmp_path, capsys):
-        main(["report", "--output", str(tmp_path / "res"), "--num-pes", "64"])
-        out = capsys.readouterr().out
-        assert out.count("wrote") == 8
-        written = sorted(p.name for p in (tmp_path / "res").iterdir())
-        assert "tables.txt" in written
-        assert "figures.txt" in written
-        content = (tmp_path / "res" / "tables.txt").read_text()
-        assert "Table 1A" in content
-
     def test_sweep_parallel_matches_serial(self, capsys):
         main(["sweep", "--max-exponent", "4"])
         serial = capsys.readouterr().out
         main(["sweep", "--max-exponent", "4", "--workers", "2"])
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+
+class TestPaperCommand:
+    """The `repro paper` pipeline verb (full flows live in tests/paper/)."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cwd(self, tmp_path, monkeypatch):
+        # The routed section's tasks write the disk plan cache under the
+        # working directory; keep every test out of the repo tree.
+        monkeypatch.chdir(tmp_path)
+
+    def _run(self, tmp_path, *extra):
+        return main([
+            "paper", "--profile", "smoke", "--sections", "table-1a",
+            "--root", str(tmp_path / "paper"),
+            "--store", str(tmp_path / "campaigns"), *extra,
+        ])
+
+    def test_list(self, capsys):
+        assert main(["paper", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table-1a" in out and "bench-trajectories" in out
+
+    def test_run_writes_tables(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "cache hits" in out
+        tables = tmp_path / "paper" / "table-1a" / "tables"
+        assert (tables / "table-1a.json").exists()
+        assert "Table 1A" in (tables / "table-1a.md").read_text()
+
+    def test_check_without_goldens_is_distinct_error(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--check") == 2
+        captured = capsys.readouterr()
+        assert "MISSING GOLDEN" in captured.out
+        assert "error: missing goldens" in captured.err
+
+    def test_write_golden_then_check_passes(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--write-golden") == 0
+        assert self._run(tmp_path, "--check") == 0
+        assert "0 drifting cells" in capsys.readouterr().out
+
+    def test_perturbed_golden_fails_with_named_cell(self, tmp_path, capsys):
+        import json
+
+        assert self._run(tmp_path, "--write-golden") == 0
+        golden = (tmp_path / "paper" / "golden" / "smoke" / "table-1a"
+                  / "table-1a.json")
+        data = json.loads(golden.read_text())
+        data["rows"][0]["diameter"] = 999_999
+        golden.write_text(json.dumps(data))
+        assert self._run(tmp_path, "--check") == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out and "'diameter'" in out and "999999" in out
+
+    def test_unknown_section_is_usage_error(self, tmp_path, capsys):
+        assert main(["paper", "--sections", "table-9z",
+                     "--root", str(tmp_path / "paper"),
+                     "--store", str(tmp_path / "campaigns")]) == 2
+        assert "unknown paper section" in capsys.readouterr().err
 
 
 class TestTraceCommand:

@@ -16,11 +16,19 @@ Two checks, both run by the CI docs job and by
    * the engine-backends table in ``docs/API.md`` comes from
      ``repro.sim.backends`` (:data:`ENGINE_BACKENDS`);
    * the service endpoint table in ``docs/API.md`` comes from
-     ``repro.service.app`` (:data:`ENDPOINTS`).
+     ``repro.service.app`` (:data:`ENDPOINTS`);
+   * the paper-sections table in ``docs/API.md`` comes from
+     ``repro.paper.sections`` (:data:`PAPER_SECTIONS`).
 
    Each block sits between ``BEGIN/END GENERATED`` markers; run
    ``python tools/check_docs.py --write`` after changing a registry to
    regenerate them all.
+
+3. **Experiment mapping check** — every experiment id the paper-section
+   registry claims (``repro.paper.sections``) must exist as an ``## E<k>``
+   heading in EXPERIMENTS.md, and every EXPERIMENTS.md entry must be
+   mapped (by id) in docs/REPRODUCING.md, so the E-id ↔ section mapping
+   cannot silently drift.
 
 Exit code 0 when clean, 1 with a report of every failure otherwise.
 Usage::
@@ -45,7 +53,15 @@ BACKENDS_BEGIN = (
 SERVICE_BEGIN = (
     "<!-- BEGIN GENERATED: service endpoints (tools/check_docs.py --write) -->"
 )
+SECTIONS_BEGIN = (
+    "<!-- BEGIN GENERATED: paper sections (tools/check_docs.py --write) -->"
+)
 END = "<!-- END GENERATED -->"
+
+EXPERIMENTS = REPO / "EXPERIMENTS.md"
+REPRODUCING = REPO / "docs" / "REPRODUCING.md"
+
+_EXPERIMENT_HEADING = re.compile(r"^## (E\d+) ", re.MULTILINE)
 
 #: Files whose relative links are checked.
 LINKED_DOCS = ("README.md", "EXPERIMENTS.md", "ROADMAP.md", "DESIGN.md")
@@ -137,6 +153,32 @@ def render_service_endpoints() -> str:
     return "\n".join(lines)
 
 
+def render_paper_sections() -> str:
+    """The canonical paper-section table, from ``repro.paper.sections``.
+
+    One row per registered section: its experiments (the E-ids of
+    EXPERIMENTS.md), whether its tables are golden-checked by
+    ``repro paper --check``, and the exact command that regenerates it.
+    """
+    from repro.paper.sections import PAPER_SECTIONS, section_command
+
+    lines = [
+        SECTIONS_BEGIN,
+        "",
+        "| section | title | experiments | golden-checked | regenerate |",
+        "|---|---|---|---|---|",
+    ]
+    for spec in PAPER_SECTIONS.values():
+        experiments = ", ".join(spec.experiments) or "—"
+        golden = "yes" if spec.golden else "no"
+        lines.append(
+            f"| `{spec.section}` | {spec.title} | {experiments} | {golden} "
+            f"| `{section_command(spec)}` |"
+        )
+    lines += ["", END]
+    return "\n".join(lines)
+
+
 #: Every generated doc block: (file, BEGIN marker, renderer, registry name).
 #: ``check_contract`` diffs each against its renderer; ``--write`` rewrites.
 GENERATED_BLOCKS = (
@@ -145,7 +187,41 @@ GENERATED_BLOCKS = (
      "repro.sim.backends.ENGINE_BACKENDS"),
     (API, SERVICE_BEGIN, render_service_endpoints,
      "repro.service.app.ENDPOINTS"),
+    (API, SECTIONS_BEGIN, render_paper_sections,
+     "repro.paper.sections.PAPER_SECTIONS"),
 )
+
+
+def check_experiments() -> list[str]:
+    """The experiment-id ↔ paper-section mapping, drift-checked both ways.
+
+    * every E-id a registered section claims must be an ``## E<k>``
+      heading in EXPERIMENTS.md (no dangling references);
+    * every EXPERIMENTS.md entry must appear (as ``E<k>``) somewhere in
+      docs/REPRODUCING.md, so the regeneration guide stays complete.
+    """
+    from repro.paper.sections import PAPER_SECTIONS
+
+    errors = []
+    documented = set(_EXPERIMENT_HEADING.findall(EXPERIMENTS.read_text()))
+    for spec in PAPER_SECTIONS.values():
+        for eid in spec.experiments:
+            if eid not in documented:
+                errors.append(
+                    f"paper section {spec.section!r} references {eid}, "
+                    "which has no '## E<k>' heading in EXPERIMENTS.md"
+                )
+    if not REPRODUCING.exists():
+        errors.append("docs/REPRODUCING.md is missing")
+        return errors
+    guide_ids = set(re.findall(r"\bE\d+\b", REPRODUCING.read_text()))
+    for eid in sorted(documented, key=lambda e: int(e[1:])):
+        if eid not in guide_ids:
+            errors.append(
+                f"EXPERIMENTS.md entry {eid} is not mapped in "
+                "docs/REPRODUCING.md"
+            )
+    return errors
 
 
 def _check_block(doc: Path, begin: str, render, source: str, write: bool
@@ -193,10 +269,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     errors = check_links() + check_contract(write=args.write)
+    errors += check_experiments()
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if not errors:
-        print("docs ok: links resolve, generated blocks match code")
+        print("docs ok: links resolve, generated blocks match code, "
+              "experiment mapping complete")
     return 1 if errors else 0
 
 
