@@ -1,8 +1,9 @@
 """Per-backend routing-engine scaling — the BENCH_engine.json recorder.
 
-Every engine backend (``indexed``, ``numpy``, and ``numba`` when the
-optional package is installed) routes identical fixed-seed workloads on
-meshes, hypercubes and hypermeshes, timed against the frozen seed loop in
+Every engine backend (``indexed``, ``numpy``, plus ``numba`` and ``cupy``
+when the optional packages are usable) routes identical fixed-seed
+workloads on meshes, hypercubes and hypermeshes, timed against the frozen
+seed loop in
 :mod:`repro.sim._reference`.  Each emitted row carries ``equivalent:
 true`` only after the row's schedule and :class:`RoutingStats` have been
 checked bit-identical to the seed loop *and* the row's
@@ -44,7 +45,11 @@ SPEEDUP_FLOORS = {"indexed": 5.0, "numpy": 10.0}
 from repro.networks import Hypercube, Hypermesh2D, Mesh2D
 from repro.routing import Permutation
 from repro.sim._reference import reference_route_core
-from repro.sim.backends import available_backends, resolve_backend
+from repro.sim.backends import (
+    available_backends,
+    cupy_available,
+    resolve_backend,
+)
 from repro.sim.plancache import CachedPlan
 from repro.sim.routers import router_for
 
@@ -81,6 +86,63 @@ def _plan_blob(steps, stats) -> str:
     return json.dumps(
         CachedPlan.from_run(steps, stats).to_payload(), sort_keys=True
     )
+
+
+def _gpu_crossover(sizes, rows) -> dict:
+    """Per-size CPU/GPU crossover rows for the best-effort ``cupy``
+    backend, in the style of the wafer-scale comparison: one row per N
+    comparing the fastest CPU core against the GPU kernel on the dense
+    mesh permutation.  When no CUDA device is visible the section records
+    ``gpu_available: false`` and null GPU timings — never a guessed or
+    stale number.
+    """
+    gpu = cupy_available()
+    crossover_rows = []
+    for n in sizes:
+        cpu_cells = [
+            r for r in rows
+            if r["n"] == n and r["topology"] == "mesh2d"
+            and r["workload"] == "dense-permutation"
+            and r["backend"] in ("indexed", "numpy")
+        ]
+        if not cpu_cells:
+            continue
+        best_cpu = min(cpu_cells, key=lambda r: r["engine_seconds"])
+        row = {
+            "n": n,
+            "topology": "mesh2d",
+            "workload": "dense-permutation",
+            "gpu_available": gpu,
+            "cpu_backend": best_cpu["backend"],
+            "cpu_seconds": best_cpu["engine_seconds"],
+            "gpu_seconds": None,
+            "gpu_speedup_vs_cpu": None,
+        }
+        if gpu:  # pragma: no cover - needs a CUDA device
+            gpu_cell = next(
+                (
+                    r for r in rows
+                    if r["n"] == n and r["topology"] == "mesh2d"
+                    and r["workload"] == "dense-permutation"
+                    and r["backend"] == "cupy"
+                ),
+                None,
+            )
+            if gpu_cell is not None:
+                row["gpu_seconds"] = gpu_cell["engine_seconds"]
+                row["gpu_speedup_vs_cpu"] = round(
+                    best_cpu["engine_seconds"] / gpu_cell["engine_seconds"],
+                    2,
+                )
+        crossover_rows.append(row)
+    return {
+        "gpu_available": gpu,
+        "note": (
+            "cupy is a best-effort backend: timed only when the package "
+            "imports and a CUDA device is visible; fault-free runs only"
+        ),
+        "rows": crossover_rows,
+    }
 
 
 def run_engine_benchmark(
@@ -163,6 +225,7 @@ def run_engine_benchmark(
         "sizes": list(sizes),
         "backends": backends,
         "rows": rows,
+        "gpu_crossover": _gpu_crossover(sizes, rows),
     }
     if 4096 in sizes:
         best = {}

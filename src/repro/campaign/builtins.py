@@ -93,8 +93,16 @@ def _engine_sweep_cached() -> CampaignSpec:
 CHAOS_SWEEP_FRACTIONS = (0.0, 0.05, 0.1, 0.2)
 
 
+#: Degraded-capable backends for the chaos sweep's backend axis.  Like the
+#: engine sweep, ``numba`` is deliberately absent: built-in campaigns must
+#: run everywhere, optional dependencies included nowhere (``cupy`` is in
+#: any case fault-free only).
+CHAOS_SWEEP_BACKENDS = ("indexed", "numpy")
+
+
 def _chaos_sweep() -> CampaignSpec:
-    """Degraded-mode grid: 3 topologies x 2 sizes x 4 link-fail fractions.
+    """Degraded-mode grid: 3 topologies x 2 sizes x 4 link-fail fractions
+    x 2 degraded backends (plus the hypermesh degraded-net column).
 
     Each cell routes the fixed dense permutation through a machine with a
     seeded fraction of its links failed (``fault.seed`` fixed at 99, so the
@@ -103,54 +111,66 @@ def _chaos_sweep() -> CampaignSpec:
     task — the interesting output of this sweep *is* where routing stops
     being possible.  The hypermesh column uses degraded nets instead of
     link fractions (hypergraph networks have nets, not links): net 0
-    serialized, then nets 0+1.
+    serialized, then nets 0+1.  The ``backend`` axis runs every faulted
+    cell on both the indexed and the structure-of-arrays degraded cores;
+    the two halves of the grid must report identical step counts (the
+    degraded backends are bit-identical by contract), so the sweep doubles
+    as a cross-backend consistency check at campaign scale.
     """
     tasks = []
-    for topology in ("mesh2d", "torus2d", "hypercube"):
+    for backend in CHAOS_SWEEP_BACKENDS:
+        for topology in ("mesh2d", "torus2d", "hypercube"):
+            for n in (64, 256):
+                for frac in CHAOS_SWEEP_FRACTIONS:
+                    fault = (
+                        {"seed": 99, "link_fail_fraction": frac}
+                        if frac else {}
+                    )
+                    tasks.append(
+                        TaskSpec(
+                            entry="repro.sim.task:run_routing_task",
+                            params={
+                                "topology": topology,
+                                "n": n,
+                                "workload": "dense-permutation",
+                                "seed": 99,
+                                "arbitration": "overtaking",
+                                "backend": backend,
+                                "allow_unroutable": True,
+                                **({"fault": fault} if fault else {}),
+                            },
+                            label=f"{topology}-n{n}-frac{frac}-{backend}",
+                        )
+                    )
         for n in (64, 256):
-            for frac in CHAOS_SWEEP_FRACTIONS:
-                fault = (
-                    {"seed": 99, "link_fail_fraction": frac} if frac else {}
-                )
+            for degraded in ((), (0,), (0, 1)):
+                fault = {"seed": 99, "degraded_nets": list(degraded)}
                 tasks.append(
                     TaskSpec(
                         entry="repro.sim.task:run_routing_task",
                         params={
-                            "topology": topology,
+                            "topology": "hypermesh2d",
                             "n": n,
                             "workload": "dense-permutation",
                             "seed": 99,
                             "arbitration": "overtaking",
+                            "backend": backend,
                             "allow_unroutable": True,
-                            **({"fault": fault} if fault else {}),
+                            **({"fault": fault} if degraded else {}),
                         },
-                        label=f"{topology}-n{n}-frac{frac}",
+                        label=(
+                            f"hypermesh2d-n{n}-degraded{len(degraded)}"
+                            f"-{backend}"
+                        ),
                     )
                 )
-    for n in (64, 256):
-        for degraded in ((), (0,), (0, 1)):
-            fault = {"seed": 99, "degraded_nets": list(degraded)}
-            tasks.append(
-                TaskSpec(
-                    entry="repro.sim.task:run_routing_task",
-                    params={
-                        "topology": "hypermesh2d",
-                        "n": n,
-                        "workload": "dense-permutation",
-                        "seed": 99,
-                        "arbitration": "overtaking",
-                        "allow_unroutable": True,
-                        **({"fault": fault} if degraded else {}),
-                    },
-                    label=f"hypermesh2d-n{n}-degraded{len(degraded)}",
-                )
-            )
     return CampaignSpec(
         "chaos-sweep",
         tuple(tasks),
         meta={
             "description": "degraded-mode sweep: routing time vs fraction "
-            "of failed links (and degraded hypermesh nets), seeded faults",
+            "of failed links (and degraded hypermesh nets), seeded faults, "
+            "indexed + numpy degraded backends",
         },
     )
 

@@ -630,6 +630,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     links, so there the sweep degrades 0, 1, 2, ... nets to serialized
     sub-transfers instead.  Partitioned cells are reported as
     ``unroutable`` rows, not errors — the feasibility cliff is the result.
+    ``--backend`` picks the degraded engine core (``indexed`` or the
+    vectorized ``numpy``/``numba``); every backend is bit-identical, so
+    the table is the same — only the wall-clock changes.
     """
     from .faults import FaultModel, UnroutableError
     from .networks.base import ChannelModel
@@ -685,18 +688,26 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         label = f"{amount:.2f}" if not hypergraph else str(amount)
         try:
             routed = route_demands(
-                topology, demands, fault_model=model if model.enabled else None
+                topology, demands,
+                fault_model=model if model.enabled else None,
+                backend=args.backend,
             )
         except UnroutableError as exc:
             rows.append([label, "unroutable", "-", "-", "-", str(exc)])
             continue
+        except ValueError as exc:
+            # An unknown or fault-incapable backend exits 2 with the
+            # message on stderr, like every other invalid argument here.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         s = routed.stats
         rows.append(
             [label, s.steps, s.delivered, s.dropped, s.retried, ""]
         )
     print(
         f"{args.topology} n={args.n} {args.workload} seed={args.seed} "
-        f"fault-seed={args.fault_seed} drop-prob={args.drop_prob}"
+        f"fault-seed={args.fault_seed} drop-prob={args.drop_prob} "
+        f"backend={args.backend}"
     )
     print(format_table(
         [axis, "steps", "delivered", "dropped", "retried", "note"], rows
@@ -1046,8 +1057,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arbitration", default="overtaking",
                    help="engine arbitration policy (overtaking | fifo)")
     p.add_argument("--backend", default="indexed",
-                   help="engine backend (indexed | numpy | numba); all are "
-                        "bit-identical, this only changes routing speed")
+                   help="engine backend (indexed | numpy | numba | cupy); "
+                        "all are bit-identical, this only changes routing "
+                        "speed (cupy is fault-free only)")
     p.add_argument("--out", default="trace.jsonl",
                    help="trace path ('all' appends -<topology> to the stem)")
     p.add_argument("--summary", action="store_true",
@@ -1110,6 +1122,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-transmission intermittent drop probability")
     p.add_argument("--retry-limit", type=int, default=None,
                    help="failed transmissions before a packet is dropped")
+    p.add_argument("--backend", default="indexed",
+                   help="degraded engine backend (indexed | numpy | numba); "
+                        "bit-identical, this only changes routing speed")
     p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser(

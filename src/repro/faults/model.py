@@ -26,6 +26,7 @@ really do produce bit-identical schedules.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Mapping
 
@@ -33,6 +34,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..networks.base import Topology
+    from ..networks.degraded import SurvivingGraph
 
 __all__ = ["FaultModel", "ResolvedFaults", "UnroutableError", "resolve_faults"]
 
@@ -193,6 +195,40 @@ class FaultModel:
         draw = int.from_bytes(digest[:8], "little") / 2**64
         return draw >= self.drop_prob
 
+    def transmit_ok_batch(self, step: int, packets) -> np.ndarray:
+        """Vector :meth:`transmit_ok`: one bool per packet, same draws.
+
+        Each draw is the *identical* SHA-256 hash of ``(seed, step,
+        packet)`` the scalar method computes — a pure per-packet function,
+        so batching cannot reorder or change the sequence — with the
+        degenerate probabilities (0 and 1) short-circuited to one array
+        fill.  This is what lets the vectorized degraded core settle a
+        whole step's granted transmissions in one call while staying
+        bit-identical to the indexed core's per-move draws.
+        """
+        packets = np.asarray(packets, dtype=np.int64)
+        m = packets.shape[0]
+        if self.drop_prob <= 0.0:
+            return np.ones(m, dtype=bool)
+        if self.drop_prob >= 1.0:
+            return np.zeros(m, dtype=bool)
+        salt = self._drop_salt
+        prefix = f"{step}:".encode()
+        prob = self.drop_prob
+        sha256 = hashlib.sha256
+        from_bytes = int.from_bytes
+        return np.fromiter(
+            (
+                from_bytes(
+                    sha256(salt + prefix + b"%d" % pid).digest()[:8],
+                    "little",
+                ) / 2**64 >= prob
+                for pid in packets.tolist()
+            ),
+            dtype=bool,
+            count=m,
+        )
+
     # ------------------------------------------------------- (de)serializing
     def to_params(self) -> dict:
         """Flat JSON-serializable form (campaign task params, CLI echo)."""
@@ -258,6 +294,37 @@ class ResolvedFaults:
     down_nodes: frozenset[int]
     down_nets: frozenset[int]
     degraded_nets: frozenset[int]
+    #: Per-topology :class:`~repro.networks.degraded.SurvivingGraph` cache,
+    #: keyed by ``id(topology)`` with a weakref guard against id reuse.
+    #: Excluded from equality/repr; reset on pickling (weakrefs don't
+    #: serialize, and the structures rebuild deterministically).
+    _cache: dict = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
+    def surviving_graph(self, topology: "Topology") -> "SurvivingGraph":
+        """The cached surviving-network structure for ``topology``.
+
+        Adjacency, its CSR image, and every BFS distance table built so
+        far are shared by all routers constructed against this resolved
+        fault set — repeated ``route_demands`` calls with one fault config
+        stop rebuilding them per call.  The cache key is the topology
+        instance (weakref-checked), so one resolved set never serves a
+        different machine's structure.
+        """
+        from ..networks.degraded import SurvivingGraph, surviving_adjacency
+
+        entry = self._cache.get(id(topology))
+        if entry is not None and entry[0]() is topology:
+            return entry[1]
+        graph = SurvivingGraph(surviving_adjacency(topology, self))
+        self._cache[id(topology)] = (weakref.ref(topology), graph)
+        return graph
 
     @property
     def structural(self) -> bool:
@@ -292,13 +359,42 @@ class ResolvedFaults:
         }
 
 
+#: Memo for :func:`resolve_faults`, keyed by ``(id(topology), model)`` with
+#: a weakref guard: entries die with their topology (the callback evicts),
+#: and an id reused by a new topology misses the ``is`` check and
+#: re-resolves.  Resolution is deterministic, so equal keys really do mean
+#: an identical result — the memo exists so repeated routing calls against
+#: one fault config share one :class:`ResolvedFaults` (and therefore one
+#: cached surviving graph) instead of resampling and rebuilding per call.
+_RESOLVE_MEMO: dict = {}
+
+
 def resolve_faults(model: FaultModel, topology: "Topology") -> ResolvedFaults:
     """Pin ``model`` to ``topology``: validate, sample, and build down sets.
 
     Raises ``ValueError`` when an explicit fault names a node, link, or net
     the topology does not have — a misconfigured fault plan should fail
     loudly, not silently injure a different machine.
+
+    Memoized per ``(model, topology)`` pair: the same model resolved
+    against the same topology instance returns the *same*
+    :class:`ResolvedFaults` object, which is what lets its surviving-graph
+    cache pay off across routing calls.
     """
+    key = (id(topology), model)
+    hit = _RESOLVE_MEMO.get(key)
+    if hit is not None and hit[0]() is topology:
+        return hit[1]
+    resolved = _resolve_faults(model, topology)
+    try:
+        ref = weakref.ref(topology, lambda _, k=key: _RESOLVE_MEMO.pop(k, None))
+    except TypeError:  # pragma: no cover - non-weakrefable topology
+        return resolved
+    _RESOLVE_MEMO[key] = (ref, resolved)
+    return resolved
+
+
+def _resolve_faults(model: FaultModel, topology: "Topology") -> ResolvedFaults:
     from ..networks.base import ChannelModel, HypergraphTopology
 
     n = topology.num_nodes

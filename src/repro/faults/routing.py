@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..networks.base import ChannelModel, HypergraphTopology, Topology
-from ..networks.degraded import surviving_adjacency, surviving_distances
 from .model import FaultModel, ResolvedFaults, UnroutableError, resolve_faults
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,12 +63,33 @@ class FaultAwareRouter:
         self._structural = faults.structural and bool(
             faults.down_links or faults.down_nodes or faults.down_nets
         )
-        self._adjacency = (
-            surviving_adjacency(topology, faults) if self._structural else None
+        # The surviving graph (adjacency + CSR + BFS tables) is cached on
+        # the resolved fault set, so every router built against the same
+        # (faults, topology) pair shares one copy of the structure.
+        self._graph = (
+            faults.surviving_graph(topology) if self._structural else None
         )
-        self._dist_to: dict[int, list[int]] = {}
+        self._adjacency = (
+            self._graph.adjacency if self._graph is not None else None
+        )
         self._hypergraph = (
             topology.channel_model is ChannelModel.HYPERGRAPH_NET
+        )
+        # Vector routing needs the base discipline to answer elementwise
+        # too; bind the wrapper method only then, so the engines'
+        # ``getattr(router, "next_hop_array", None)`` probe stays honest.
+        base_array = getattr(base, "next_hop_array", None)
+        if base_array is not None:
+            if self._structural:
+                self.next_hop_array = self._next_hop_array_detoured
+            else:
+                # Intact graph: the base discipline's routes are the routes.
+                self.next_hop_array = base_array
+        # Down nodes as a sorted array for vectorized endpoint screening.
+        self._down_nodes_arr = (
+            np.fromiter(sorted(faults.down_nodes), dtype=np.int64,
+                        count=len(faults.down_nodes))
+            if faults.down_nodes else None
         )
 
     # ------------------------------------------------------------ accessors
@@ -82,11 +104,7 @@ class FaultAwareRouter:
         return self._faults
 
     def _distances(self, dest: int) -> list[int]:
-        dist = self._dist_to.get(dest)
-        if dist is None:
-            dist = surviving_distances(self._adjacency, dest)
-            self._dist_to[dest] = dist
-        return dist
+        return self._graph.distances_list(dest)
 
     # -------------------------------------------------------------- routing
     def next_hop(self, current: int, dest: int) -> int | None:
@@ -137,6 +155,92 @@ class FaultAwareRouter:
         """Whether ``u -> v`` is one surviving step (adjacency probe)."""
         return v in self._adjacency[u]
 
+    def prepare_dests(self, dests) -> None:
+        """Warm the BFS tables for every destination in one batched sweep.
+
+        The vectorized degraded core calls this once before its step loop
+        so no per-step ``next_hop_array`` call ever triggers an
+        incremental (single-destination) BFS; the scalar path benefits
+        too, since :meth:`_distances` reads the same shared cache.
+        """
+        if self._structural:
+            self._graph.dest_table(np.asarray(dests, dtype=np.int64))
+
+    def _next_hop_array_detoured(self, current, dest) -> np.ndarray:
+        """Vector :meth:`next_hop`: minimal detours, elementwise.
+
+        Bit-identical hop choices to the scalar method: the canonical base
+        hop wins where it is alive and still minimal; otherwise the first
+        (ascending) surviving neighbour that decreases the BFS distance —
+        the exact neighbour the scalar adjacency scan returns, because CSR
+        rows preserve that ascending order.  Equal ``(current, dest)``
+        pairs pass through unchanged, matching the base routers'
+        ``next_hop_array`` contract.
+        """
+        cur = np.asarray(current, dtype=np.int64)
+        dst = np.asarray(dest, dtype=np.int64)
+        faults = self._faults
+        if self._down_nodes_arr is not None:
+            dst_down = np.isin(dst, self._down_nodes_arr)
+            cur_down = np.isin(cur, self._down_nodes_arr)
+            bad = dst_down | cur_down
+            if bad.any():
+                i = int(np.argmax(bad))  # scalar check order per packet
+                if dst_down[i]:
+                    raise UnroutableError(
+                        f"destination {int(dst[i])} is a failed node"
+                    )
+                raise UnroutableError(
+                    f"packet at failed node {int(cur[i])} cannot move"
+                )
+        graph = self._graph
+        table, dest_row = graph.dest_table(dst)
+        di = dest_row[dst]
+        here = table[di, cur]
+        out = cur.copy()
+        active = np.flatnonzero(cur != dst)
+        if active.size == 0:
+            return out
+        cur_a = cur[active]
+        di_a = di[active]
+        here_a = here[active]
+        if (here_a < 0).any():
+            i = int(np.argmax(here_a < 0))
+            raise UnroutableError(
+                f"destination {int(dst[active[i]])} unreachable from "
+                f"{int(cur_a[i])}: faults partition the network"
+            )
+        tgt = here_a - 1
+        base_hops = np.asarray(
+            self._base.next_hop_array(cur_a, dst[active]), dtype=np.int64
+        )
+        base_ok = (table[di_a, base_hops] == tgt) & graph.edges_alive(
+            cur_a, base_hops
+        )
+        hops = np.where(base_ok, base_hops, np.int64(-1))
+        rest = np.flatnonzero(~base_ok)
+        if rest.size:
+            from ..networks.degraded import _csr_gather
+
+            rows, nbrs = _csr_gather(graph.indptr, graph.indices, cur_a[rest])
+            good = table[di_a[rest][rows], nbrs] == tgt[rest][rows]
+            sel_rows = rows[good]
+            sel_nbrs = nbrs[good]
+            # First qualifying neighbour per row: ``rows`` is
+            # non-decreasing, so the first entry of each run is the first
+            # (ascending) neighbour — the scalar scan's pick.
+            first = np.ones(sel_rows.shape[0], dtype=bool)
+            first[1:] = sel_rows[1:] != sel_rows[:-1]
+            hops[rest[sel_rows[first]]] = sel_nbrs[first]
+            if (hops[rest] < 0).any():  # pragma: no cover - dist>0 => a hop
+                i = int(np.argmax(hops[rest] < 0))
+                raise UnroutableError(
+                    f"no surviving hop from {int(cur_a[rest[i]])} toward "
+                    f"{int(dst[active[rest[i]]])}"
+                )
+        out[active] = hops
+        return out
+
     # ----------------------------------------------------------- hypergraph
     def shared_net(self, node_a: int, node_b: int) -> int | None:
         """First **alive** net both nodes belong to, or ``None``.
@@ -158,6 +262,31 @@ class FaultAwareRouter:
                     return net
         return None
 
+    def shared_net_array(self, nodes_a, nodes_b) -> np.ndarray:
+        """Vector :meth:`shared_net`: first alive shared net per pair, -1
+        for none.
+
+        Delegates to the topology's closed-form ``shared_net_array`` when
+        no net is hard-down (degraded nets still carry packets, so the
+        intact answer stands); with down nets it falls back to the scalar
+        probe per pair — exactness over speed on the rare path.
+        """
+        assert isinstance(self._topology, HypergraphTopology)
+        faults = self._faults
+        topo = self._topology
+        if not faults.down_nets:
+            fast = getattr(topo, "shared_net_array", None)
+            if fast is not None:
+                return np.asarray(fast(nodes_a, nodes_b), dtype=np.int64)
+        a = np.asarray(nodes_a, dtype=np.int64)
+        b = np.asarray(nodes_b, dtype=np.int64)
+        out = np.empty(a.shape[0], dtype=np.int64)
+        shared = self.shared_net if faults.down_nets else topo.shared_net
+        for i, (u, v) in enumerate(zip(a.tolist(), b.tolist())):
+            net = shared(u, v)
+            out[i] = -1 if net is None else net
+        return out
+
     # --------------------------------------------------------- prevalidation
     def check_routable(self, sources, dests) -> None:
         """Raise :class:`UnroutableError` for the first doomed packet.
@@ -165,24 +294,43 @@ class FaultAwareRouter:
         Called by the engine before arbitration starts so a partitioned
         demand set fails fast with the offending packet named, instead of
         surfacing as a mid-run deadlock.
+
+        Vectorized: endpoint screening and the reachability probe run as
+        whole-array operations (one batched BFS covers every distinct
+        destination), with the scalar per-packet check order — source
+        down, destination down, partitioned — preserved for the first
+        offending packet so the raised message is unchanged.
         """
         faults = self._faults
-        for pid, (src, dst) in enumerate(zip(sources, dests)):
-            if faults.node_down(src):
-                raise UnroutableError(
-                    f"packet {pid} originates at failed node {src}"
-                )
-            if faults.node_down(dst):
-                raise UnroutableError(
-                    f"packet {pid} targets failed node {dst}"
-                )
-            if src == dst or not self._structural:
-                continue
-            if self._distances(dst)[src] == -1:
-                raise UnroutableError(
-                    f"packet {pid} ({src} -> {dst}) is unroutable: "
-                    f"faults partition the network"
-                )
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(dests, dtype=np.int64)
+        bad = None
+        if self._down_nodes_arr is not None:
+            src_down = np.isin(src, self._down_nodes_arr)
+            dst_down = np.isin(dst, self._down_nodes_arr)
+            bad = src_down | dst_down
+        if self._structural and src.size:
+            table, dest_row = self._graph.dest_table(dst)
+            cut = (src != dst) & (table[dest_row[dst], src] == -1)
+            bad = cut if bad is None else bad | cut
+        else:
+            cut = None
+        if bad is None or not bad.any():
+            return
+        pid = int(np.argmax(bad))
+        s, d = int(src[pid]), int(dst[pid])
+        if faults.node_down(s):
+            raise UnroutableError(
+                f"packet {pid} originates at failed node {s}"
+            )
+        if faults.node_down(d):
+            raise UnroutableError(
+                f"packet {pid} targets failed node {d}"
+            )
+        raise UnroutableError(
+            f"packet {pid} ({s} -> {d}) is unroutable: "
+            f"faults partition the network"
+        )
 
 
 def fault_aware_router(

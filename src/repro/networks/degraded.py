@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from .base import ChannelModel, HypergraphTopology, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -27,6 +29,9 @@ __all__ = [
     "reachable_from",
     "components_under",
     "surviving_distances",
+    "surviving_csr",
+    "batched_surviving_distances",
+    "SurvivingGraph",
 ]
 
 
@@ -121,3 +126,173 @@ def surviving_distances(
                 dist[nb] = d
                 frontier.append(nb)
     return dist
+
+
+def surviving_csr(
+    adjacency: Sequence[Sequence[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """The surviving adjacency in CSR form: ``(indptr, indices)`` int64.
+
+    ``indices[indptr[u]:indptr[u+1]]`` is node ``u``'s neighbour tuple in
+    the same ascending order :func:`surviving_adjacency` produces, so any
+    "first neighbour satisfying P" scan over a CSR row picks exactly the
+    node the list-based scan picks.
+    """
+    n = len(adjacency)
+    counts = np.fromiter(
+        (len(row) for row in adjacency), dtype=np.int64, count=n
+    )
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.fromiter(
+        (nb for row in adjacency for nb in row),
+        dtype=np.int64,
+        count=int(indptr[-1]),
+    )
+    return indptr, indices
+
+
+def _csr_gather(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated CSR rows for ``nodes``: ``(row_of_entry, neighbours)``.
+
+    ``row_of_entry[j]`` is the index *into ``nodes``* whose adjacency row
+    produced ``neighbours[j]``; within one row the neighbours keep their
+    ascending CSR order.  This is the repeat/cumsum slice-gather trick —
+    no Python loop over rows.
+    """
+    starts = indptr[nodes]
+    deg = indptr[nodes + 1] - starts
+    total = int(deg.sum())
+    cum = np.cumsum(deg)
+    offsets = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - (cum - deg), deg
+    )
+    rows = np.repeat(np.arange(nodes.shape[0], dtype=np.int64), deg)
+    return rows, indices[offsets]
+
+
+def batched_surviving_distances(
+    indptr: np.ndarray, indices: np.ndarray, dests: Sequence[int]
+) -> np.ndarray:
+    """BFS hop counts to every destination at once: a ``(D, n)`` matrix.
+
+    Row ``k`` equals ``surviving_distances(adjacency, dests[k])`` exactly
+    (-1 where unreachable) — distances are unique, so the level-synchronous
+    frontier sweep and the per-destination deque BFS cannot disagree.  All
+    D searches advance one level per iteration over a shared frontier of
+    ``(destination, node)`` pairs, so the per-level work is a handful of
+    NumPy calls however many destinations are in flight.
+    """
+    n = indptr.shape[0] - 1
+    dest_arr = np.asarray(dests, dtype=np.int64)
+    d = dest_arr.shape[0]
+    dist = np.full((d, n), -1, dtype=np.int64)
+    if d == 0:
+        return dist
+    flat = dist.ravel()
+    flat[np.arange(d, dtype=np.int64) * n + dest_arr] = 0
+    front_k = np.arange(d, dtype=np.int64)
+    front_node = dest_arr.copy()
+    # Scatter pad for O(frontier) dedup: last write to each code wins, so
+    # ``pad[codes] == position`` keeps exactly one entry per code — far
+    # cheaper than sorting/hashing the frontier every level.
+    pad = np.empty(d * n, dtype=np.int64)
+    level = 0
+    while front_node.size:
+        level += 1
+        rows, nbrs = _csr_gather(indptr, indices, front_node)
+        codes = front_k[rows] * n + nbrs
+        codes = codes[flat[codes] == -1]
+        if codes.size == 0:
+            break
+        pos = np.arange(codes.shape[0], dtype=np.int64)
+        pad[codes] = pos
+        codes = codes[pad[codes] == pos]
+        flat[codes] = level
+        front_k = codes // n
+        front_node = codes - front_k * n
+    return dist
+
+
+class SurvivingGraph:
+    """Cached surviving-network structure for one resolved fault set.
+
+    Built (and memoized) by :meth:`repro.faults.model.ResolvedFaults.
+    surviving_graph` so every :class:`~repro.faults.routing.
+    FaultAwareRouter` constructed against the same ``(faults, topology)``
+    pair shares one adjacency, one CSR image, and one pool of BFS
+    distance tables instead of rebuilding them per ``route_demands`` call.
+
+    Two distance representations coexist, both derived from the same BFS
+    and therefore always equal: per-destination Python lists for the
+    scalar router path (``dist[current]`` stays a native int) and a
+    destination-indexed int64 matrix for the vectorized path.
+    """
+
+    def __init__(self, adjacency: Sequence[tuple[int, ...]]):
+        self.adjacency = adjacency
+        self.indptr, self.indices = surviving_csr(adjacency)
+        n = len(adjacency)
+        self.num_nodes = n
+        #: Sorted directed-edge codes ``u * n + v`` for O(log E) alive-edge
+        #: membership probes (rows are ascending within ascending nodes, so
+        #: the concatenation is globally sorted already).
+        self.edge_codes = (
+            np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self.indptr)
+            ) * n + self.indices
+        )
+        self._dist_lists: dict[int, list[int]] = {}
+        self._table: np.ndarray | None = None
+        self._dest_row = np.full(n, -1, dtype=np.int64)
+
+    # ----------------------------------------------------------- distances
+    def distances_list(self, dest: int) -> list[int]:
+        """``surviving_distances`` to ``dest`` as a list, memoized."""
+        dist = self._dist_lists.get(dest)
+        if dist is None:
+            if self._dest_row[dest] >= 0:
+                dist = self._table[self._dest_row[dest]].tolist()
+            else:
+                dist = surviving_distances(self.adjacency, dest)
+            self._dist_lists[dest] = dist
+        return dist
+
+    def dest_table(
+        self, dests: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(table, dest_row)`` covering every destination in ``dests``.
+
+        ``table[dest_row[d], u]`` is the surviving distance from ``u`` to
+        ``d``; missing destinations are BFS'd in one batched frontier
+        sweep and appended.  Both arrays are shared (cached) across calls.
+        """
+        dests = np.unique(np.asarray(dests, dtype=np.int64))
+        missing = dests[self._dest_row[dests] < 0]
+        if missing.size:
+            block = batched_surviving_distances(
+                self.indptr, self.indices, missing
+            )
+            base = 0 if self._table is None else self._table.shape[0]
+            self._dest_row[missing] = np.arange(
+                base, base + missing.size, dtype=np.int64
+            )
+            self._table = (
+                block if self._table is None
+                else np.vstack((self._table, block))
+            )
+        return self._table, self._dest_row
+
+    # ---------------------------------------------------------- membership
+    def edges_alive(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Elementwise: is ``u[i] -> v[i]`` one surviving step?"""
+        if self.edge_codes.shape[0] == 0:
+            return np.zeros(u.shape[0], dtype=bool)
+        codes = u * np.int64(self.num_nodes) + v
+        pos = np.searchsorted(self.edge_codes, codes)
+        pos_clipped = np.minimum(pos, self.edge_codes.shape[0] - 1)
+        return (pos < self.edge_codes.shape[0]) & (
+            self.edge_codes[pos_clipped] == codes
+        )

@@ -3,9 +3,12 @@ routing engine, and the SIMD compute/communicate machine."""
 
 from .backends import (
     ENGINE_BACKENDS,
+    BackendSpec,
     available_backends,
+    degraded_backends,
     numpy_route_core,
     resolve_backend,
+    resolve_degraded_backend,
 )
 from .engine import (
     ARBITRATION_POLICIES,
@@ -15,7 +18,7 @@ from .engine import (
     route_demands,
     route_permutation,
 )
-from .degraded import FaultCallback, route_core_degraded
+from .degraded import FaultCallback, numpy_degraded_core, route_core_degraded
 from .machine import Compute, Exchange, Permute, ProgramOp, RunResult, SimdMachine
 from .plancache import (
     PlanCache,
@@ -63,8 +66,11 @@ __all__ = [
     "router_for",
     "ARBITRATION_POLICIES",
     "ENGINE_BACKENDS",
+    "BackendSpec",
     "available_backends",
+    "degraded_backends",
     "resolve_backend",
+    "resolve_degraded_backend",
     "numpy_route_core",
     "StepTracer",
     "StepRecord",
@@ -77,6 +83,7 @@ __all__ = [
     "replay_schedule",
     "FaultCallback",
     "route_core_degraded",
+    "numpy_degraded_core",
     "PlanCache",
     "PlanKey",
     "plan_key",

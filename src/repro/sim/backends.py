@@ -57,6 +57,7 @@ priority-ordered proposals; FIFO runs trade the vector win for exactness.
 from __future__ import annotations
 
 import importlib.util
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Sequence
 
@@ -68,31 +69,59 @@ from .schedule import ScheduleError
 from .stats import RoutingStats
 
 __all__ = [
+    "BackendSpec",
     "ENGINE_BACKENDS",
     "available_backends",
+    "degraded_backends",
     "resolve_backend",
+    "resolve_degraded_backend",
     "numpy_route_core",
 ]
 
-#: Registry of engine backends: name -> one-line description.  The
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One engine backend's registry entry.
+
+    ``degraded`` records whether the backend also implements the
+    fault-injected (``fault_model=``) execution path; the generated
+    backend table in docs/API.md renders this column, and
+    :func:`resolve_degraded_backend` consults it for its error message.
+    """
+
+    description: str
+    degraded: bool
+
+
+#: Registry of engine backends: name -> :class:`BackendSpec`.  The
 #: ``docs/API.md`` backend table is generated from this mapping by
-#: ``tools/check_docs.py`` (drift-checked in CI), so edit descriptions here
+#: ``tools/check_docs.py`` (drift-checked in CI), so edit entries here
 #: and run ``python tools/check_docs.py --write``.
-ENGINE_BACKENDS: dict[str, str] = {
-    "indexed": (
+ENGINE_BACKENDS: dict[str, BackendSpec] = {
+    "indexed": BackendSpec(
         "default — the indexed Python arbitration loop in "
         "`repro.sim.engine` (active-node worklist, linked-list queues, "
-        "per-packet hop caches)"
+        "per-packet hop caches)",
+        degraded=True,
     ),
-    "numpy": (
+    "numpy": BackendSpec(
         "structure-of-arrays core: positions, hops, and queue order in "
         "flat `int64` arrays, arbitration by stable argsort, whole steps "
-        "advanced per NumPy call"
+        "advanced per NumPy call",
+        degraded=True,
     ),
-    "numba": (
+    "numba": BackendSpec(
         "the structure-of-arrays core with its first-claim-wins kernel "
         "JIT-compiled; requires the optional `numba` package and is "
-        "skipped when it is missing"
+        "skipped when it is missing",
+        degraded=True,
+    ),
+    "cupy": BackendSpec(
+        "the structure-of-arrays core with its first-claim-wins kernel "
+        "offloaded to a CUDA GPU via the optional `cupy` package; "
+        "best-effort — requires cupy *and* a visible device, fault-free "
+        "runs only",
+        degraded=False,
     ),
 }
 
@@ -107,21 +136,49 @@ def numba_available() -> bool:
     return importlib.util.find_spec("numba") is not None
 
 
+def cupy_available() -> bool:
+    """Whether ``cupy`` is importable *and* a CUDA device is visible.
+
+    Best-effort by design: any import or driver failure reads as "no
+    GPU" rather than an exception, so hosts without CUDA simply don't
+    list the backend.
+    """
+    if importlib.util.find_spec("cupy") is None:
+        return False
+    try:  # pragma: no cover - needs cupy installed
+        import cupy
+
+        return int(cupy.cuda.runtime.getDeviceCount()) > 0
+    except Exception:  # pragma: no cover - driver/toolkit failures
+        return False
+
+
 def available_backends() -> tuple[str, ...]:
     """The backends resolvable in this environment, registry order."""
+    out = []
+    for name in ENGINE_BACKENDS:
+        if name == "numba" and not numba_available():
+            continue
+        if name == "cupy" and not cupy_available():
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def degraded_backends() -> tuple[str, ...]:
+    """The backends that implement ``fault_model=`` runs, registry order."""
     return tuple(
-        name
-        for name in ENGINE_BACKENDS
-        if name != "numba" or numba_available()
+        name for name in ENGINE_BACKENDS if ENGINE_BACKENDS[name].degraded
     )
 
 
 def resolve_backend(backend: str) -> Callable:
     """Resolve a backend name to its ``_route_core``-compatible callable.
 
-    Raises :class:`ValueError` for unknown names, and for ``"numba"`` when
-    the optional package is not installed — the message names the backends
-    that *are* available so CLI and API callers get an actionable error.
+    Raises :class:`ValueError` for unknown names, and for ``"numba"`` /
+    ``"cupy"`` when the optional package (or, for cupy, the GPU) is not
+    present — the message names the backends that *are* available so CLI
+    and API callers get an actionable error.
     """
     if backend == "indexed":
         from .engine import _route_core
@@ -137,6 +194,52 @@ def resolve_backend(backend: str) -> Callable:
                 f"{available_backends()}"
             )
         return _numba_route_core()
+    if backend == "cupy":
+        if not cupy_available():
+            raise ValueError(
+                "engine backend 'cupy' needs the optional cupy package "
+                "and a visible CUDA device, which this host does not "
+                f"have; available backends: {available_backends()}"
+            )
+        return _cupy_route_core()  # pragma: no cover - needs a GPU
+    raise ValueError(
+        f"unknown engine backend {backend!r}; "
+        f"expected one of {tuple(ENGINE_BACKENDS)}"
+    )
+
+
+def resolve_degraded_backend(backend: str) -> Callable:
+    """Resolve a backend name for a **fault-injected** run.
+
+    The returned callable has :func:`repro.sim.degraded.
+    route_core_degraded`'s signature (the fault model and ``on_fault``
+    ride along).  Unknown names raise the *same* named :class:`ValueError`
+    the fault-free :func:`resolve_backend` raises; a known backend whose
+    registry entry says ``degraded=False`` (cupy) raises a ValueError
+    naming the degraded-capable backends instead of silently falling back
+    to the indexed core.
+    """
+    if backend == "indexed":
+        from .degraded import route_core_degraded
+
+        return route_core_degraded
+    if backend == "numpy":
+        from .degraded import numpy_degraded_core
+
+        return numpy_degraded_core
+    if backend == "numba":
+        if not numba_available():
+            raise ValueError(
+                "engine backend 'numba' needs the optional numba package, "
+                "which is not installed; available backends: "
+                f"{available_backends()}"
+            )
+        return _numba_degraded_core()
+    if backend in ENGINE_BACKENDS:
+        raise ValueError(
+            f"engine backend {backend!r} does not support fault_model= "
+            f"runs; degraded-capable backends: {degraded_backends()}"
+        )
     raise ValueError(
         f"unknown engine backend {backend!r}; "
         f"expected one of {tuple(ENGINE_BACKENDS)}"
@@ -453,3 +556,105 @@ def _numba_route_core():
         )
 
     return numba_route_core
+
+
+def _numba_degraded_core():
+    """The ``"numba"`` fault backend: the SoA degraded loop with the
+    compiled first-claim kernel (numba must be installed)."""
+    from .degraded import numpy_degraded_core
+
+    kernel = _numba_first_claim()
+
+    def numba_degraded_core(
+        topology,
+        sources,
+        dests,
+        router,
+        max_steps,
+        fault_model,
+        *,
+        arbitration: str = "overtaking",
+        on_step=None,
+        on_fault=None,
+        timing: bool = False,
+    ):  # pragma: no cover - needs numba installed
+        return numpy_degraded_core(
+            topology,
+            sources,
+            dests,
+            router,
+            max_steps,
+            fault_model,
+            arbitration=arbitration,
+            on_step=on_step,
+            on_fault=on_fault,
+            timing=timing,
+            _first_claim=kernel,
+        )
+
+    return numba_degraded_core
+
+
+# --------------------------------------------------------------------------
+# The optional cupy backend: the same step loop with the first-claim-wins
+# kernel evaluated on a CUDA device.  Stability of the grant order is
+# guaranteed by sorting a composite (code, position) key instead of relying
+# on the device sort algorithm being stable; codes here are < n^2 and
+# proposal counts are bounded by the packet count, so the composite key
+# fits int64 with orders of magnitude to spare.  Everything below is
+# exercised only on hosts with a GPU (the CI leg is best-effort,
+# continue-on-error) — on this seam what matters is that resolution without
+# a device fails loudly and availability reporting stays honest.
+
+_CUPY_FIRST_CLAIM = None
+
+
+def _cupy_first_claim():  # pragma: no cover - needs cupy + a device
+    global _CUPY_FIRST_CLAIM
+    if _CUPY_FIRST_CLAIM is None:
+        import cupy
+
+        def first_claim(codes):
+            dev = cupy.asarray(codes)
+            m = dev.shape[0]
+            keys = dev * cupy.int64(m) + cupy.arange(m, dtype=cupy.int64)
+            perm = cupy.argsort(keys)
+            ranked = dev[perm]
+            first = cupy.ones(m, dtype=cupy.bool_)
+            first[1:] = ranked[1:] != ranked[:-1]
+            mask = cupy.zeros(m, dtype=cupy.bool_)
+            mask[perm] = first
+            return cupy.asnumpy(mask)
+
+        _CUPY_FIRST_CLAIM = first_claim
+    return _CUPY_FIRST_CLAIM
+
+
+def _cupy_route_core():  # pragma: no cover - needs cupy + a device
+    """Build the ``"cupy"`` backend callable (cupy + GPU required)."""
+    kernel = _cupy_first_claim()
+
+    def cupy_route_core(
+        topology,
+        sources,
+        dests,
+        router,
+        max_steps,
+        *,
+        arbitration: str = "overtaking",
+        on_step=None,
+        timing: bool = False,
+    ):
+        return numpy_route_core(
+            topology,
+            sources,
+            dests,
+            router,
+            max_steps,
+            arbitration=arbitration,
+            on_step=on_step,
+            timing=timing,
+            _first_claim=kernel,
+        )
+
+    return cupy_route_core

@@ -81,12 +81,15 @@ Both entry points accept ``fault_model=`` (a
 :class:`~repro.faults.model.FaultModel`).  A model with nothing enabled is
 contractually a **no-op**: the engine takes the fault-free path above and
 output is bit-identical to passing no model (the fuzz suite enforces
-this).  An enabled model routes through
-:func:`~repro.sim.degraded.route_core_degraded` instead — minimal detours
-around dead links/nodes/nets, serialized sub-transfers on degraded
-hypermesh nets, and retry/drop semantics with ``dropped`` / ``retried``
-accounting on :class:`RoutingStats` (observable per event via
-``on_fault``).  The fault configuration is folded into the plan-cache key,
+this).  An enabled model routes through the selected backend's *degraded*
+core instead (``"indexed"`` ->
+:func:`~repro.sim.degraded.route_core_degraded`, ``"numpy"``/``"numba"``
+-> :func:`~repro.sim.degraded.numpy_degraded_core`; bit-identical by
+contract) — minimal detours around dead links/nodes/nets, serialized
+sub-transfers on degraded hypermesh nets, and retry/drop semantics with
+``dropped`` / ``retried`` accounting on :class:`RoutingStats` (observable
+per event via ``on_fault``).  The fault configuration is folded into the
+plan-cache key,
 so a faulted run can never replay a fault-free plan or vice versa; runs
 carrying an ``on_fault`` hook route live (counted as ``fault_bypassed``).
 See docs/FAULTS.md for the full semantics.
@@ -104,8 +107,8 @@ from ..faults.model import FaultModel
 from ..networks.base import ChannelModel, HypergraphTopology, Topology
 from ..routing.permutation import Permutation
 from . import plancache as _plancache
-from .backends import resolve_backend
-from .degraded import FaultCallback, route_core_degraded
+from .backends import resolve_backend, resolve_degraded_backend
+from .degraded import FaultCallback
 from .routers import Router, router_for
 from .schedule import CommSchedule, ScheduleError
 from .stats import RoutingStats
@@ -619,18 +622,19 @@ def _route_or_replay(
     """Cache-aware front of the routing cores: replay a recorded plan on a
     hit, route live (and record) on a miss.
 
-    ``backend`` selects the fault-free arbitration core (see
+    ``backend`` selects the arbitration core (see
     :mod:`repro.sim.backends`); it is resolved *before* the cache is
     consulted so unknown names fail fast instead of being masked by a hit.
     It is deliberately **not** part of the plan key — all backends are
     bit-identical by contract, so a plan recorded by one replays for all.
 
-    An *enabled* fault model routes through
-    :func:`~repro.sim.degraded.route_core_degraded` — the indexed path —
-    regardless of ``backend`` and folds its fingerprint into the plan key:
-    the faulted and fault-free variants of one problem are distinct cache
-    entries by construction.  A disabled model is treated exactly as no
-    model at all.
+    An *enabled* fault model routes through the backend's **degraded**
+    core (:func:`~repro.sim.backends.resolve_degraded_backend`) — the
+    indexed or the structure-of-arrays degraded loop, honoring
+    ``backend=`` exactly as fault-free runs do — and folds its fingerprint
+    into the plan key: the faulted and fault-free variants of one problem
+    are distinct cache entries by construction.  A disabled model is
+    treated exactly as no model at all.
     """
     if fault_model is not None and not fault_model.enabled:
         fault_model = None  # attached-but-empty: contractual no-op
@@ -639,7 +643,10 @@ def _route_or_replay(
             f"unknown arbitration policy {arbitration!r}; "
             f"expected one of {ARBITRATION_POLICIES}"
         )
-    route_core = resolve_backend(backend)
+    if fault_model is not None:
+        route_core = resolve_degraded_backend(backend)
+    else:
+        route_core = resolve_backend(backend)
     cache_obj = _resolve_plan_cache(
         cache, on_step, timing,
         fault_hook=fault_model is not None and on_fault is not None,
@@ -656,10 +663,7 @@ def _route_or_replay(
             if plan is not None:
                 return plan.replay_steps(), plan.replay_stats()
     if fault_model is not None:
-        # Explicit fallback: fault injection always runs the indexed
-        # degraded core, whatever backend was selected (tested in
-        # tests/sim/test_backends.py).
-        steps, stats = route_core_degraded(
+        steps, stats = route_core(
             topology,
             sources,
             dests,
@@ -721,12 +725,14 @@ def route_permutation(
         default) or ``"fifo"`` — see the module docstring.
     backend:
         Arbitration core — ``"indexed"`` (default), ``"numpy"`` (the
-        structure-of-arrays core), or ``"numba"`` (optional; errors if the
-        package is missing).  All backends are bit-identical by contract
-        (schedule, stats, and plan-cache digests alike), so this only
-        changes how fast the answer is computed; see
-        :mod:`repro.sim.backends`.  Fault-injected runs always use the
-        indexed degraded core regardless.
+        structure-of-arrays core), ``"numba"`` or ``"cupy"`` (optional;
+        error if the package — and, for cupy, a CUDA device — is
+        missing).  All backends are bit-identical by contract (schedule,
+        stats, and plan-cache digests alike), so this only changes how
+        fast the answer is computed; see :mod:`repro.sim.backends`.
+        Fault-injected runs honor ``backend=`` too, through each
+        backend's degraded core (``"cupy"`` is fault-free only and raises
+        a ValueError when combined with ``fault_model=``).
     on_step:
         Optional :data:`StepCallback` invoked after every committed step.
     timing:

@@ -16,6 +16,11 @@ load-bearing equivalences end to end:
 * attaching a fault-free :class:`~repro.faults.FaultModel` is a no-op —
   the engine must take its fault-free fast path and produce the identical
   output, under either arbitration policy;
+* the **degraded backend axis**: for random *enabled* fault configs (link
+  kills, seeded drops + retries, degraded hypermesh nets) the SoA
+  ``"numpy"`` degraded core is bit-identical to the ``"indexed"`` degraded
+  loop — and when faults partition the machine, both raise the same
+  :class:`~repro.faults.UnroutableError`;
 * ``"fifo"`` arbitration (no reference to diff against) is at least
   self-consistent: rerunning is deterministic and the schedule validates.
 
@@ -32,8 +37,9 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.faults import FaultModel
+from repro.faults import FaultModel, UnroutableError
 from repro.networks import Hypercube, Hypermesh, Hypermesh2D, Mesh2D, Torus2D
+from repro.networks.base import ChannelModel
 from repro.sim import PlanCache, route_demands
 from repro.sim._reference import reference_route_core
 from repro.sim.routers import router_for
@@ -157,6 +163,99 @@ def test_disabled_fault_model_is_a_noop(case, arbitration):
     plain = route_demands(topo, demands, arbitration=arbitration)
     with_model = route_demands(
         topo, demands, arbitration=arbitration, fault_model=FaultModel(seed=7)
+    )
+    assert _as_comparable(with_model) == _as_comparable(plain)
+
+
+#: Degraded-capable backends to diff against the indexed degraded loop.
+DEGRADED_BACKENDS = ["numpy"] + (["numba"] if find_spec("numba") else [])
+
+
+@st.composite
+def topology_demands_and_faults(draw):
+    """A random machine + demands + an *enabled* fault configuration.
+
+    Hypergraph machines draw degraded/hard-down nets (their links are
+    nets); point-to-point machines draw a link-kill fraction.  Both mix in
+    seeded drop draws so the retry/drop accounting is fuzzed too.
+    """
+    topo, demands = draw(topology_and_demands())
+    hyper = topo.channel_model is ChannelModel.HYPERGRAPH_NET
+    drop = draw(st.sampled_from([0.0, 0.2, 0.5]))
+    kwargs = {
+        "drop_prob": drop,
+        "retry_limit": draw(st.integers(0, 4)),
+        "seed": draw(st.integers(0, 2**16)),
+    }
+    if hyper:
+        num_nets = topo.num_nets()
+        kwargs["degraded_nets"] = tuple(
+            draw(
+                st.lists(
+                    st.integers(0, num_nets - 1), unique=True, max_size=2
+                )
+            )
+        )
+        if drop == 0.0 and not kwargs["degraded_nets"]:
+            kwargs["degraded_nets"] = (0,)
+    else:
+        frac = draw(st.sampled_from([0.0, 0.08, 0.15]))
+        if drop == 0.0 and frac == 0.0:
+            frac = 0.08
+        kwargs["link_fail_fraction"] = frac
+    return topo, demands, FaultModel(**kwargs)
+
+
+@given(
+    topology_demands_and_faults(),
+    st.sampled_from(["overtaking", "fifo"]),
+    st.sampled_from(DEGRADED_BACKENDS),
+)
+def test_degraded_backends_bit_identical_to_indexed(case, arbitration, backend):
+    """The degraded differential axis: any (machine, demands, faults,
+    arbitration, backend) draw must reproduce the indexed degraded loop
+    exactly — step dicts in insertion order, stats including retried and
+    dropped, and the same seeded drop-draw sequence.  Partitioning faults
+    must raise the same :class:`UnroutableError` from every backend."""
+    topo, demands, model = case
+    try:
+        baseline = route_demands(
+            topo, demands, arbitration=arbitration, fault_model=model,
+            cache=False,
+        )
+    except UnroutableError as exc:
+        with pytest.raises(UnroutableError) as got:
+            route_demands(
+                topo, demands, arbitration=arbitration, fault_model=model,
+                backend=backend, cache=False,
+            )
+        assert str(got.value) == str(exc)
+        return
+    routed = route_demands(
+        topo, demands, arbitration=arbitration, fault_model=model,
+        backend=backend, cache=False,
+    )
+    assert [list(s.items()) for s in routed.steps] == [
+        list(s.items()) for s in baseline.steps
+    ]
+    assert routed.stats == baseline.stats
+
+
+@given(
+    topology_and_demands(),
+    st.sampled_from(["overtaking", "fifo"]),
+    st.sampled_from(DEGRADED_BACKENDS),
+)
+def test_disabled_fault_model_is_a_noop_per_backend(case, arbitration, backend):
+    """A disabled model must be a no-op on every backend — the run takes
+    the backend's fault-free fast path, not a degraded core."""
+    topo, demands = case
+    plain = route_demands(
+        topo, demands, arbitration=arbitration, backend=backend, cache=False
+    )
+    with_model = route_demands(
+        topo, demands, arbitration=arbitration, backend=backend,
+        fault_model=FaultModel(seed=7), cache=False,
     )
     assert _as_comparable(with_model) == _as_comparable(plain)
 

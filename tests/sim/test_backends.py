@@ -28,12 +28,16 @@ from repro.sim import (
     ENGINE_BACKENDS,
     PlanCache,
     available_backends,
+    degraded_backends,
+    numpy_degraded_core,
     numpy_route_core,
     resolve_backend,
+    resolve_degraded_backend,
     route_demands,
     route_permutation,
 )
 from repro.sim._reference import reference_route_core
+from repro.sim.degraded import route_core_degraded
 from repro.sim.engine import _route_core
 from repro.sim.routers import router_for
 from repro.sim.schedule import ScheduleError
@@ -83,10 +87,31 @@ class TestRegistry:
             resolve_backend("fortran")
 
     def test_registry_and_availability(self):
-        assert list(ENGINE_BACKENDS) == ["indexed", "numpy", "numba"]
+        assert list(ENGINE_BACKENDS) == ["indexed", "numpy", "numba", "cupy"]
         avail = available_backends()
         assert avail[:2] == ("indexed", "numpy")
         assert ("numba" in avail) == HAVE_NUMBA
+        # This host has no CUDA device in CI; either way the registry entry
+        # exists and availability gates it honestly.
+        from repro.sim.backends import cupy_available
+
+        assert ("cupy" in avail) == cupy_available()
+
+    def test_degraded_capability_flags(self):
+        assert degraded_backends() == ("indexed", "numpy", "numba")
+        assert not ENGINE_BACKENDS["cupy"].degraded
+        for name in degraded_backends():
+            assert ENGINE_BACKENDS[name].degraded
+
+    def test_degraded_resolution(self):
+        assert resolve_degraded_backend("indexed") is route_core_degraded
+        assert resolve_degraded_backend("numpy") is numpy_degraded_core
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            resolve_degraded_backend("fortran")
+        with pytest.raises(
+            ValueError, match="does not support fault_model= runs"
+        ):
+            resolve_degraded_backend("cupy")
 
     @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
     def test_missing_numba_is_a_clear_error(self):
@@ -194,11 +219,12 @@ class TestBackendSemantics:
         via_dem = route_demands(topo, demands, backend=backend, cache=False)
         assert list(via_dem.steps) == list(via_idx.schedule.steps)
 
-    def test_fault_runs_fall_back_to_indexed_core(self, backend, monkeypatch):
-        """An enabled fault model must take the degraded (indexed) path no
-        matter the backend: identical output, and the selected backend's
-        core is never invoked."""
-        import repro.sim.backends as backends_mod
+    def test_fault_runs_honor_backend(self, backend, monkeypatch):
+        """Regression: ``backend=`` used to be ignored for fault runs (they
+        were pinned to the indexed degraded loop).  Now an enabled fault
+        model dispatches to the selected backend's degraded core — and that
+        core is *actually executed*, not silently substituted."""
+        import repro.sim.engine as engine_mod
 
         topo = Mesh2D(4)
         perm = bit_reversal(16)
@@ -212,14 +238,40 @@ class TestBackendSemantics:
         assert with_backend.schedule.steps == baseline.schedule.steps
         assert with_backend.stats == baseline.stats
 
-        def boom(*a, **k):  # pragma: no cover - failure path
-            raise AssertionError("fault run must not use the SoA core")
+        calls = []
+        real = numpy_degraded_core
 
-        monkeypatch.setattr(backends_mod, "numpy_route_core", boom)
+        def spy(*a, **k):
+            calls.append(True)
+            return real(*a, **k)
+
+        def resolve_spy(name):
+            core = resolve_degraded_backend(name)
+            return spy if core is real else core
+
+        monkeypatch.setattr(
+            engine_mod, "resolve_degraded_backend", resolve_spy
+        )
         again = route_permutation(
             topo, perm, backend="numpy", fault_model=model, cache=False
         )
+        assert calls, "backend='numpy' + fault_model must run the SoA core"
         assert again.stats == baseline.stats
+
+    def test_fault_run_with_unsupported_backend_raises(self, backend):
+        topo = Mesh2D(4)
+        perm = bit_reversal(16)
+        model = FaultModel(seed=3, drop_prob=0.2, retry_limit=4)
+        with pytest.raises(
+            ValueError, match="does not support fault_model= runs"
+        ):
+            route_permutation(
+                topo, perm, backend="cupy", fault_model=model, cache=False
+            )
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            route_permutation(
+                topo, perm, backend="hx9", fault_model=model, cache=False
+            )
 
 
 class TestCrossBackendCache:
@@ -281,3 +333,148 @@ class TestNumbaBackend:
             run_core(core, topo, src, dst),
             run_core(_route_core, topo, src, dst),
         )
+
+
+# Fault configurations exercising every degraded-core code path: structural
+# link kills (detours), drops + retries (seeded draws), degraded hypermesh
+# nets (serial arbitration), hard-down nets, and their combinations.
+P2P_FAULTS = [
+    FaultModel(link_fail_fraction=0.15, seed=3),
+    FaultModel(drop_prob=0.3, retry_limit=2, seed=5),
+    FaultModel(link_fail_fraction=0.1, drop_prob=0.2, retry_limit=4, seed=11),
+]
+HYPER_FAULTS = [
+    FaultModel(degraded_nets=(0, 2), seed=3),
+    FaultModel(degraded_nets=(1,), drop_prob=0.25, retry_limit=3, seed=9),
+    FaultModel(net_failures=(0,), seed=4),
+    FaultModel(
+        net_failures=(0,), degraded_nets=(1, 2),
+        drop_prob=0.15, retry_limit=5, seed=13,
+    ),
+]
+
+
+def run_degraded(core, topology, model, *, arbitration, seed=7, **kwargs):
+    import numpy as np
+
+    n = topology.num_nodes
+    rng = np.random.default_rng(seed)
+    dests = [int(x) for x in rng.permutation(n)]
+    router = router_for(topology)
+    max_steps = 100 * (10 * topology.diameter + 10 * n)
+    return core(
+        topology, list(range(n)), dests, router, max_steps, model,
+        arbitration=arbitration, **kwargs
+    )
+
+
+@pytest.mark.parametrize("arbitration", ["overtaking", "fifo"])
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=IDS)
+class TestDegradedEquivalence:
+    """The SoA degraded core is bit-identical to the indexed degraded loop
+    on every topology family, both arbitration policies, and every fault
+    mechanism — including the seeded drop-draw sequence, whose retry/drop
+    accounting must land in :class:`RoutingStats` identically."""
+
+    def faults_for(self, topology):
+        if isinstance(topology, (Hypermesh2D, Hypermesh)):
+            return P2P_FAULTS[1:2] + HYPER_FAULTS  # no link kills on nets
+        return P2P_FAULTS
+
+    def test_bit_identical_to_indexed_degraded(self, topology, arbitration):
+        for model in self.faults_for(topology):
+            want = run_degraded(
+                route_core_degraded, topology, model, arbitration=arbitration
+            )
+            got = run_degraded(
+                numpy_degraded_core, topology, model, arbitration=arbitration
+            )
+            assert_bit_identical(got, want)
+
+    def test_retry_and_drop_accounting(self, topology, arbitration):
+        model = FaultModel(drop_prob=0.4, retry_limit=1, seed=17)
+        _, want = run_degraded(
+            route_core_degraded, topology, model, arbitration=arbitration
+        )
+        _, got = run_degraded(
+            numpy_degraded_core, topology, model, arbitration=arbitration
+        )
+        assert got.retried == want.retried
+        assert got.dropped == want.dropped
+        assert got.delivered == want.delivered
+        assert got.delivered + got.dropped == topology.num_nodes
+        assert got.retried > 0 and got.dropped > 0  # the draw actually bites
+
+    def test_on_fault_event_streams_identical(self, topology, arbitration):
+        model = FaultModel(
+            drop_prob=0.35, retry_limit=2, seed=21,
+        )
+        want_events, got_events = [], []
+        run_degraded(
+            route_core_degraded, topology, model, arbitration=arbitration,
+            on_fault=lambda *a: want_events.append(a),
+        )
+        run_degraded(
+            numpy_degraded_core, topology, model, arbitration=arbitration,
+            on_fault=lambda *a: got_events.append(a),
+        )
+        assert got_events == want_events
+
+
+class TestDegradedEngineDispatch:
+    def test_numpy_backend_via_engine_matches_indexed(self, rng):
+        for topo in (Mesh2D(4), Hypermesh2D(4)):
+            perm = Permutation.random(topo.num_nodes, rng)
+            model = (
+                FaultModel(link_fail_fraction=0.2, seed=5)
+                if isinstance(topo, Mesh2D)
+                else FaultModel(degraded_nets=(0,), drop_prob=0.2,
+                                retry_limit=3, seed=7)
+            )
+            a = route_permutation(
+                topo, perm, backend="indexed", fault_model=model, cache=False
+            )
+            b = route_permutation(
+                topo, perm, backend="numpy", fault_model=model, cache=False
+            )
+            for x, y in zip(a.schedule.steps, b.schedule.steps):
+                assert list(x.items()) == list(y.items())
+            assert a.stats == b.stats
+
+    def test_degraded_plans_cache_across_backends(self, rng):
+        """Fault fingerprint is in the plan key, backend is not: a degraded
+        plan recorded under one backend replays under the other."""
+        topo = Mesh2D(4)
+        perm = Permutation.random(16, rng)
+        model = FaultModel(link_fail_fraction=0.15, seed=5)
+        cache = PlanCache()
+        first = route_permutation(
+            topo, perm, backend="numpy", fault_model=model, cache=cache
+        )
+        assert cache.misses == 1
+        replay = route_permutation(
+            topo, perm, backend="indexed", fault_model=model, cache=cache
+        )
+        assert cache.hits == 1
+        assert replay.schedule.steps == first.schedule.steps
+        assert replay.stats == first.stats
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("cupy") is not None,
+    reason="cupy is installed here",
+)
+class TestCupyUnavailable:
+    def test_missing_cupy_is_a_clear_error(self):
+        from repro.sim.backends import cupy_available
+
+        assert not cupy_available()
+        with pytest.raises(ValueError, match="cupy"):
+            resolve_backend("cupy")
+        with pytest.raises(ValueError, match="cupy"):
+            route_permutation(
+                Mesh2D(2), bit_reversal(4), backend="cupy", cache=False
+            )
+
+    def test_cupy_absent_from_available_backends(self):
+        assert "cupy" not in available_backends()

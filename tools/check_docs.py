@@ -128,11 +128,12 @@ def render_engine_backends() -> str:
     lines = [
         BACKENDS_BEGIN,
         "",
-        "| backend | description |",
-        "|---|---|",
+        "| backend | degraded | description |",
+        "|---|---|---|",
     ]
-    for name, description in ENGINE_BACKENDS.items():
-        lines.append(f"| `{name}` | {description} |")
+    for name, spec in ENGINE_BACKENDS.items():
+        degraded = "yes" if spec.degraded else "no"
+        lines.append(f"| `{name}` | {degraded} | {spec.description} |")
     lines += ["", END]
     return "\n".join(lines)
 
