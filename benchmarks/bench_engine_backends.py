@@ -42,6 +42,7 @@ ENGINE_SIZES = (256, 1024, 4096, 16384)
 #: over the seed loop on at least one (topology, workload) cell.
 SPEEDUP_FLOORS = {"indexed": 5.0, "numpy": 10.0}
 
+from repro.bounds import certify
 from repro.networks import Hypercube, Hypermesh2D, Mesh2D
 from repro.routing import Permutation
 from repro.sim._reference import reference_route_core
@@ -186,6 +187,16 @@ def run_engine_benchmark(
                         )
                         times[name] = min(times[name], time.perf_counter() - t0)
                 ref_blob = _plan_blob(ref_steps, ref_stats)
+                # One certificate per cell: every backend reports the same
+                # (bit-identical) step count, so certify the reference once
+                # and stamp each row.  A BoundViolation here is a failed
+                # benchmark run, never a recorded row.
+                cert = certify(
+                    topo,
+                    list(zip(srcs, dsts)),
+                    ref_stats.steps,
+                    label=f"{topo_name}/{workload}/n={n}",
+                )
                 for name in backends:
                     steps, stats = outputs[name]
                     assert steps == ref_steps and stats == ref_stats, (
@@ -209,6 +220,11 @@ def run_engine_benchmark(
                             "seed_engine_seconds": round(seed_s, 6),
                             "speedup": round(seed_s / times[name], 2),
                             "equivalent": True,
+                            "bound": cert.bound,
+                            "bound_ratio": round(cert.ratio, 2)
+                            if cert.ratio is not None else None,
+                            "bound_kind": cert.binding,
+                            "certified": True,
                         }
                     )
 

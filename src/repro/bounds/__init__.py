@@ -1,0 +1,35 @@
+"""Lower-bound certification: analytic step floors and two-sided claims.
+
+See docs/BOUNDS.md for the contract.  The short version: every measured
+step count in this repo can (and in benchmarks, fuzzing, and CI's
+cert-gate, *must*) be certified against the maximum of four analytic
+lower bounds — bisection, distance, ports, work — computed for the same
+(topology, demand set, fault model) cell.  ``achieved < bound`` raises
+:class:`BoundViolation`, a hard error, never a data point.
+"""
+
+from .core import (
+    BOUND_KINDS,
+    BoundKind,
+    BoundViolation,
+    Certificate,
+    certify,
+    certify_program,
+    certify_schedule,
+    certify_stages,
+    program_stage_demands,
+    step_lower_bound,
+)
+
+__all__ = [
+    "BOUND_KINDS",
+    "BoundKind",
+    "BoundViolation",
+    "Certificate",
+    "certify",
+    "certify_program",
+    "certify_schedule",
+    "certify_stages",
+    "program_stage_demands",
+    "step_lower_bound",
+]

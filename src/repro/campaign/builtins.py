@@ -88,6 +88,58 @@ def _engine_sweep_cached() -> CampaignSpec:
     )
 
 
+#: Grid axes for the communication-avoiding sweep.  Square powers of two
+#: fit every topology family (and the APE FFT's square PE layout).
+COMM_AVOIDING_TOPOLOGIES = ("mesh2d", "torus2d", "hypercube", "hypermesh2d")
+COMM_AVOIDING_SIZES = (64, 256, 1024)
+
+
+def _comm_avoiding() -> CampaignSpec:
+    """4 topologies x 3 sizes x (2 convolution methods + APE FFT) = 36
+    certified staged-workload cells.
+
+    Each convolution cell runs Galli's hyper-systolic scheme (or its
+    systolic baseline) on the SIMD machine with a ``sqrt(N)``-tap kernel —
+    the regime where the hyper-systolic base ``B = K^(1/2)`` pays off —
+    and each FFT cell runs the APE-style four-step transform.  Every
+    payload verifies its values against the direct numpy evaluation and
+    certifies the achieved step count against the :mod:`repro.bounds`
+    superstep-sum floor: a two-sided claim per cell.
+    """
+    tasks = []
+    for topology in COMM_AVOIDING_TOPOLOGIES:
+        for n in COMM_AVOIDING_SIZES:
+            for method in ("systolic", "hyper-systolic"):
+                tasks.append(
+                    TaskSpec(
+                        entry="repro.algos.hypersystolic:run_commavoiding_task",
+                        params={
+                            "topology": topology,
+                            "n": n,
+                            "method": method,
+                            "seed": 99,
+                        },
+                        label=f"{method}-{topology}-n{n}",
+                    )
+                )
+            tasks.append(
+                TaskSpec(
+                    entry="repro.fft.ape:run_ape_fft_task",
+                    params={"topology": topology, "n": n, "seed": 99},
+                    label=f"ape-fft-{topology}-n{n}",
+                )
+            )
+    return CampaignSpec(
+        "comm-avoiding",
+        tuple(tasks),
+        meta={
+            "description": "communication-avoiding workloads: systolic vs "
+            "hyper-systolic convolution and the APE four-step FFT, "
+            "verified and bound-certified",
+        },
+    )
+
+
 #: Link-failure fractions for the chaos sweep: intact baseline up to the
 #: regime where partitions start appearing on small meshes.
 CHAOS_SWEEP_FRACTIONS = (0.0, 0.05, 0.1, 0.2)
@@ -215,6 +267,7 @@ BUILTIN_CAMPAIGNS = {
     "engine-sweep": _engine_sweep,
     "engine-sweep-small": _engine_sweep_small,
     "engine-sweep-cached": _engine_sweep_cached,
+    "comm-avoiding": _comm_avoiding,
     "chaos-sweep": _chaos_sweep,
     "experiments": _experiments,
     "paper": _paper,

@@ -715,6 +715,141 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Staged (SIMD machine) workloads ``repro certify`` can certify alongside
+#: the routed workloads of :data:`repro.sim.task.WORKLOAD_BUILDERS`.
+CERTIFY_STAGED_WORKLOADS = ("systolic", "hyper-systolic", "ape-fft")
+
+
+def _certify_cell(topology_name: str, n: int, workload: str, seed: int) -> dict:
+    """One certification cell: route/run the workload, certify its steps.
+
+    Returns the certified payload (``steps``/``bound``/``bound_ratio``/
+    ``bound_kind``); raises :class:`repro.bounds.BoundViolation` when the
+    floor is undercut.
+    """
+    from .algos.hypersystolic import run_commavoiding_task
+    from .bounds import certify_program
+    from .fft.ape import build_ape_fft_program, parallel_fft_ape
+    from .sim.task import build_topology, run_routing_task
+
+    if workload == "ape-fft":
+        import numpy as np
+
+        topology = build_topology(topology_name, n)
+        rng = np.random.default_rng(seed + n)
+        samples = rng.standard_normal(n)
+        result = parallel_fft_ape(topology, samples)
+        assert np.allclose(result.spectrum, np.fft.fft(samples))
+        cert = certify_program(
+            topology,
+            build_ape_fft_program(topology),
+            result.data_transfer_steps,
+            label=f"ape-fft/{topology_name}/n={n}",
+        )
+        return {
+            "steps": result.data_transfer_steps,
+            "bound": cert.bound,
+            "bound_ratio": cert.ratio,
+            "bound_kind": cert.binding,
+        }
+    if workload in ("systolic", "hyper-systolic"):
+        payload = run_commavoiding_task(
+            {"topology": topology_name, "n": n, "method": workload, "seed": seed}
+        )
+        return {
+            "steps": payload["steps"],
+            "bound": payload["bound"],
+            "bound_ratio": payload["bound_ratio"],
+            "bound_kind": "superstep-sum",
+        }
+    payload = run_routing_task(
+        {
+            "topology": topology_name,
+            "n": n,
+            "workload": workload,
+            "seed": seed,
+            "certify": True,
+        }
+    )
+    return {
+        "steps": payload["steps"],
+        "bound": payload["bound"],
+        "bound_ratio": payload["bound_ratio"],
+        "bound_kind": payload["bound_kind"],
+    }
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    """Certified-bounds sweep: achieved steps vs their analytic floors.
+
+    Every (topology, n, workload) cell is routed (or, for the staged
+    workloads, executed on the SIMD machine) and its measured step count
+    certified against the :mod:`repro.bounds` floor.  A cell that
+    undercuts its floor prints a ``VIOLATION`` row and the command exits
+    1 — this is CI's cert-gate.  Unknown names exit 2 with the message on
+    stderr, like every other invalid argument.
+    """
+    from .bounds import BoundViolation
+    from .sim.task import TOPOLOGY_BUILDERS, WORKLOAD_BUILDERS
+    from .viz.series import format_table
+
+    known_workloads = sorted(WORKLOAD_BUILDERS) + list(CERTIFY_STAGED_WORKLOADS)
+    for topology_name in args.topologies:
+        if topology_name not in TOPOLOGY_BUILDERS:
+            print(
+                f"error: unknown topology {topology_name!r}; known: "
+                f"{sorted(TOPOLOGY_BUILDERS)}",
+                file=sys.stderr,
+            )
+            return 2
+    for workload in args.workloads:
+        if workload not in known_workloads:
+            print(
+                f"error: unknown workload {workload!r}; known: "
+                f"{known_workloads}",
+                file=sys.stderr,
+            )
+            return 2
+
+    rows = []
+    violations = 0
+    for topology_name in args.topologies:
+        for n in args.sizes:
+            for workload in args.workloads:
+                try:
+                    cell = _certify_cell(topology_name, n, workload, args.seed)
+                except ValueError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                except BoundViolation as exc:
+                    violations += 1
+                    cert = exc.certificate
+                    rows.append(
+                        [topology_name, n, workload, cert.achieved,
+                         cert.bound, "-", "VIOLATION"]
+                    )
+                    continue
+                ratio = cell["bound_ratio"]
+                rows.append(
+                    [topology_name, n, workload, cell["steps"], cell["bound"],
+                     "-" if ratio is None else f"{ratio:.2f}",
+                     cell["bound_kind"]]
+                )
+    print(f"certified-bounds sweep  seed={args.seed}")
+    print(format_table(
+        ["topology", "n", "workload", "achieved", "bound", "ratio", "binding"],
+        rows,
+    ))
+    if violations:
+        print(
+            f"error: {violations} cell(s) undercut their analytic floor",
+            file=sys.stderr,
+        )
+        return 1
+    print("every cell holds: achieved >= bound")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the routing service until SIGINT/SIGTERM, then drain and exit.
 
@@ -1126,6 +1261,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="degraded engine backend (indexed | numpy | numba); "
                         "bit-identical, this only changes routing speed")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "certify",
+        help="certified-bounds sweep: achieved steps vs analytic floors",
+        description=(
+            "Run every (topology, n, workload) cell and certify its "
+            "measured step count against the repro.bounds analytic lower "
+            "bound (bisection / distance / ports / work, and the "
+            "superstep-sum for staged workloads).  Exits 1 on any "
+            "achieved < bound cell.  See docs/BOUNDS.md."
+        ),
+    )
+    p.add_argument("--topologies", nargs="+",
+                   default=["mesh2d", "torus2d", "hypercube", "hypermesh2d"],
+                   help="topology grid (default: all four families)")
+    p.add_argument("--sizes", type=int, nargs="+", default=[16, 64],
+                   help="node counts (square powers of two fit every family)")
+    p.add_argument("--workloads", nargs="+",
+                   default=["dense-permutation", "bit-reversal",
+                            "sparse-hrelation", "systolic", "hyper-systolic",
+                            "ape-fft"],
+                   help="routed workloads (repro.sim.task) and staged ones "
+                        "(systolic / hyper-systolic / ape-fft)")
+    p.add_argument("--seed", type=int, default=99, help="workload seed")
+    p.set_defaults(func=_cmd_certify)
 
     p = sub.add_parser(
         "serve",

@@ -1,6 +1,12 @@
 """FFT algorithms: flow graph, sequential reference, twiddles, and the
 parallel execution on simulated machines."""
 
+from .ape import (
+    ApeFftResult,
+    build_ape_fft_program,
+    parallel_fft_ape,
+    run_ape_fft_task,
+)
 from .blocked import BlockedFftResult, blocked_fft, blocked_fft_step_model
 from .butterfly import ButterflyFlowGraph, FlowEdge, butterfly_flow_graph
 from .convolution import ConvolutionResult, parallel_convolve, parallel_correlate
@@ -37,4 +43,8 @@ __all__ = [
     "ConvolutionResult",
     "parallel_convolve",
     "parallel_correlate",
+    "ApeFftResult",
+    "build_ape_fft_program",
+    "parallel_fft_ape",
+    "run_ape_fft_task",
 ]

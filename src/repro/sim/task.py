@@ -151,6 +151,14 @@ def run_routing_task(params: dict) -> dict:
     five most-congested channels, per docs/OBSERVABILITY.md); traced runs
     request per-step host timing explicitly and always route live (the
     engine bypasses the cache for instrumented runs).
+
+    With ``certify`` true the routed step count is certified against its
+    analytic floor (:mod:`repro.bounds`, fault-aware, drop-adjusted): the
+    payload gains ``bound`` / ``bound_ratio`` / ``bound_kind`` /
+    ``certified``, and ``achieved < bound`` raises
+    :class:`~repro.bounds.BoundViolation` — a failed task, never a data
+    point.  Unroutable cells return before certification (their bound is
+    infinite).
     """
     from .engine import route_demands
 
@@ -230,6 +238,23 @@ def run_routing_task(params: dict) -> dict:
         extra["dropped"] = stats.dropped
         extra["retried"] = stats.retried
         extra["unroutable"] = 0
+    if params.get("certify"):
+        from ..bounds import certify
+
+        cert = certify(
+            topology,
+            list(zip(sources, dests)),
+            stats.steps,
+            fault_model=fault_model,
+            dropped=stats.dropped if fault_model is not None else 0,
+            label=f"{topology_name}/{workload_name}/n={n}/seed={seed}",
+        )
+        extra |= {
+            "bound": cert.bound,
+            "bound_ratio": cert.ratio,
+            "bound_kind": cert.binding,
+            "certified": cert.holds,
+        }
     if probe is not None and tracer is not None:
         top = probe.finish()[:5]
         tracer.close()

@@ -1,0 +1,149 @@
+"""Tests for the hyper-systolic convolution (:mod:`repro.algos.hypersystolic`).
+
+Correctness against the direct circular-convolution evaluation, the
+communication-avoiding shift-count arithmetic, schedule validation, the
+certified campaign task, and the error paths.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algos.hypersystolic import (
+    CONVOLUTION_METHODS,
+    cyclic_shift_schedule,
+    hyper_systolic_base,
+    hyper_systolic_convolution,
+    reference_convolution,
+    run_commavoiding_task,
+    systolic_convolution,
+)
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+
+TOPOLOGIES = {
+    "mesh2d": lambda: Mesh2D(4),
+    "torus2d": lambda: Torus2D(4),
+    "hypercube": lambda: Hypercube(4),
+    "hypermesh2d": lambda: Hypermesh2D(4),
+}
+
+
+def _signal_and_kernel(n, taps, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n), rng.standard_normal(taps)
+
+
+class TestCyclicShift:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("shift", [1, 4, 15])
+    def test_realizes_the_rotation(self, name, shift):
+        topo = TOPOLOGIES[name]()
+        schedule = cyclic_shift_schedule(topo, shift)
+        schedule.validate()
+        n = topo.num_nodes
+        dests = schedule.logical.destinations.tolist()
+        assert dests == [(i + shift) % n for i in range(n)]
+
+    def test_zero_shift_is_rejected(self):
+        topo = Mesh2D(4)
+        with pytest.raises(ValueError):
+            cyclic_shift_schedule(topo, 0)
+        with pytest.raises(ValueError):
+            cyclic_shift_schedule(topo, topo.num_nodes)
+
+
+class TestBase:
+    def test_sqrt_base(self):
+        assert hyper_systolic_base(16) == 4
+        assert hyper_systolic_base(17) == 4
+        assert hyper_systolic_base(1) == 1
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("taps", [1, 2, 5, 16])
+class TestCorrectness:
+    def test_systolic_matches_reference(self, name, taps):
+        topo = TOPOLOGIES[name]()
+        signal, kernel = _signal_and_kernel(topo.num_nodes, taps)
+        run = systolic_convolution(topo, signal, kernel, validate=True)
+        np.testing.assert_allclose(
+            run.values, reference_convolution(signal, kernel)
+        )
+        assert run.routed_shifts == taps - 1
+
+    def test_hyper_systolic_matches_reference(self, name, taps):
+        topo = TOPOLOGIES[name]()
+        signal, kernel = _signal_and_kernel(topo.num_nodes, taps)
+        run = hyper_systolic_convolution(topo, signal, kernel, validate=True)
+        np.testing.assert_allclose(
+            run.values, reference_convolution(signal, kernel)
+        )
+        b = hyper_systolic_base(taps)
+        assert run.routed_shifts == (b - 1) + (math.ceil(taps / b) - 1)
+
+
+class TestCommunicationAvoidance:
+    def test_sqrt_k_shift_advantage(self):
+        # K = 16 taps: 15 systolic shifts vs (4-1) + (4-1) = 6.
+        topo = Torus2D(4)
+        signal, kernel = _signal_and_kernel(16, 16)
+        sys_run = systolic_convolution(topo, signal, kernel)
+        hyp_run = hyper_systolic_convolution(topo, signal, kernel)
+        assert sys_run.routed_shifts == 15
+        assert hyp_run.routed_shifts == 6
+        np.testing.assert_allclose(sys_run.values, hyp_run.values)
+
+    def test_explicit_base_overrides_sqrt(self):
+        topo = Torus2D(4)
+        signal, kernel = _signal_and_kernel(16, 12)
+        run = hyper_systolic_convolution(topo, signal, kernel, base=3)
+        assert run.base == 3
+        assert run.routed_shifts == (3 - 1) + (math.ceil(12 / 3) - 1)
+        np.testing.assert_allclose(
+            run.values, reference_convolution(signal, kernel)
+        )
+
+    def test_stage_demands_match_routed_shifts(self):
+        topo = Mesh2D(4)
+        signal, kernel = _signal_and_kernel(16, 9)
+        run = hyper_systolic_convolution(topo, signal, kernel)
+        assert len(run.stage_demands) == run.routed_shifts
+        # Every stage is the full rotation: N moving packets.
+        assert all(len(stage) == 16 for stage in run.stage_demands)
+
+
+class TestErrors:
+    def test_bad_kernel_shape(self):
+        topo = Mesh2D(4)
+        with pytest.raises(ValueError):
+            systolic_convolution(topo, np.zeros(16), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            systolic_convolution(topo, np.zeros(16), np.zeros(17))
+
+    def test_bad_base(self):
+        topo = Mesh2D(4)
+        signal, kernel = _signal_and_kernel(16, 4)
+        with pytest.raises(ValueError):
+            hyper_systolic_convolution(topo, signal, kernel, base=0)
+        with pytest.raises(ValueError):
+            hyper_systolic_convolution(topo, signal, kernel, base=5)
+
+
+class TestTask:
+    @pytest.mark.parametrize("method", sorted(CONVOLUTION_METHODS))
+    def test_payload_is_verified_and_certified(self, method):
+        payload = run_commavoiding_task(
+            {"topology": "hypermesh2d", "n": 16, "method": method,
+             "validate": True}
+        )
+        assert payload["verified"] == 1
+        assert payload["certified"] is True
+        assert payload["bound"] <= payload["steps"]
+        assert payload["taps"] == 4  # sqrt(16) default
+
+    def test_unknown_method_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            run_commavoiding_task(
+                {"topology": "mesh2d", "n": 16, "method": "telepathy"}
+            )

@@ -1,0 +1,228 @@
+"""Unit tests for the lower-bound certifier (:mod:`repro.bounds`).
+
+Hand-computed floors on machines small enough to check by eye, the
+certificate/violation contract, fault tightening and drop discounting,
+staged (superstep-sum) certification — and the acceptance-criterion
+fixture: a deliberately perturbed bound must fail the certification gate
+end to end (``run_routing_task`` and the ``repro certify`` CLI alike).
+"""
+
+import pytest
+
+from repro.bounds import (
+    BOUND_KINDS,
+    BoundViolation,
+    Certificate,
+    certify,
+    certify_program,
+    certify_schedule,
+    certify_stages,
+    program_stage_demands,
+    step_lower_bound,
+)
+from repro.cli import main
+from repro.faults import FaultModel, UnroutableError
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D
+from repro.routing import Permutation, bit_reversal
+from repro.sim.engine import route_permutation
+from repro.sim.machine import Compute, Permute
+from repro.sim.task import run_routing_task
+
+
+class TestCertificate:
+    def test_holds_and_ratio(self):
+        cert = Certificate(achieved=10, bound=5)
+        assert cert.holds and cert.ratio == 2.0
+        assert cert.binding == "trivial"  # no witness supplied
+
+    def test_zero_bound_has_no_ratio(self):
+        assert Certificate(achieved=3, bound=0).ratio is None
+
+    def test_to_dict_is_the_benchmark_row_shape(self):
+        cert = Certificate(
+            achieved=4, bound=4, witness={"binding": "distance", "kinds": {}}
+        )
+        d = cert.to_dict()
+        assert d["achieved"] == 4 and d["bound"] == 4
+        assert d["ratio"] == 1.0 and d["binding"] == "distance"
+        assert d["certified"] is True
+        assert d["witness"]["kinds"] == {}
+
+    def test_kind_registry_names_are_unique_and_documented(self):
+        names = [k.name for k in BOUND_KINDS]
+        assert names == ["bisection", "distance", "ports", "work"]
+        assert all(k.summary for k in BOUND_KINDS)
+
+
+class TestHandComputedBounds:
+    def test_single_corner_packet_on_2x2_mesh(self):
+        # One packet 0 -> 3 must cover Manhattan distance 2; every other
+        # family evaluates to 1 on this machine.
+        topo = Mesh2D(2)
+        bound, witness = step_lower_bound(topo, [(0, 3)])
+        assert bound == 2 and witness["binding"] == "distance"
+        assert witness["kinds"] == {
+            "bisection": 1, "distance": 2, "ports": 1, "work": 1
+        }
+
+    def test_empty_and_self_demands_are_free(self):
+        topo = Mesh2D(2)
+        assert step_lower_bound(topo, [])[0] == 0
+        bound, witness = step_lower_bound(topo, [(1, 1), (2, 2)])
+        assert bound == 0 and witness["binding"] == "trivial"
+
+    def test_hotspot_forces_the_ports_floor(self):
+        # Three packets into corner node 3 (2 incident channels):
+        # ceil(3/2) = 2 receive steps.
+        topo = Mesh2D(2)
+        demands = [(0, 3), (1, 3), (2, 3)]
+        bound, witness = step_lower_bound(topo, demands)
+        assert witness["kinds"]["ports"] == 2
+        assert witness["max_h"] == 3
+        assert bound == 2
+
+    def test_bisection_floor_on_the_halving_cut(self):
+        # 4x4 mesh: the index-halving cut (rows 0-1 vs 2-3) has 4 links.
+        # Send all 8 top-half nodes across: ceil(8/4) = 2 from bisection.
+        topo = Mesh2D(4)
+        demands = [(i, i + 8) for i in range(8)]
+        bound, witness = step_lower_bound(topo, demands)
+        assert witness["cut_capacity"] == 4
+        assert witness["cut_demand"] == 8
+        assert witness["kinds"]["bisection"] == 2
+
+    def test_hypermesh_row_net_is_one_step(self):
+        # A pure row rotation on the 2x2 hypermesh rides one net per row:
+        # one step, and the certifier's floor agrees exactly.
+        topo = Hypermesh2D(2)
+        bound, _ = step_lower_bound(topo, [(0, 1), (1, 0)])
+        assert bound == 1
+
+
+class TestFaultAwareness:
+    def test_killing_a_hotspot_link_tightens_ports(self):
+        topo = Mesh2D(2)
+        demands = [(0, 3), (1, 3), (2, 3)]
+        clean, _ = step_lower_bound(topo, demands)
+        model = FaultModel(seed=1, link_failures=((1, 3),))
+        faulted, witness = step_lower_bound(topo, demands, fault_model=model)
+        # Node 3 keeps a single surviving channel: ceil(3/1) = 3 > 2.
+        assert clean == 2 and faulted == 3
+        assert witness["kinds"]["ports"] == 3
+        assert witness["faulted"] is True
+
+    def test_disconnection_raises_unroutable(self):
+        topo = Mesh2D(2)
+        model = FaultModel(seed=1, link_failures=((0, 1), (0, 2)))
+        with pytest.raises(UnroutableError):
+            step_lower_bound(topo, [(0, 3)], fault_model=model)
+
+    def test_degrading_a_net_tightens_the_hypermesh(self):
+        topo = Hypermesh2D(2)
+        demands = [(0, 1), (1, 0), (2, 3), (3, 2)]
+        clean, _ = step_lower_bound(topo, demands)
+        model = FaultModel(seed=1, degraded_nets=(0,))
+        faulted, _ = step_lower_bound(topo, demands, fault_model=model)
+        assert faulted >= clean >= 1
+
+    def test_drop_discounting_weakens_the_floor(self):
+        topo = Mesh2D(2)
+        assert step_lower_bound(topo, [(0, 3)], dropped=0)[0] == 2
+        assert step_lower_bound(topo, [(0, 3)], dropped=1)[0] == 0
+        # Dropping more packets than exist is still a (trivial) floor.
+        assert step_lower_bound(topo, [(0, 3)], dropped=9)[0] == 0
+
+
+class TestCertify:
+    def test_certify_returns_a_holding_certificate(self):
+        topo = Mesh2D(2)
+        cert = certify(topo, [(0, 3)], 2, label="corner")
+        assert cert.holds and cert.ratio == 1.0 and cert.label == "corner"
+
+    def test_violation_is_a_hard_error_with_the_certificate(self):
+        topo = Mesh2D(2)
+        with pytest.raises(BoundViolation) as exc:
+            certify(topo, [(0, 3)], 1, label="corner")
+        assert "undercuts" in str(exc.value) and "[corner]" in str(exc.value)
+        assert exc.value.certificate.bound == 2
+        assert exc.value.certificate.to_dict()["certified"] is False
+
+    def test_certify_schedule_uses_the_logical_permutation(self):
+        topo = Hypercube(4)
+        schedule = route_permutation(topo, bit_reversal(16)).schedule
+        cert = certify_schedule(schedule, label="bitrev")
+        assert cert.holds and cert.achieved == schedule.num_steps
+
+    def test_certify_stages_sums_the_superstep_floors(self):
+        topo = Mesh2D(2)
+        stages = [[(0, 3)], [(3, 0)]]
+        cert = certify_stages(topo, stages, 4, label="round-trip")
+        assert cert.bound == 4 and cert.binding == "superstep-sum"
+        assert [s["bound"] for s in cert.witness["stages"]] == [2, 2]
+        with pytest.raises(BoundViolation):
+            certify_stages(topo, stages, 3)
+
+    def test_certify_program_counts_only_communication_ops(self):
+        topo = Hypercube(4)
+        schedule = route_permutation(topo, bit_reversal(16)).schedule
+        program = [
+            Compute(lambda v, r, i: v, label="noop"),
+            Permute(schedule),
+        ]
+        stages = program_stage_demands(program)
+        assert len(stages) == 1  # the Compute contributes no stage
+        cert = certify_program(topo, program, schedule.num_steps)
+        assert cert.bound == certify_schedule(schedule).bound
+
+
+class TestRoutingTaskIntegration:
+    def test_certified_payload_carries_the_bound(self):
+        payload = run_routing_task(
+            {"topology": "mesh2d", "n": 16, "workload": "bit-reversal",
+             "seed": 99, "certify": True}
+        )
+        assert payload["certified"] is True
+        assert payload["bound"] <= payload["steps"]
+        assert payload["bound_ratio"] >= 1.0
+        assert payload["bound_kind"] in {k.name for k in BOUND_KINDS}
+
+    def test_faulted_cell_certifies_with_drop_discount(self):
+        payload = run_routing_task(
+            {"topology": "mesh2d", "n": 16, "workload": "dense-permutation",
+             "seed": 99, "certify": True,
+             "fault": {"seed": 99, "drop_prob": 0.3, "retry_limit": 1}}
+        )
+        assert payload["certified"] is True
+        assert payload["bound"] <= payload["steps"]
+
+
+class TestPerturbedBoundFailsTheGate:
+    """The acceptance-criterion fixture: inflate the floor and prove the
+    certification gate actually fires — task layer and CLI alike."""
+
+    @pytest.fixture
+    def inflated_bound(self, monkeypatch):
+        def inflated(topology, demands, **kwargs):
+            return 10**6, {"binding": "perturbed", "kinds": {}}
+
+        monkeypatch.setattr(
+            "repro.bounds.core.step_lower_bound", inflated
+        )
+
+    def test_routing_task_raises(self, inflated_bound):
+        with pytest.raises(BoundViolation) as exc:
+            run_routing_task(
+                {"topology": "mesh2d", "n": 16, "workload": "bit-reversal",
+                 "seed": 99, "certify": True}
+            )
+        assert exc.value.certificate.binding == "perturbed"
+
+    def test_cli_certify_exits_1_with_violation(self, inflated_bound, capsys):
+        rc = main(
+            ["certify", "--topologies", "mesh2d", "--sizes", "16",
+             "--workloads", "bit-reversal"]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "VIOLATION" in captured.out
+        assert captured.err.startswith("error:")

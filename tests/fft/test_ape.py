@@ -1,0 +1,101 @@
+"""Tests for the APE-style four-step distributed FFT (:mod:`repro.fft.ape`).
+
+Agreement with ``numpy.fft.fft`` on every topology family, the
+transposed-placement variant, hardware validation of every schedule, the
+certified campaign task, and the error paths.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds import certify_program
+from repro.fft import build_ape_fft_program, parallel_fft_ape, run_ape_fft_task
+from repro.networks import Hypercube, Hypermesh2D, Mesh2D, Torus2D
+
+TOPOLOGIES = {
+    "mesh2d": lambda: Mesh2D(4),
+    "torus2d": lambda: Torus2D(4),
+    "hypercube": lambda: Hypercube(4),
+    "hypermesh2d": lambda: Hypermesh2D(4),
+}
+
+
+def _samples(n, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+class TestCorrectness:
+    def test_matches_numpy_fft(self, name):
+        topo = TOPOLOGIES[name]()
+        samples = _samples(topo.num_nodes)
+        result = parallel_fft_ape(topo, samples, validate=True)
+        np.testing.assert_allclose(
+            result.spectrum, np.fft.fft(samples), atol=1e-9
+        )
+        assert result.data_transfer_steps > 0
+        assert result.computation_steps > 0
+
+    def test_transposed_placement_variant(self, name):
+        # Without the closing transpose, PE k1*S + k2 holds X[k1 + S*k2]:
+        # unscrambling by the transpose permutation recovers the spectrum.
+        topo = TOPOLOGIES[name]()
+        n = topo.num_nodes
+        side = math.isqrt(n)
+        samples = _samples(n)
+        result = parallel_fft_ape(
+            topo, samples, validate=True, include_transpose=False
+        )
+        unscrambled = np.empty(n, dtype=np.complex128)
+        for k1 in range(side):
+            for k2 in range(side):
+                unscrambled[k1 + side * k2] = result.spectrum[k1 * side + k2]
+        np.testing.assert_allclose(unscrambled, np.fft.fft(samples), atol=1e-9)
+
+    def test_program_certifies(self, name):
+        topo = TOPOLOGIES[name]()
+        result = parallel_fft_ape(topo, _samples(topo.num_nodes))
+        cert = certify_program(
+            topo, build_ape_fft_program(topo), result.data_transfer_steps
+        )
+        assert cert.holds and cert.bound <= result.data_transfer_steps
+        assert cert.binding == "superstep-sum"
+
+
+class TestTranspose:
+    def test_elided_transpose_costs_fewer_steps(self):
+        topo = Mesh2D(4)
+        samples = _samples(16)
+        full = parallel_fft_ape(topo, samples)
+        bare = parallel_fft_ape(topo, samples, include_transpose=False)
+        assert bare.data_transfer_steps < full.data_transfer_steps
+
+
+class TestErrors:
+    def test_non_square_layout_is_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            build_ape_fft_program(Hypercube(3))
+
+    def test_sample_count_must_match_pe_count(self):
+        topo = Mesh2D(4)
+        with pytest.raises(ValueError, match="one sample per PE"):
+            parallel_fft_ape(topo, _samples(8))
+
+
+class TestTask:
+    def test_payload_is_verified_and_certified(self):
+        payload = run_ape_fft_task(
+            {"topology": "hypercube", "n": 16, "validate": True}
+        )
+        assert payload["method"] == "ape-fft"
+        assert payload["verified"] == 1
+        assert payload["certified"] is True
+        assert payload["bound"] <= payload["steps"]
+        assert payload["bound_ratio"] >= 1.0
+
+    def test_unknown_topology_propagates(self):
+        with pytest.raises(ValueError):
+            run_ape_fft_task({"topology": "klein-bottle", "n": 16})

@@ -22,7 +22,11 @@ load-bearing equivalences end to end:
   loop — and when faults partition the machine, both raise the same
   :class:`~repro.faults.UnroutableError`;
 * ``"fifo"`` arbitration (no reference to diff against) is at least
-  self-consistent: rerunning is deterministic and the schedule validates.
+  self-consistent: rerunning is deterministic and the schedule validates;
+* the **certification axis**: every fuzz-generated run — all backends,
+  faulted and fault-free — must pass :mod:`repro.bounds` certification.
+  A bound violation means either the engine beat physics or the bound is
+  unsound; both are fuzz failures, reported with a pickled repro case.
 
 These are deselected from the default run by the ``-m 'not fuzz'`` in
 ``addopts`` (tier-1 stays fast); the CI fuzz job re-selects them with
@@ -31,12 +35,16 @@ These are deselected from the default run by the ``-m 'not fuzz'`` in
 
 from __future__ import annotations
 
+import pickle
+import tempfile
 from importlib.util import find_spec
+from pathlib import Path
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.bounds import BoundViolation, certify
 from repro.faults import FaultModel, UnroutableError
 from repro.networks import Hypercube, Hypermesh, Hypermesh2D, Mesh2D, Torus2D
 from repro.networks.base import ChannelModel
@@ -98,6 +106,32 @@ def _as_comparable(routed):
     return tuple(sorted(d.items()) for d in routed.steps), routed.stats
 
 
+def _certified(topo, demands, routed, model=None):
+    """Certify a fuzz-generated run against its analytic floor.
+
+    An ``achieved < bound`` outcome is a fuzz failure: the offending
+    (topology, demands, fault model, achieved) tuple is pickled next to the
+    system tempdir so the case can be replayed outside hypothesis, and the
+    test fails with the certificate and the pickle path in the message.
+    """
+    kwargs = {}
+    if model is not None:
+        kwargs = {"fault_model": model, "dropped": routed.stats.dropped}
+    try:
+        certify(topo, demands, routed.stats.steps, **kwargs)
+    except BoundViolation as exc:
+        case = {
+            "topology": repr(topo),
+            "demands": list(demands),
+            "fault_model": model,
+            "achieved": routed.stats.steps,
+            "certificate": exc.certificate.to_dict(),
+        }
+        path = Path(tempfile.mkdtemp(prefix="repro-fuzz-")) / "violation.pickle"
+        path.write_bytes(pickle.dumps(case))
+        pytest.fail(f"bound violation: {exc} (repro case pickled to {path})")
+
+
 @given(topology_and_demands())
 def test_indexed_engine_matches_reference(case):
     topo, demands = case
@@ -109,6 +143,7 @@ def test_indexed_engine_matches_reference(case):
     )
     assert list(routed.steps) == ref_steps
     assert routed.stats == ref_stats
+    _certified(topo, demands, routed)
 
 
 @given(
@@ -129,6 +164,7 @@ def test_backends_bit_identical_to_indexed(case, arbitration, backend):
         list(s.items()) for s in baseline.steps
     ]
     assert routed.stats == baseline.stats
+    _certified(topo, demands, routed)
 
 
 @given(topology_and_demands())
@@ -239,6 +275,7 @@ def test_degraded_backends_bit_identical_to_indexed(case, arbitration, backend):
         list(s.items()) for s in baseline.steps
     ]
     assert routed.stats == baseline.stats
+    _certified(topo, demands, routed, model)
 
 
 @given(
@@ -266,6 +303,7 @@ def test_fifo_arbitration_is_deterministic(case):
     a = route_demands(topo, demands, arbitration="fifo")
     b = route_demands(topo, demands, arbitration="fifo")
     assert _as_comparable(a) == _as_comparable(b)
+    _certified(topo, demands, a)
     # Every packet ends at its destination, one hop per step per packet.
     position = {pid: src for pid, (src, _) in enumerate(demands)}
     for step in a.steps:

@@ -422,3 +422,47 @@ class TestFaultsCommand:
                    "--drop-prob", "1.5"])
         assert rc == 2
         assert "drop_prob" in capsys.readouterr().err
+
+
+class TestCertifyCommand:
+    def test_small_sweep_certifies_every_cell(self, capsys):
+        rc = main(
+            ["certify", "--topologies", "mesh2d", "hypermesh2d",
+             "--sizes", "16", "--workloads", "bit-reversal", "ape-fft"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "every cell holds" in out
+        assert "VIOLATION" not in out
+        # One row per (topology, workload) cell, each with its floor.
+        assert out.count("bit-reversal") == 2
+        assert out.count("ape-fft") == 2
+
+    def test_staged_workloads_certify(self, capsys):
+        rc = main(
+            ["certify", "--topologies", "torus2d", "--sizes", "16",
+             "--workloads", "systolic", "hyper-systolic"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "superstep-sum" in out
+
+    def test_unknown_topology_exits_2(self, capsys):
+        rc = main(["certify", "--topologies", "klein-bottle",
+                   "--sizes", "16"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "klein-bottle" in err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        rc = main(["certify", "--topologies", "mesh2d", "--sizes", "16",
+                   "--workloads", "storm"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "storm" in err
+
+    def test_invalid_size_exits_2(self, capsys):
+        rc = main(["certify", "--topologies", "mesh2d", "--sizes", "7",
+                   "--workloads", "bit-reversal"])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")

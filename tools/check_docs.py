@@ -18,7 +18,9 @@ Two checks, both run by the CI docs job and by
    * the service endpoint table in ``docs/API.md`` comes from
      ``repro.service.app`` (:data:`ENDPOINTS`);
    * the paper-sections table in ``docs/API.md`` comes from
-     ``repro.paper.sections`` (:data:`PAPER_SECTIONS`).
+     ``repro.paper.sections`` (:data:`PAPER_SECTIONS`);
+   * the bound-families table in ``docs/BOUNDS.md`` comes from
+     ``repro.bounds`` (:data:`BOUND_KINDS`).
 
    Each block sits between ``BEGIN/END GENERATED`` markers; run
    ``python tools/check_docs.py --write`` after changing a registry to
@@ -55,6 +57,10 @@ SERVICE_BEGIN = (
 )
 SECTIONS_BEGIN = (
     "<!-- BEGIN GENERATED: paper sections (tools/check_docs.py --write) -->"
+)
+BOUNDS = REPO / "docs" / "BOUNDS.md"
+BOUNDS_BEGIN = (
+    "<!-- BEGIN GENERATED: bound families (tools/check_docs.py --write) -->"
 )
 END = "<!-- END GENERATED -->"
 
@@ -180,6 +186,26 @@ def render_paper_sections() -> str:
     return "\n".join(lines)
 
 
+def render_bound_families() -> str:
+    """The canonical bound-families table, from ``repro.bounds``.
+
+    One row per family :func:`repro.bounds.step_lower_bound` combines;
+    adding a family without documenting it fails this check.
+    """
+    from repro.bounds import BOUND_KINDS
+
+    lines = [
+        BOUNDS_BEGIN,
+        "",
+        "| family | floor |",
+        "|---|---|",
+    ]
+    for kind in BOUND_KINDS:
+        lines.append(f"| `{kind.name}` | {kind.summary} |")
+    lines += ["", END]
+    return "\n".join(lines)
+
+
 #: Every generated doc block: (file, BEGIN marker, renderer, registry name).
 #: ``check_contract`` diffs each against its renderer; ``--write`` rewrites.
 GENERATED_BLOCKS = (
@@ -190,6 +216,8 @@ GENERATED_BLOCKS = (
      "repro.service.app.ENDPOINTS"),
     (API, SECTIONS_BEGIN, render_paper_sections,
      "repro.paper.sections.PAPER_SECTIONS"),
+    (BOUNDS, BOUNDS_BEGIN, render_bound_families,
+     "repro.bounds.BOUND_KINDS"),
 )
 
 
